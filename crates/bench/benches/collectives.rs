@@ -1,0 +1,58 @@
+//! mpisim collective performance: wall cost of the substrate's
+//! allreduce/bcast/barrier/ring as the rank count grows (all ranks are
+//! threads on one host, so this measures substrate overhead, not network).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use shrinksvm_mpisim::Universe;
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpisim");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(8));
+    for p in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("allreduce_f64x100", p), &p, |b, &p| {
+            let u = Universe::new(p);
+            b.iter(|| {
+                u.run(|comm| {
+                    let mut acc = 0.0;
+                    for k in 0..100 {
+                        acc += comm.allreduce_f64_sum(k as f64);
+                    }
+                    acc
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("bcast_4k_x20", p), &p, |b, &p| {
+            let u = Universe::new(p);
+            let payload = vec![7u8; 4096];
+            b.iter(|| {
+                u.run(|comm| {
+                    let mut total = 0usize;
+                    for _ in 0..20 {
+                        let data = if comm.rank() == 0 { payload.clone() } else { vec![] };
+                        total += comm.bcast(0, &data).len();
+                    }
+                    total
+                })
+            })
+        });
+        g.throughput(Throughput::Bytes(4096 * 8));
+        g.bench_with_input(BenchmarkId::new("ring_shift_4k_x8", p), &p, |b, &p| {
+            let u = Universe::new(p);
+            b.iter(|| {
+                u.run(|comm| {
+                    let mut cur = vec![comm.rank() as u8; 4096];
+                    for _ in 0..8 {
+                        cur = comm.ring_shift(&cur);
+                    }
+                    cur[0]
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Kernel-evaluation throughput — this measures the paper's `λ` (Table I),
+//! the constant that every complexity bound in §III/§IV is expressed in.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use shrinksvm_core::kernel::{KernelEval, KernelKind};
+use shrinksvm_datagen::planted::{FeatureStyle, PlantedConfig};
+
+fn dataset(style: FeatureStyle, dim: usize, nnz: usize) -> shrinksvm_sparse::Dataset {
+    PlantedConfig {
+        n: 512,
+        dim,
+        nnz_per_row: nnz,
+        sv_fraction: 0.2,
+        label_noise: 0.0,
+        margin_scale: 1.0,
+        style,
+        target_norm: None,
+        feature_skew: 0.0,
+        seed: 1,
+    }
+    .generate()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_eval");
+    let cases = [
+        ("dense28", dataset(FeatureStyle::Dense, 28, 28)),
+        ("dense256", dataset(FeatureStyle::Dense, 256, 256)),
+        ("sparse40", dataset(FeatureStyle::SparseBinary, 50_000, 40)),
+        ("tfidf60", dataset(FeatureStyle::SparseContinuous, 30_000, 60)),
+    ];
+    for (name, ds) in &cases {
+        for kind in [KernelKind::Rbf { gamma: 0.1 }, KernelKind::Linear] {
+            let ke = KernelEval::new(kind, &ds.x);
+            g.bench_with_input(
+                BenchmarkId::new(kind.name(), name),
+                &ke,
+                |b, ke| {
+                    let n = ds.len();
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        i = (i + 7) % n;
+                        let j = (i * 31 + 11) % n;
+                        black_box(ke.k(i, j))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+
+    // full row computation (what the baseline's cache stores per miss)
+    let ds = dataset(FeatureStyle::Dense, 128, 128);
+    let ke = KernelEval::new(KernelKind::Rbf { gamma: 0.1 }, &ds.x);
+    let mut row = vec![0.0; ds.len()];
+    c.bench_function("kernel_full_row_512", |b| {
+        b.iter(|| {
+            ke.fill_row(black_box(3), &mut row);
+            black_box(row[0])
+        })
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

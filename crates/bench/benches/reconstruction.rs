@@ -1,0 +1,54 @@
+//! Gradient-reconstruction cost (§IV-B1): the paper bounds it by
+//! `O(|X−Ȧ|·|ζ|/p)` compute and `Θ(|X−Ȧ|·G)` ring bandwidth, with the
+//! maximum at `|ζ| = |X|/2`. This bench measures complete shrinking runs
+//! whose reconstruction volume is driven by the support-vector fraction,
+//! exposing that interior maximum.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shrinksvm_core::dist::DistSolver;
+use shrinksvm_core::kernel::KernelKind;
+use shrinksvm_core::params::SvmParams;
+use shrinksvm_core::shrink::{Heuristic, ReconPolicy, ShrinkPolicy};
+use shrinksvm_datagen::planted::{FeatureStyle, PlantedConfig};
+
+fn bench_recon(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gradient_reconstruction");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(8));
+    for sv_fraction in [0.05, 0.25, 0.5] {
+        let ds = PlantedConfig {
+            n: 400,
+            dim: 28,
+            nnz_per_row: 28,
+            sv_fraction,
+            label_noise: 0.05,
+            margin_scale: 1.0,
+            style: FeatureStyle::Dense,
+            target_norm: None,
+            feature_skew: 0.0,
+            seed: 11,
+        }
+        .generate();
+        let params = SvmParams::new(32.0, KernelKind::rbf_from_sigma_sq(64.0))
+            .with_epsilon(1e-3)
+            .with_shrink(ShrinkPolicy::new(Heuristic::NumSamples(0.05), ReconPolicy::Multi));
+        g.bench_with_input(
+            BenchmarkId::new("multi_recon_run", format!("svfrac_{sv_fraction}")),
+            &ds,
+            |b, ds| {
+                b.iter(|| {
+                    DistSolver::new(ds, params.clone())
+                        .with_processes(2)
+                        .train()
+                        .unwrap()
+                        .recon_time
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_recon);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! The Table-II ablation as a microbenchmark: wall time of complete
+//! distributed training runs under Original / best / worst heuristics
+//! (the §V-D2 comparison, at bench scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shrinksvm_core::dist::DistSolver;
+use shrinksvm_core::kernel::KernelKind;
+use shrinksvm_core::params::SvmParams;
+use shrinksvm_core::shrink::ShrinkPolicy;
+use shrinksvm_datagen::PaperDataset;
+
+fn bench_shrinking(c: &mut Criterion) {
+    let data = PaperDataset::Higgs.generate(0.08);
+    let base = SvmParams::new(data.c, KernelKind::rbf_from_sigma_sq(data.sigma_sq))
+        .with_epsilon(1e-3);
+
+    let mut g = c.benchmark_group("dist_train_higgs_like");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(8));
+    for (name, policy) in [
+        ("original", ShrinkPolicy::none()),
+        ("multi5pc_best", ShrinkPolicy::best()),
+        ("single50pc_worst", ShrinkPolicy::worst()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                DistSolver::new(&data.train, base.clone().with_shrink(policy))
+                    .with_processes(2)
+                    .train()
+                    .unwrap()
+                    .iterations
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_shrinking);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Cost of complete training runs: sequential vs cached vs multicore —
+//! quantifies what the kernel cache (§III-A2) and the OpenMP enhancement
+//! (§V-A) buy the baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shrinksvm_core::kernel::KernelKind;
+use shrinksvm_core::params::SvmParams;
+use shrinksvm_core::smo::SmoSolver;
+use shrinksvm_datagen::gaussian;
+use shrinksvm_threads::ThreadPool;
+
+fn bench_smo(c: &mut Criterion) {
+    let ds = gaussian::two_blobs(300, 16, 2.0, 7);
+    let params = SvmParams::new(4.0, KernelKind::rbf_from_sigma_sq(4.0)).with_epsilon(1e-3);
+
+    let mut g = c.benchmark_group("smo_train_300");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(8));
+    g.bench_function("sequential_nocache", |b| {
+        b.iter(|| SmoSolver::new(&ds, params.clone()).train().unwrap().iterations)
+    });
+    g.bench_function("sequential_cached", |b| {
+        b.iter(|| {
+            SmoSolver::new(&ds, params.clone().with_cache_bytes(64 << 20))
+                .train()
+                .unwrap()
+                .iterations
+        })
+    });
+    let pool = ThreadPool::new(2);
+    g.bench_function("multicore2_cached", |b| {
+        b.iter(|| {
+            SmoSolver::new(&ds, params.clone().with_cache_bytes(64 << 20))
+                .with_pool(&pool)
+                .train()
+                .unwrap()
+                .iterations
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_smo);
+criterion_main!(benches);

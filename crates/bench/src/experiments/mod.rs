@@ -1,0 +1,6 @@
+//! One driver per table/figure of the paper's evaluation (§V).
+
+pub mod ablations;
+pub mod figures;
+pub mod heuristics;
+pub mod tables;

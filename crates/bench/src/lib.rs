@@ -1,0 +1,16 @@
+//! Benchmark harness for the paper's evaluation section.
+//!
+//! The `repro` binary (`src/bin/repro.rs`) regenerates every table and
+//! figure; this library holds the shared machinery:
+//!
+//! * [`report`] — plain-text/TSV table rendering and `results/` output,
+//! * [`runner`] — baseline measurement (the libsvm / libsvm-enhanced
+//!   analog), distributed trace capture, and the measured-trace →
+//!   projected-scaling pipeline,
+//! * [`experiments`] — one driver per paper table/figure.
+//!
+//! Criterion microbenches live in `benches/`.
+
+pub mod experiments;
+pub mod report;
+pub mod runner;

@@ -1,0 +1,192 @@
+//! Table rendering and results output.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned table with a title, printed to stdout and saved
+/// as both pretty text and TSV under `results/`.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table title (figure/table number + caption).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of pre-formatted cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes rendered under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// A new empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Render as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut first = true;
+            for (w, cell) in widths.iter().zip(cells) {
+                if !first {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = *w);
+                first = false;
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  note: {note}");
+        }
+        out
+    }
+
+    /// Render as TSV (headers + rows, no notes).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join("\t"));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join("\t"));
+        }
+        out
+    }
+
+    /// Print to stdout and save `<dir>/<stem>.txt` + `<dir>/<stem>.tsv`.
+    pub fn emit(&self, dir: &Path, stem: &str) -> io::Result<()> {
+        let rendered = self.render();
+        println!("{rendered}");
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{stem}.txt")), &rendered)?;
+        std::fs::write(dir.join(format!("{stem}.tsv")), self.to_tsv())?;
+        Ok(())
+    }
+}
+
+/// Format a float with engineering-friendly precision.
+pub fn f(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let a = v.abs();
+    if a == 0.0 {
+        "0".into()
+    } else if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else if a >= 0.01 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Format seconds human-readably.
+pub fn secs(v: f64) -> String {
+    if v >= 3600.0 {
+        format!("{:.2}h", v / 3600.0)
+    } else if v >= 60.0 {
+        format!("{:.2}m", v / 60.0)
+    } else if v >= 1.0 {
+        format!("{v:.2}s")
+    } else if v >= 1e-3 {
+        format!("{:.2}ms", v * 1e3)
+    } else {
+        format!("{:.2}us", v * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        t.note("a note");
+        let r = t.render();
+        assert!(r.contains("== Demo =="));
+        assert!(r.contains("note: a note"));
+        // all data lines align to the same width
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn tsv_is_tabbed() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_tsv(), "a\tb\n1\t2\n");
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(12345.6), "12346");
+        assert_eq!(f(12.34), "12.3");
+        assert_eq!(f(0.5), "0.500");
+        assert_eq!(f(0.0001), "1.00e-4");
+        assert_eq!(f(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn secs_formats() {
+        assert_eq!(secs(7200.0), "2.00h");
+        assert_eq!(secs(90.0), "1.50m");
+        assert_eq!(secs(2.5), "2.50s");
+        assert_eq!(secs(0.005), "5.00ms");
+        assert_eq!(secs(2e-6), "2.00us");
+    }
+
+    #[test]
+    fn emit_writes_files() {
+        let dir = std::env::temp_dir().join("shrinksvm-report-test");
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into()]);
+        t.emit(&dir, "demo").unwrap();
+        assert!(dir.join("demo.txt").exists());
+        assert!(dir.join("demo.tsv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

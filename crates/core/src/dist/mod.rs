@@ -1,0 +1,20 @@
+//! The distributed solver — the paper's contribution.
+//!
+//! * [`partition`] — contiguous block ownership of samples by rank,
+//! * [`msg`] — wire encodings for the pair broadcast (Algorithm 2 lines
+//!   3–9) and the ring SV blocks (Algorithm 3),
+//! * [`solver`] — the per-rank training program: Algorithm 2 (*Original*),
+//!   Algorithm 4 (single reconstruction) and Algorithm 5 (multiple
+//!   reconstruction), selected by the [`crate::shrink::ShrinkPolicy`],
+//! * [`recon`] — distributed gradient reconstruction (Algorithm 3),
+//! * [`driver`] — [`DistSolver`]: launches a `mpisim` universe, runs the
+//!   per-rank program on every rank and merges the outcomes.
+
+pub mod driver;
+pub mod msg;
+pub mod partition;
+pub mod recon;
+pub mod solver;
+
+pub use driver::{DistRunResult, DistSolver};
+pub use solver::{train_rank, DistConfig, RankOutput};

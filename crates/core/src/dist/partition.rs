@@ -1,0 +1,110 @@
+//! Block partitioning of samples across ranks.
+
+use std::ops::Range;
+
+/// Contiguous block partition of `n` samples over `p` ranks; block sizes
+/// differ by at most one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Partition {
+    n: usize,
+    p: usize,
+}
+
+impl Partition {
+    /// A partition of `n` samples over `p` ranks.
+    pub fn new(n: usize, p: usize) -> Self {
+        assert!(p >= 1);
+        Partition { n, p }
+    }
+
+    /// Global sample count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Rank count.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The global index range owned by `rank`.
+    #[inline]
+    pub fn range(&self, rank: usize) -> Range<usize> {
+        debug_assert!(rank < self.p);
+        (rank * self.n / self.p)..((rank + 1) * self.n / self.p)
+    }
+
+    /// Samples owned by `rank`.
+    pub fn len(&self, rank: usize) -> usize {
+        self.range(rank).len()
+    }
+
+    /// The rank owning global sample `i`.
+    pub fn owner(&self, i: usize) -> usize {
+        debug_assert!(i < self.n);
+        // initial guess, then correct for integer-division boundaries
+        let mut q = (i * self.p / self.n).min(self.p - 1);
+        while i < self.range(q).start {
+            q -= 1;
+        }
+        while i >= self.range(q).end {
+            q += 1;
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_exactly() {
+        for n in [1usize, 7, 64, 1000, 1003] {
+            for p in [1usize, 2, 3, 7, 16, 64] {
+                let part = Partition::new(n, p);
+                let mut covered = 0;
+                let mut expected_start = 0;
+                for q in 0..p {
+                    let r = part.range(q);
+                    assert_eq!(r.start, expected_start);
+                    covered += r.len();
+                    expected_start = r.end;
+                }
+                assert_eq!(covered, n, "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_are_balanced() {
+        let part = Partition::new(1003, 16);
+        let sizes: Vec<usize> = (0..16).map(|q| part.len(q)).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn owner_is_consistent_with_range() {
+        for n in [5usize, 100, 1003] {
+            for p in [1usize, 3, 8, 17] {
+                let part = Partition::new(n, p);
+                for i in 0..n {
+                    let q = part.owner(i);
+                    assert!(part.range(q).contains(&i), "n={n} p={p} i={i} q={q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_ranks_than_samples() {
+        let part = Partition::new(3, 8);
+        let total: usize = (0..8).map(|q| part.len(q)).sum();
+        assert_eq!(total, 3);
+        for i in 0..3 {
+            let q = part.owner(i);
+            assert!(part.range(q).contains(&i));
+        }
+    }
+}

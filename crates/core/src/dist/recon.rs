@@ -1,0 +1,103 @@
+//! Distributed gradient reconstruction — Algorithm 3.
+//!
+//! Shrunk samples stopped receiving γ updates, so before the solution can
+//! be declared exact their gradients are recomputed *from scratch*:
+//! `γ_i = Σ_{j: α_j>0} α_j y_j K(x_j, x_i) − y_i`. The `α_j > 0` samples
+//! live on all ranks, so each rank's block of them is streamed around a
+//! ring (Isend/Irecv per hop via
+//! [`shrinksvm_mpisim::Comm::ring_shift`]); after `p` steps every rank has
+//! applied the whole candidate set to its shrunk samples — without any
+//! rank ever buffering the full dataset, the reason the paper rejects
+//! `MPI_Allgatherv` here (§IV-B2).
+//!
+//! All shrunk samples are then reactivated; the caller's next phase scan
+//! recomputes `β_up`/`β_low` over the full index sets.
+
+use shrinksvm_mpisim::Comm;
+
+use crate::dist::msg::{decode_sv_block, encode_sv_block, SvEntry};
+use crate::dist::solver::RankState;
+use crate::smo::state::bound_tol;
+use crate::trace::ReconEvent;
+
+/// Run one gradient reconstruction. Returns the event record (also pushed
+/// onto the rank's trace). A globally-empty shrunk set short-circuits after
+/// one counting allreduce.
+pub(crate) fn reconstruct(st: &mut RankState<'_>, comm: &mut Comm) -> ReconEvent {
+    let clock_before = comm.clock();
+    let ln = st.local_n();
+    let tol = bound_tol(st.c());
+
+    // ω_q: locally shrunk samples (Algorithm 3 line 1).
+    let omega: Vec<usize> = (0..ln).filter(|&li| !st.active[li]).collect();
+    let reactivated = comm.allreduce_u64_sum(omega.len() as u64);
+    if reactivated == 0 {
+        // nothing was ever shrunk — gradients are already exact.
+        return ReconEvent {
+            at_iteration: st.iterations,
+            reactivated: 0,
+            sv_count: 0,
+            sv_bytes: 0,
+        };
+    }
+    let omega_nnz_sum: u64 = omega.iter().map(|&li| st.row(li).nnz() as u64).sum();
+
+    // Local α>0 block.
+    let mut entries = Vec::new();
+    for li in 0..ln {
+        if st.alpha[li] > tol {
+            entries.push(SvEntry {
+                coef: st.alpha[li] * st.y(li),
+                sq_norm: st.sq[li],
+                cols: st.row(li).indices.to_vec(),
+                vals: st.row(li).values.to_vec(),
+            });
+        }
+    }
+    let my_block = encode_sv_block(&entries);
+    let sv_count = comm.allreduce_u64_sum(entries.len() as u64);
+    let sv_bytes = comm.allreduce_u64_sum(my_block.len() as u64);
+
+    // Ring: process own block, then p−1 shifted blocks (lines 2–6).
+    let p = comm.size();
+    let mut gtmp = vec![0.0f64; omega.len()];
+    let mut cur = my_block;
+    for step in 0..p {
+        let block = decode_sv_block(&cur).expect("well-formed ring block");
+        let mut madds = 0u64;
+        for sv in &block {
+            let svr = sv.row();
+            for (k, &li) in omega.iter().enumerate() {
+                gtmp[k] += sv.coef * st.k_vs(li, svr, sv.sq_norm);
+            }
+            madds += svr.nnz() as u64 * omega.len() as u64 + omega_nnz_sum;
+        }
+        let evals = block.len() as u64 * omega.len() as u64;
+        st.trace.kernel_evals += evals;
+        comm.advance_compute(
+            madds as f64 * st.charge.lambda_per_nnz + evals as f64 * st.charge.kernel_overhead,
+        );
+        if step + 1 < p {
+            cur = comm.ring_shift(&cur);
+        }
+    }
+
+    // Write back and reactivate (lines 5–6 + §IV-B re-introduction).
+    for (k, &li) in omega.iter().enumerate() {
+        st.grad[li] = gtmp[k] - st.y(li);
+        st.active[li] = true;
+    }
+
+    st.add_recon_time(comm.clock() - clock_before);
+    let event = ReconEvent {
+        at_iteration: st.iterations,
+        reactivated,
+        sv_count,
+        sv_bytes,
+    };
+    st.trace.recon_events.push(event);
+    st.trace
+        .active_curve
+        .push((st.iterations, st.part.n() as u64));
+    event
+}

@@ -1,0 +1,515 @@
+//! The per-rank distributed training program.
+//!
+//! One function — [`train_rank`] — runs on every rank of a `mpisim`
+//! universe and implements, depending on the
+//! [`crate::shrink::ShrinkPolicy`]:
+//!
+//! * **Algorithm 2** (*Original*): no shrinking; every sample's gradient is
+//!   updated every iteration.
+//! * **Algorithm 4** (*Single*): shrinking with one gradient
+//!   reconstruction — converge the active set to `2ε`, reconstruct,
+//!   disable shrinking (`δ_c ← ∞`), converge again.
+//! * **Algorithm 5** (*Multi*): converge the active set to `20ε`,
+//!   reconstruct, then repeat converge-at-`2ε`/reconstruct (shrinking stays
+//!   armed) until optimality survives a reconstruction.
+//!
+//! Determinism: all cross-rank agreement goes through MINLOC/MAXLOC
+//! reductions with index tie-breaks, and every rank evaluates the same
+//! floating-point expressions on the same values — so the iterate
+//! trajectory is **bit-identical for every process count** up to the
+//! first gradient reconstruction (for *Original*, the entire run), which
+//! the integration tests assert. Reconstruction accumulates the ring
+//! blocks in rank order, whose floating-point associativity depends on
+//! `p`; after it, trajectories may diverge at rounding level while every
+//! one still terminates at a `2ε`-optimal solution of the same dual —
+//! the paper's "accuracy remains intact" claim.
+
+use shrinksvm_mpisim::{Comm, MaxLoc, MinLoc};
+use shrinksvm_sparse::Dataset;
+
+use crate::dist::msg::{decode_pair, encode_pair, PairSample};
+use crate::dist::partition::Partition;
+use crate::dist::recon;
+use crate::error::CoreError;
+use crate::kernel::KernelKind;
+use crate::model::SvmModel;
+use crate::params::SvmParams;
+use crate::perfmodel::ComputeCharge;
+use crate::shrink::{shrinkable, ReconPolicy, ShrinkPolicy, SubsequentPolicy};
+use crate::smo::state::{bound_tol, classify, in_low_set, in_up_set, IndexSet};
+use crate::smo::update::solve_pair_weighted;
+use crate::trace::RankTrace;
+
+/// Point-to-point tags used by the pair routing.
+const TAG_UP: u64 = 1;
+const TAG_LOW: u64 = 2;
+
+/// Distributed-run configuration.
+#[derive(Clone, Debug)]
+pub struct DistConfig {
+    /// Hyper-parameters (including the shrinking policy).
+    pub params: SvmParams,
+    /// Compute charges applied to the simulated clocks.
+    pub charge: ComputeCharge,
+}
+
+impl DistConfig {
+    /// Config with default compute charges.
+    pub fn new(params: SvmParams) -> Self {
+        DistConfig { params, charge: ComputeCharge::default() }
+    }
+}
+
+/// What one rank hands back to the driver.
+#[derive(Clone, Debug)]
+pub struct RankOutput {
+    /// The (globally identical) trained model.
+    pub model: SvmModel,
+    /// Total SMO iterations.
+    pub iterations: u64,
+    /// Whether optimality was reached within the iteration budget.
+    pub converged: bool,
+    /// Final `β_low − β_up`.
+    pub final_gap: f64,
+    /// This rank's trace fragment.
+    pub trace: RankTrace,
+    /// Simulated seconds spent inside gradient reconstruction.
+    pub recon_sim_time: f64,
+}
+
+/// How a phase ended.
+struct PhaseEnd {
+    converged: bool,
+    gap: f64,
+}
+
+/// Per-rank solver state.
+pub(crate) struct RankState<'a> {
+    ds: &'a Dataset,
+    kind: KernelKind,
+    c_pos: f64,
+    c_neg: f64,
+    tau: f64,
+    pub(crate) part: Partition,
+    /// First global index owned by this rank.
+    pub(crate) lo: usize,
+    /// `α` for owned samples (indexed `global − lo`).
+    pub(crate) alpha: Vec<f64>,
+    /// `γ` for owned samples.
+    pub(crate) grad: Vec<f64>,
+    /// Active flags for owned samples.
+    pub(crate) active: Vec<bool>,
+    /// Cached squared norms for owned samples.
+    pub(crate) sq: Vec<f64>,
+    /// Iterations remaining until the next shrink pass (`None` = never).
+    shrink_countdown: Option<u64>,
+    initial_threshold: Option<u64>,
+    subsequent: SubsequentPolicy,
+    pub(crate) iterations: u64,
+    pub(crate) trace: RankTrace,
+    pub(crate) charge: ComputeCharge,
+    pub(crate) recon_sim_time: f64,
+    max_iter: u64,
+    stall_limit: u64,
+    /// Last allreduced `(β_up, β_low)`.
+    last_betas: (f64, f64),
+}
+
+impl<'a> RankState<'a> {
+    fn new(comm: &Comm, ds: &'a Dataset, cfg: &DistConfig) -> Self {
+        let part = Partition::new(ds.len(), comm.size());
+        let range = part.range(comm.rank());
+        let lo = range.start;
+        let ln = range.len();
+        let alpha = vec![0.0; ln];
+        let grad: Vec<f64> = range.clone().map(|i| -ds.y[i]).collect();
+        let active = vec![true; ln];
+        let sq: Vec<f64> = range.clone().map(|i| ds.x.row(i).squared_norm()).collect();
+        let policy: ShrinkPolicy = cfg.params.shrink;
+        let initial_threshold = policy.initial_threshold(ds.len());
+        RankState {
+            ds,
+            kind: cfg.params.kernel,
+            c_pos: cfg.params.c_for(1.0),
+            c_neg: cfg.params.c_for(-1.0),
+            tau: cfg.params.tau,
+            part,
+            lo,
+            alpha,
+            grad,
+            active,
+            sq,
+            shrink_countdown: initial_threshold,
+            initial_threshold,
+            subsequent: policy.subsequent,
+            iterations: 0,
+            trace: RankTrace::default(),
+            charge: cfg.charge,
+            recon_sim_time: 0.0,
+            max_iter: cfg.params.max_iter,
+            stall_limit: cfg.params.stall_limit,
+            last_betas: (f64::INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// Samples owned by this rank.
+    pub(crate) fn local_n(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// The largest box constraint across classes (used for bound
+    /// tolerances).
+    pub(crate) fn c(&self) -> f64 {
+        self.c_pos.max(self.c_neg)
+    }
+
+    /// Box constraint of local sample `li`.
+    #[inline]
+    pub(crate) fn c_of(&self, li: usize) -> f64 {
+        if self.y(li) > 0.0 {
+            self.c_pos
+        } else {
+            self.c_neg
+        }
+    }
+
+    /// Charge simulated seconds to the reconstruction bucket.
+    pub(crate) fn add_recon_time(&mut self, secs: f64) {
+        self.recon_sim_time += secs;
+    }
+
+    /// Label of local sample `li`.
+    #[inline]
+    pub(crate) fn y(&self, li: usize) -> f64 {
+        self.ds.y[self.lo + li]
+    }
+
+    /// Row of local sample `li`.
+    #[inline]
+    pub(crate) fn row(&self, li: usize) -> shrinksvm_sparse::RowView<'_> {
+        self.ds.x.row(self.lo + li)
+    }
+
+    /// Kernel between local sample `li` and a foreign row.
+    #[inline]
+    pub(crate) fn k_vs(&self, li: usize, r: shrinksvm_sparse::RowView<'_>, r_sq: f64) -> f64 {
+        self.kind.eval(self.row(li), r, self.sq[li], r_sq)
+    }
+
+    /// Scan active local samples for the worst-violator candidates.
+    fn local_candidates(&self) -> (MinLoc, MaxLoc) {
+        let mut up = MinLoc::identity();
+        let mut low = MaxLoc::identity();
+        for li in 0..self.local_n() {
+            if !self.active[li] {
+                continue;
+            }
+            let (y, a, g) = (self.y(li), self.alpha[li], self.grad[li]);
+            let ci = self.c_of(li);
+            let gidx = (self.lo + li) as u64;
+            if in_up_set(y, a, ci) {
+                up = MinLoc::combine(up, MinLoc { value: g, index: gidx });
+            }
+            if in_low_set(y, a, ci) {
+                low = MaxLoc::combine(low, MaxLoc { value: g, index: gidx });
+            }
+        }
+        (up, low)
+    }
+
+    /// Gather a local sample into a wire record.
+    fn gather(&self, gidx: usize) -> PairSample {
+        let li = gidx - self.lo;
+        PairSample::from_parts(
+            gidx as u64,
+            self.y(li),
+            self.alpha[li],
+            self.grad[li],
+            self.sq[li],
+            self.row(li),
+        )
+    }
+
+    /// Route the selected pair through rank 0 and broadcast it (Algorithm 2
+    /// lines 3–9).
+    fn route_pair(&self, comm: &mut Comm, i_up: usize, i_low: usize) -> (PairSample, PairSample) {
+        let me = comm.rank();
+        let owner_up = self.part.owner(i_up);
+        let owner_low = self.part.owner(i_low);
+        let mut encoded = Vec::new();
+        if me == owner_up && me != 0 {
+            let mut b = Vec::new();
+            self.gather(i_up).encode(&mut b);
+            comm.send(0, TAG_UP, &b);
+        }
+        if me == owner_low && me != 0 {
+            let mut b = Vec::new();
+            self.gather(i_low).encode(&mut b);
+            comm.send(0, TAG_LOW, &b);
+        }
+        if me == 0 {
+            let up = if owner_up == 0 {
+                self.gather(i_up)
+            } else {
+                let b = comm.recv(owner_up, TAG_UP);
+                let mut pos = 0;
+                PairSample::decode(&b, &mut pos).expect("valid pair sample from owner")
+            };
+            let low = if owner_low == 0 {
+                self.gather(i_low)
+            } else {
+                let b = comm.recv(owner_low, TAG_LOW);
+                let mut pos = 0;
+                PairSample::decode(&b, &mut pos).expect("valid pair sample from owner")
+            };
+            encoded = encode_pair(&up, &low);
+        }
+        let bytes = comm.bcast(0, &encoded);
+        decode_pair(&bytes).expect("valid pair bundle from rank 0")
+    }
+
+    /// One optimization phase: iterate until `β_up + 2·phase_eps > β_low`
+    /// on the active set (or the iteration cap).
+    fn run_phase(
+        &mut self,
+        comm: &mut Comm,
+        phase_eps: f64,
+        shrink_enabled: bool,
+    ) -> Result<PhaseEnd, CoreError> {
+        let mut stall = 0u64;
+        loop {
+            let (cand_up, cand_low) = self.local_candidates();
+            let up = comm.allreduce_minloc(cand_up);
+            let low = comm.allreduce_maxloc(cand_low);
+            self.last_betas = (up.value, low.value);
+            let gap = low.value - up.value;
+            // negated form on purpose: ±∞ candidates (empty scan sets) and
+            // NaN must all terminate the phase
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(up.value + 2.0 * phase_eps <= low.value) {
+                // covers empty scan sets too (±∞ candidates)
+                return Ok(PhaseEnd { converged: true, gap });
+            }
+            if self.iterations >= self.max_iter {
+                return Ok(PhaseEnd { converged: false, gap });
+            }
+
+            // Route the pair and solve the two-variable subproblem on every
+            // rank identically (Eq. 6/7).
+            let (sup, slow) = self.route_pair(comm, up.index as usize, low.index as usize);
+            let (rup, rlow) = (sup.row(), slow.row());
+            let k_uu = self.kind.eval(rup, rup, sup.sq_norm, sup.sq_norm);
+            let k_ll = self.kind.eval(rlow, rlow, slow.sq_norm, slow.sq_norm);
+            let k_ul = self.kind.eval(rup, rlow, sup.sq_norm, slow.sq_norm);
+            let c_up = if sup.y > 0.0 { self.c_pos } else { self.c_neg };
+            let c_lo = if slow.y > 0.0 { self.c_pos } else { self.c_neg };
+            let sol = solve_pair_weighted(
+                sup.y, slow.y, sup.alpha, slow.alpha, sup.gamma, slow.gamma, k_uu, k_ll, k_ul,
+                c_up, c_lo, self.tau,
+            );
+            if sol.is_null() {
+                stall += 1;
+                if stall > self.stall_limit {
+                    return Err(CoreError::Stalled { at_iteration: self.iterations });
+                }
+            } else {
+                stall = 0;
+            }
+
+            // Owners write back the new multipliers before the γ loop, so
+            // the in-loop candidate scan sees updated set memberships
+            // (Algorithm 2 lines 12–16).
+            if self.part.owner(up.index as usize) == comm.rank() {
+                self.alpha[up.index as usize - self.lo] = sol.alpha_up;
+            }
+            if self.part.owner(low.index as usize) == comm.rank() {
+                self.alpha[low.index as usize - self.lo] = sol.alpha_low;
+            }
+
+            // γ update over active local samples (Eq. 2), fused with the
+            // shrink pass and the next candidate scan.
+            let cu = sup.y * sol.delta_up;
+            let cl = slow.y * sol.delta_low;
+            let shrink_pass = shrink_enabled && self.shrink_countdown == Some(0);
+            let mut survivors = 0u64;
+            let mut visited = 0u64;
+            let mut madds = 0u64;
+            let mut evals = 0u64;
+            for li in 0..self.local_n() {
+                if !self.active[li] {
+                    continue;
+                }
+                visited += 1;
+                let nnz_i = self.row(li).nnz() as u64;
+                // Single fused expression `cu·K_up + cl·K_low`, matching the
+                // sequential baseline bit-for-bit (a zero delta contributes
+                // an exact 0.0 and skips its kernel evaluation).
+                let k_up = if cu != 0.0 {
+                    madds += nnz_i + sup.cols.len() as u64;
+                    evals += 1;
+                    self.k_vs(li, rup, sup.sq_norm)
+                } else {
+                    0.0
+                };
+                let k_low = if cl != 0.0 {
+                    madds += nnz_i + slow.cols.len() as u64;
+                    evals += 1;
+                    self.k_vs(li, rlow, slow.sq_norm)
+                } else {
+                    0.0
+                };
+                self.grad[li] += cu * k_up + cl * k_low;
+                if shrink_pass {
+                    let set = classify(self.y(li), self.alpha[li], self.c_of(li));
+                    let in_up_only = matches!(set, IndexSet::I1 | IndexSet::I2);
+                    let in_low_only = matches!(set, IndexSet::I3 | IndexSet::I4);
+                    if shrinkable(self.grad[li], in_up_only, in_low_only, up.value, low.value) {
+                        self.active[li] = false;
+                        continue;
+                    }
+                    survivors += 1;
+                }
+            }
+            self.trace.sum_active_local += visited as u128;
+            self.trace.kernel_evals += evals + 3;
+            comm.advance_compute(
+                madds as f64 * self.charge.lambda_per_nnz
+                    + (evals + 3) as f64 * self.charge.kernel_overhead,
+            );
+
+            if shrink_pass {
+                let global_active = comm.allreduce_u64_sum(survivors);
+                self.shrink_countdown = Some(match self.subsequent {
+                    SubsequentPolicy::ActiveSetSize => global_active.max(1),
+                    SubsequentPolicy::SameAsInitial => {
+                        self.initial_threshold.expect("shrink pass implies a threshold")
+                    }
+                });
+                self.trace.active_curve.push((self.iterations, global_active));
+            } else if shrink_enabled {
+                if let Some(cd) = &mut self.shrink_countdown {
+                    *cd = cd.saturating_sub(1);
+                }
+            }
+            self.iterations += 1;
+        }
+    }
+
+    /// Assemble the global model on every rank: allgather the SV blocks and
+    /// agree on the bias.
+    fn assemble_model(&self, comm: &mut Comm) -> Result<SvmModel, CoreError> {
+        // bias: mean γ over I0, else bracket midpoint (§III).
+        let tol = bound_tol(self.c());
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for li in 0..self.local_n() {
+            if classify(self.y(li), self.alpha[li], self.c_of(li)) == IndexSet::I0 {
+                sum += self.grad[li];
+                count += 1;
+            }
+        }
+        let gsum = comm.allreduce_f64_sum(sum);
+        let gcount = comm.allreduce_u64_sum(count);
+        let bias = if gcount > 0 {
+            gsum / gcount as f64
+        } else {
+            (self.last_betas.0 + self.last_betas.1) / 2.0
+        };
+
+        // SV gather: (global idx, coef, row) per local SV — the SV set is
+        // small (ζ ≪ N), so allgatherv here is cheap and *not* the
+        // full-dataset allgather the paper rejects for reconstruction.
+        let mut block = Vec::new();
+        for li in 0..self.local_n() {
+            if self.alpha[li] > tol {
+                self.gather(self.lo + li).encode(&mut block);
+            }
+        }
+        let pieces = comm.allgatherv(&block);
+        let mut b = shrinksvm_sparse::CsrBuilder::new(self.ds.x.ncols());
+        let mut coef = Vec::new();
+        for piece in pieces {
+            let mut pos = 0;
+            while pos < piece.len() {
+                let s = PairSample::decode(&piece, &mut pos)
+                    .ok_or_else(|| CoreError::ModelFormat("bad SV gather block".into()))?;
+                coef.push(s.alpha * s.y);
+                b.push_row(&s.cols, &s.vals)?;
+            }
+        }
+        SvmModel::new(self.kind, b.finish(), coef, bias)
+    }
+}
+
+/// Run the distributed trainer on this rank. Every rank of the universe
+/// must call this with the same `ds` and `cfg`.
+pub fn train_rank(comm: &mut Comm, ds: &Dataset, cfg: &DistConfig) -> Result<RankOutput, CoreError> {
+    cfg.params.validate()?;
+    if ds.len() < 2 {
+        return Err(CoreError::DegenerateProblem(format!("{} samples", ds.len())));
+    }
+    let (pos, neg) = ds.class_counts();
+    if pos == 0 || neg == 0 {
+        return Err(CoreError::DegenerateProblem("all samples share one class".into()));
+    }
+
+    let eps = cfg.params.epsilon;
+    let policy = cfg.params.shrink;
+    let mut st = RankState::new(comm, ds, cfg);
+
+    let end = if policy.is_none() {
+        // Algorithm 2.
+        st.run_phase(comm, eps, false)?
+    } else {
+        match policy.recon {
+            ReconPolicy::Never => {
+                // CA-SVM-style permanent elimination: converge the active
+                // set and STOP — shrunk samples are never re-checked, so
+                // the result may be inexact (the ablation the paper argues
+                // against in §IV).
+                st.run_phase(comm, eps, true)?
+            }
+            ReconPolicy::Single => {
+                // Algorithm 4: converge active set, reconstruct once,
+                // δ_c ← ∞, converge exactly.
+                let first = st.run_phase(comm, eps, true)?;
+                if !first.converged {
+                    first
+                } else {
+                    recon::reconstruct(&mut st, comm);
+                    st.run_phase(comm, eps, false)?
+                }
+            }
+            ReconPolicy::Multi => {
+                // Algorithm 5: 20ε phase, reconstruct, then 2ε/reconstruct
+                // rounds until optimality survives a reconstruction.
+                let coarse = st.run_phase(comm, 10.0 * eps, true)?;
+                if !coarse.converged {
+                    coarse
+                } else {
+                    loop {
+                        recon::reconstruct(&mut st, comm);
+                        let before = st.iterations;
+                        let end = st.run_phase(comm, eps, true)?;
+                        if !end.converged || st.iterations == before {
+                            // either out of budget, or the reconstructed
+                            // problem was already optimal — done.
+                            break end;
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    let model = st.assemble_model(comm)?;
+    st.trace.iterations = st.iterations;
+    Ok(RankOutput {
+        model,
+        iterations: st.iterations,
+        converged: end.converged,
+        final_gap: end.gap.max(0.0),
+        trace: st.trace,
+        recon_sim_time: st.recon_sim_time,
+    })
+}

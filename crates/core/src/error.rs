@@ -1,0 +1,74 @@
+//! Error type for the solver crate.
+
+use std::fmt;
+
+/// Errors surfaced by training and evaluation.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Training data had no samples or only one class.
+    DegenerateProblem(String),
+    /// Invalid hyper-parameters.
+    BadParams(String),
+    /// The optimizer made no progress for an implausible number of
+    /// consecutive iterations (numerical stall guard).
+    Stalled {
+        /// Iteration at which the stall was declared.
+        at_iteration: u64,
+    },
+    /// Propagated sparse-layer failure.
+    Sparse(shrinksvm_sparse::SparseError),
+    /// Model (de)serialization failure.
+    ModelFormat(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DegenerateProblem(m) => write!(f, "degenerate problem: {m}"),
+            CoreError::BadParams(m) => write!(f, "bad parameters: {m}"),
+            CoreError::Stalled { at_iteration } => {
+                write!(f, "optimizer stalled at iteration {at_iteration}")
+            }
+            CoreError::Sparse(e) => write!(f, "sparse layer: {e}"),
+            CoreError::ModelFormat(m) => write!(f, "model format: {m}"),
+            CoreError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Sparse(e) => Some(e),
+            CoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<shrinksvm_sparse::SparseError> for CoreError {
+    fn from(e: shrinksvm_sparse::SparseError) -> Self {
+        CoreError::Sparse(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_context() {
+        let e = CoreError::Stalled { at_iteration: 42 };
+        assert!(e.to_string().contains("42"));
+        let e = CoreError::BadParams("C must be positive".into());
+        assert!(e.to_string().contains("C must be positive"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # shrinksvm-core
+//!
+//! The paper's contribution: SMO-based SVM training with **adaptive sample
+//! shrinking** and **distributed gradient reconstruction**, plus every
+//! solver the evaluation compares against.
+//!
+//! Solvers:
+//!
+//! * [`smo::SmoSolver`] — sequential SMO with an LRU kernel-row cache and
+//!   optional multicore gradient updates via `shrinksvm-threads` — the
+//!   "libsvm / libsvm-enhanced" baseline of §V-A.
+//! * [`dist::DistSolver`] — the paper's cache-free distributed solver over
+//!   `shrinksvm-mpisim`: Algorithm 2 (*Original*, no shrinking),
+//!   Algorithm 4 (shrinking + single gradient reconstruction) and
+//!   Algorithm 5 (multiple reconstruction), driven by the 13 heuristic
+//!   configurations of Table II ([`shrink`]).
+//!
+//! Support modules: [`kernel`] (Gaussian/linear/polynomial/sigmoid),
+//! [`cache`] (the kernel-row LRU granted to the baseline; the distributed
+//! path deliberately has none, §III-A2), [`model`]/[`metrics`]/[`cv`]
+//! (prediction, accuracy, k-fold CV and grid search for §V-C), [`trace`]
+//! (execution traces) and [`perfmodel`] (the Table-I cost model used to
+//! project measured traces to large process counts).
+
+pub mod cache;
+pub mod cv;
+pub mod dist;
+pub mod error;
+pub mod kernel;
+pub mod metrics;
+pub mod model;
+pub mod params;
+pub mod perfmodel;
+pub mod shrink;
+pub mod smo;
+pub mod trace;
+
+pub use error::CoreError;
+pub use kernel::KernelKind;
+pub use model::SvmModel;
+pub use params::SvmParams;
+pub use shrink::{Heuristic, HeuristicClass, ReconPolicy, ShrinkPolicy, SubsequentPolicy};

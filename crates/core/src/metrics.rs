@@ -1,0 +1,136 @@
+//! Evaluation metrics (Table V reports testing accuracy).
+
+use shrinksvm_sparse::Dataset;
+
+use crate::model::SvmModel;
+
+/// Confusion counts for a binary classifier (+1 = positive class).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Positive predicted positive.
+    pub tp: usize,
+    /// Negative predicted positive.
+    pub fp: usize,
+    /// Negative predicted negative.
+    pub tn: usize,
+    /// Positive predicted negative.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Evaluate `model` on `ds`.
+    pub fn evaluate(model: &SvmModel, ds: &Dataset) -> Confusion {
+        let mut c = Confusion::default();
+        for i in 0..ds.len() {
+            let pred = model.predict(ds.x.row(i));
+            match (ds.y[i] > 0.0, pred > 0.0) {
+                (true, true) => c.tp += 1,
+                (false, true) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (true, false) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction classified correctly.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / self.total() as f64
+        }
+    }
+
+    /// Positive-class precision `tp/(tp+fp)` (0 when nothing predicted
+    /// positive).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Positive-class recall `tp/(tp+fn)`.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Test-set accuracy of `model` on `ds` in `[0, 1]`.
+pub fn accuracy(model: &SvmModel, ds: &Dataset) -> f64 {
+    Confusion::evaluate(model, ds).accuracy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelKind;
+    use shrinksvm_sparse::CsrMatrix;
+
+    fn axis_model() -> SvmModel {
+        // D(x) = x0 (predict sign of first coordinate)
+        let sv = CsrMatrix::from_dense(&[vec![1.0, 0.0]], 2).unwrap();
+        SvmModel::new(KernelKind::Linear, sv, vec![1.0], 0.0).unwrap()
+    }
+
+    fn ds(rows: &[(f64, f64)]) -> Dataset {
+        let x: Vec<Vec<f64>> = rows.iter().map(|(v, _)| vec![*v, 0.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|(_, l)| *l).collect();
+        Dataset::new(CsrMatrix::from_dense(&x, 2).unwrap(), y).unwrap()
+    }
+
+    #[test]
+    fn confusion_counts_each_quadrant() {
+        let m = axis_model();
+        let data = ds(&[(1.0, 1.0), (2.0, -1.0), (-1.0, -1.0), (-2.0, 1.0), (3.0, 1.0)]);
+        let c = Confusion::evaluate(&m, &data);
+        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(c.total(), 5);
+        assert!((c.accuracy() - 0.6).abs() < 1e-15);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-15);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-15);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn perfect_classifier_scores_one() {
+        let m = axis_model();
+        let data = ds(&[(1.0, 1.0), (-1.0, -1.0)]);
+        assert_eq!(accuracy(&m, &data), 1.0);
+        let c = Confusion::evaluate(&m, &data);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn empty_dataset_is_zero_not_nan() {
+        let c = Confusion::default();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Shrinking heuristics — Table II of the paper.
+//!
+//! A shrinking configuration is three choices:
+//!
+//! 1. **Initial threshold** ([`Heuristic`]): how many iterations to run
+//!    before the first shrink pass — a fixed count (`random: k`, after
+//!    Lin et al.'s libsvm default) or a fraction of the sample count
+//!    (`numsamples: x%`, from the paper's `ζ ≪ N` intuition, §IV-A1).
+//! 2. **Subsequent threshold** ([`SubsequentPolicy`]): after a shrink pass,
+//!    wait either the global *active working-set size* (the paper's
+//!    adaptive choice, Algorithm 4 lines 27–29) or the initial threshold
+//!    again (§IV-A2's "default approach").
+//! 3. **Reconstruction policy** ([`ReconPolicy`]): reconstruct gradients
+//!    once at the end (Algorithm 4) or repeatedly, starting at `20ε`
+//!    (Algorithm 5).
+//!
+//! [`ShrinkPolicy::table2`] enumerates the paper's 13 rows with their
+//! aggressive/average/conservative classification.
+
+/// Initial-shrinking-threshold heuristic (§IV-A1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Heuristic {
+    /// Never shrink — the *Original* algorithm (`n = ∞`).
+    None,
+    /// First shrink pass after a fixed number of iterations
+    /// (the paper's `random: k` rows; k ∈ {2, 500, 1000}).
+    Random(u64),
+    /// First shrink pass after `fraction · N` iterations
+    /// (the paper's `numsamples: x%` rows; x ∈ {5, 10, 50}).
+    NumSamples(f64),
+}
+
+/// When to re-arm the shrink counter after a pass (§IV-A2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubsequentPolicy {
+    /// Next threshold = current global active-set size (Algorithm 4's
+    /// Allreduce of `δ_new`) — every active sample gets visited at least
+    /// once before the next pass.
+    ActiveSetSize,
+    /// Reuse the initial threshold.
+    SameAsInitial,
+}
+
+/// How gradient reconstruction restores exactness (§IV-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReconPolicy {
+    /// Algorithm 4: converge the active set to `2ε`, reconstruct once,
+    /// disable shrinking, converge again.
+    Single,
+    /// Algorithm 5: converge the active set to `20ε`, reconstruct, then
+    /// repeat converge-to-`2ε`/reconstruct (shrinking stays enabled) until
+    /// optimality survives a reconstruction.
+    Multi,
+    /// No reconstruction: samples are eliminated *permanently* — the
+    /// design the paper rejects (§IV, citing Communication-Avoiding SVM
+    /// \[27\]) because it can return an inexact solution. Provided for the
+    /// accuracy-loss ablation; never part of Table II.
+    Never,
+}
+
+/// Aggressiveness class from Table II (★ aggressive, ◇ average,
+/// • conservative).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HeuristicClass {
+    /// Early elimination (★).
+    Aggressive,
+    /// Middle ground (◇).
+    Average,
+    /// Late elimination (•).
+    Conservative,
+    /// The no-shrinking Original row.
+    NotApplicable,
+}
+
+impl std::fmt::Display for HeuristicClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            HeuristicClass::Aggressive => "aggressive",
+            HeuristicClass::Average => "average",
+            HeuristicClass::Conservative => "conservative",
+            HeuristicClass::NotApplicable => "n/a",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A complete shrinking configuration (one row of Table II).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShrinkPolicy {
+    /// Initial threshold heuristic.
+    pub heuristic: Heuristic,
+    /// Subsequent threshold policy.
+    pub subsequent: SubsequentPolicy,
+    /// Gradient-reconstruction policy.
+    pub recon: ReconPolicy,
+}
+
+impl ShrinkPolicy {
+    /// The *Original* (no-shrinking) configuration.
+    pub fn none() -> Self {
+        ShrinkPolicy {
+            heuristic: Heuristic::None,
+            subsequent: SubsequentPolicy::ActiveSetSize,
+            recon: ReconPolicy::Single,
+        }
+    }
+
+    /// A named configuration with the paper's adaptive subsequent policy.
+    pub fn new(heuristic: Heuristic, recon: ReconPolicy) -> Self {
+        ShrinkPolicy {
+            heuristic,
+            subsequent: SubsequentPolicy::ActiveSetSize,
+            recon,
+        }
+    }
+
+    /// True when this policy never shrinks.
+    pub fn is_none(&self) -> bool {
+        matches!(self.heuristic, Heuristic::None)
+    }
+
+    /// Iterations before the first shrink pass for an `n`-sample problem;
+    /// `None` when shrinking is disabled.
+    pub fn initial_threshold(&self, n: usize) -> Option<u64> {
+        match self.heuristic {
+            Heuristic::None => None,
+            Heuristic::Random(k) => Some(k.max(1)),
+            Heuristic::NumSamples(f) => Some(((n as f64 * f) as u64).max(1)),
+        }
+    }
+
+    /// The paper's name for this configuration ("Multi5pc", "Single500",
+    /// "Original", …).
+    pub fn name(&self) -> String {
+        let prefix = match (self.is_none(), self.recon) {
+            (true, _) => return "Original".to_string(),
+            (false, ReconPolicy::Single) => "Single",
+            (false, ReconPolicy::Multi) => "Multi",
+            (false, ReconPolicy::Never) => "Permanent",
+        };
+        match self.heuristic {
+            Heuristic::None => unreachable!(),
+            Heuristic::Random(k) => format!("{prefix}{k}"),
+            Heuristic::NumSamples(f) => format!("{prefix}{}pc", (f * 100.0).round() as u64),
+        }
+    }
+
+    /// Aggressiveness class per Table II.
+    pub fn class(&self) -> HeuristicClass {
+        match self.heuristic {
+            Heuristic::None => HeuristicClass::NotApplicable,
+            Heuristic::Random(k) if k <= 500 => HeuristicClass::Aggressive,
+            Heuristic::Random(_) => HeuristicClass::Average,
+            Heuristic::NumSamples(f) if f <= 0.05 => HeuristicClass::Aggressive,
+            Heuristic::NumSamples(f) if f <= 0.10 => HeuristicClass::Average,
+            Heuristic::NumSamples(_) => HeuristicClass::Conservative,
+        }
+    }
+
+    /// All 13 rows of Table II, in table order.
+    pub fn table2() -> Vec<ShrinkPolicy> {
+        let mut rows = vec![ShrinkPolicy::none()];
+        for recon in [ReconPolicy::Single, ReconPolicy::Multi] {
+            for h in [
+                Heuristic::Random(2),
+                Heuristic::Random(500),
+                Heuristic::Random(1000),
+                Heuristic::NumSamples(0.05),
+                Heuristic::NumSamples(0.10),
+                Heuristic::NumSamples(0.50),
+            ] {
+                rows.push(ShrinkPolicy::new(h, recon));
+            }
+        }
+        rows
+    }
+
+    /// Parse a Table-II-style name ("Original", "Single500", "Multi5pc",
+    /// "Permanent10pc", ...). Case-insensitive. Returns `None` for
+    /// unrecognized names.
+    pub fn parse(name: &str) -> Option<ShrinkPolicy> {
+        let lower = name.to_ascii_lowercase();
+        if lower == "original" || lower == "none" {
+            return Some(ShrinkPolicy::none());
+        }
+        let (recon, rest) = if let Some(r) = lower.strip_prefix("single") {
+            (ReconPolicy::Single, r)
+        } else if let Some(r) = lower.strip_prefix("multi") {
+            (ReconPolicy::Multi, r)
+        } else if let Some(r) = lower.strip_prefix("permanent") {
+            (ReconPolicy::Never, r)
+        } else {
+            return None;
+        };
+        let heuristic = if let Some(pc) = rest.strip_suffix("pc") {
+            let v: f64 = pc.parse().ok()?;
+            if !(0.0..=100.0).contains(&v) {
+                return None;
+            }
+            Heuristic::NumSamples(v / 100.0)
+        } else {
+            let k: u64 = rest.parse().ok()?;
+            Heuristic::Random(k)
+        };
+        Some(ShrinkPolicy::new(heuristic, recon))
+    }
+
+    /// The paper's overall best heuristic (§V-D2): `Multi5pc`.
+    pub fn best() -> Self {
+        ShrinkPolicy::new(Heuristic::NumSamples(0.05), ReconPolicy::Multi)
+    }
+
+    /// The paper's overall worst heuristic (§V-D1): `Single50pc`.
+    pub fn worst() -> Self {
+        ShrinkPolicy::new(Heuristic::NumSamples(0.50), ReconPolicy::Single)
+    }
+}
+
+/// Decide whether a sample may be shrunk — Eq. (9) / Figure 2.
+///
+/// `in_up_only` means the sample is in `I1 ∪ I2` (participates only in the
+/// `β_up` scan); `in_low_only` means `I3 ∪ I4`. Samples in `I0` are in both
+/// scans and never shrinkable.
+#[inline]
+pub fn shrinkable(
+    gamma: f64,
+    in_up_only: bool,
+    in_low_only: bool,
+    beta_up: f64,
+    beta_low: f64,
+) -> bool {
+    (in_low_only && gamma < beta_up) || (in_up_only && gamma > beta_low)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_13_rows_with_paper_names() {
+        let rows = ShrinkPolicy::table2();
+        assert_eq!(rows.len(), 13);
+        let names: Vec<String> = rows.iter().map(|r| r.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Original", "Single2", "Single500", "Single1000", "Single5pc", "Single10pc",
+                "Single50pc", "Multi2", "Multi500", "Multi1000", "Multi5pc", "Multi10pc",
+                "Multi50pc",
+            ]
+        );
+    }
+
+    #[test]
+    fn table2_classes_match_paper() {
+        use HeuristicClass::*;
+        let classes: Vec<HeuristicClass> =
+            ShrinkPolicy::table2().iter().map(|r| r.class()).collect();
+        assert_eq!(
+            classes,
+            vec![
+                NotApplicable,
+                Aggressive, Aggressive, Average, Aggressive, Average, Conservative,
+                Aggressive, Aggressive, Average, Aggressive, Average, Conservative,
+            ]
+        );
+    }
+
+    #[test]
+    fn initial_threshold_math() {
+        assert_eq!(ShrinkPolicy::none().initial_threshold(1000), None);
+        assert_eq!(
+            ShrinkPolicy::new(Heuristic::Random(500), ReconPolicy::Single).initial_threshold(9),
+            Some(500)
+        );
+        assert_eq!(
+            ShrinkPolicy::new(Heuristic::NumSamples(0.05), ReconPolicy::Multi)
+                .initial_threshold(60_000),
+            Some(3_000)
+        );
+        // MNIST §V-D4: 50% of 60k = 30k iterations — past convergence.
+        assert_eq!(
+            ShrinkPolicy::worst().initial_threshold(60_000),
+            Some(30_000)
+        );
+        // floors at 1
+        assert_eq!(
+            ShrinkPolicy::new(Heuristic::NumSamples(0.05), ReconPolicy::Multi)
+                .initial_threshold(3),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn best_and_worst_are_paper_findings() {
+        assert_eq!(ShrinkPolicy::best().name(), "Multi5pc");
+        assert_eq!(ShrinkPolicy::worst().name(), "Single50pc");
+    }
+
+    #[test]
+    fn shrink_condition_eq9() {
+        // β_up = -1, β_low = +1 (still optimizing).
+        let (bu, bl) = (-1.0, 1.0);
+        // I3∪I4 sample with γ below β_up → shrink
+        assert!(shrinkable(-2.0, false, true, bu, bl));
+        // I3∪I4 sample inside the bracket → keep
+        assert!(!shrinkable(0.0, false, true, bu, bl));
+        // I1∪I2 sample with γ above β_low → shrink
+        assert!(shrinkable(2.0, true, false, bu, bl));
+        // I1∪I2 sample inside bracket → keep
+        assert!(!shrinkable(0.5, true, false, bu, bl));
+        // I0 (neither flag) → never
+        assert!(!shrinkable(5.0, false, false, bu, bl));
+        assert!(!shrinkable(-5.0, false, false, bu, bl));
+    }
+
+    #[test]
+    fn display_classes() {
+        assert_eq!(HeuristicClass::Aggressive.to_string(), "aggressive");
+    }
+
+    #[test]
+    fn parse_round_trips_table2_names() {
+        for policy in ShrinkPolicy::table2() {
+            let parsed = ShrinkPolicy::parse(&policy.name()).unwrap();
+            assert_eq!(parsed.heuristic, policy.heuristic, "{}", policy.name());
+            assert_eq!(parsed.recon, policy.recon, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn parse_handles_case_aliases_and_garbage() {
+        assert_eq!(ShrinkPolicy::parse("original").unwrap(), ShrinkPolicy::none());
+        assert_eq!(ShrinkPolicy::parse("NONE").unwrap(), ShrinkPolicy::none());
+        assert_eq!(
+            ShrinkPolicy::parse("multi5pc").unwrap().recon,
+            ReconPolicy::Multi
+        );
+        assert_eq!(
+            ShrinkPolicy::parse("Permanent10pc").unwrap().recon,
+            ReconPolicy::Never
+        );
+        assert!(ShrinkPolicy::parse("").is_none());
+        assert!(ShrinkPolicy::parse("turbo9000").is_none());
+        assert!(ShrinkPolicy::parse("multi").is_none());
+        assert!(ShrinkPolicy::parse("single200pc").is_none());
+    }
+}

@@ -1,0 +1,34 @@
+//! Sequential Minimal Optimization (Algorithm 1) and its multicore variant
+//! — the "libsvm" / "libsvm-enhanced" baselines of §V-A.
+//!
+//! * [`state`] — the per-sample index-set algebra of Eq. (4),
+//! * [`update`] — the two-variable analytical solve of Eq. (6)/(7),
+//! * [`solver`] — [`SmoSolver`]: maximal-violating-pair SMO with an LRU
+//!   kernel-row cache and optional OpenMP-style parallel gradient updates.
+
+pub mod solver;
+pub mod state;
+pub mod update;
+
+pub use solver::{SmoSolver, TrainOutput};
+
+use crate::kernel::KernelEval;
+
+/// Dual objective `½ Σᵢⱼ αᵢαⱼyᵢyⱼK(xᵢ,xⱼ) − Σᵢαᵢ` — `O(n²)`, for tests and
+/// diagnostics only (monotone non-increasing across SMO steps).
+pub fn dual_objective(ke: &KernelEval<'_>, y: &[f64], alpha: &[f64]) -> f64 {
+    let n = y.len();
+    let mut quad = 0.0;
+    for i in 0..n {
+        if alpha[i] == 0.0 {
+            continue;
+        }
+        for j in 0..n {
+            if alpha[j] == 0.0 {
+                continue;
+            }
+            quad += alpha[i] * alpha[j] * y[i] * y[j] * ke.k(i, j);
+        }
+    }
+    0.5 * quad - alpha.iter().sum::<f64>()
+}

@@ -1,0 +1,141 @@
+//! Index-set algebra — Eq. (4) of the paper.
+//!
+//! Every sample belongs to exactly one of `I0..I4` given `(y, α, C)`:
+//!
+//! * `I0 = {0 < α < C}` — free support vectors,
+//! * `I1 = {y = +1, α = 0}`, `I2 = {y = −1, α = C}` — participate only in
+//!   the `β_up` (minimum) scan,
+//! * `I3 = {y = +1, α = C}`, `I4 = {y = −1, α = 0}` — participate only in
+//!   the `β_low` (maximum) scan.
+//!
+//! Bound comparisons use a relative tolerance so that clipping residue of
+//! order machine-epsilon never misclassifies a bound sample (libsvm does
+//! the same).
+
+/// Which of the paper's five index sets a sample is in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexSet {
+    /// Free support vector (`0 < α < C`).
+    I0,
+    /// `y = +1, α = 0`.
+    I1,
+    /// `y = −1, α = C`.
+    I2,
+    /// `y = +1, α = C`.
+    I3,
+    /// `y = −1, α = 0`.
+    I4,
+}
+
+/// Tolerance used for `α = 0` / `α = C` bound tests.
+#[inline]
+pub fn bound_tol(c: f64) -> f64 {
+    1e-12 * c.max(1.0)
+}
+
+/// True when `α` sits at the lower bound.
+#[inline]
+pub fn at_lower(alpha: f64, c: f64) -> bool {
+    alpha <= bound_tol(c)
+}
+
+/// True when `α` sits at the upper bound `C`.
+#[inline]
+pub fn at_upper(alpha: f64, c: f64) -> bool {
+    alpha >= c - bound_tol(c)
+}
+
+/// Membership in the `β_up` scan set `I0 ∪ I1 ∪ I2`.
+#[inline]
+pub fn in_up_set(y: f64, alpha: f64, c: f64) -> bool {
+    if y > 0.0 {
+        !at_upper(alpha, c)
+    } else {
+        !at_lower(alpha, c)
+    }
+}
+
+/// Membership in the `β_low` scan set `I0 ∪ I3 ∪ I4`.
+#[inline]
+pub fn in_low_set(y: f64, alpha: f64, c: f64) -> bool {
+    if y > 0.0 {
+        !at_lower(alpha, c)
+    } else {
+        !at_upper(alpha, c)
+    }
+}
+
+/// Full classification into `I0..I4`.
+pub fn classify(y: f64, alpha: f64, c: f64) -> IndexSet {
+    let lo = at_lower(alpha, c);
+    let hi = at_upper(alpha, c);
+    match (y > 0.0, lo, hi) {
+        (_, false, false) => IndexSet::I0,
+        (true, true, _) => IndexSet::I1,
+        (false, _, true) => IndexSet::I2,
+        (true, _, true) => IndexSet::I3,
+        (false, true, _) => IndexSet::I4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: f64 = 10.0;
+
+    #[test]
+    fn classification_covers_eq4() {
+        assert_eq!(classify(1.0, 5.0, C), IndexSet::I0);
+        assert_eq!(classify(-1.0, 5.0, C), IndexSet::I0);
+        assert_eq!(classify(1.0, 0.0, C), IndexSet::I1);
+        assert_eq!(classify(-1.0, C, C), IndexSet::I2);
+        assert_eq!(classify(1.0, C, C), IndexSet::I3);
+        assert_eq!(classify(-1.0, 0.0, C), IndexSet::I4);
+    }
+
+    #[test]
+    fn up_low_membership_matches_union_definitions() {
+        for (y, alpha) in [
+            (1.0, 0.0),
+            (1.0, 5.0),
+            (1.0, C),
+            (-1.0, 0.0),
+            (-1.0, 5.0),
+            (-1.0, C),
+        ] {
+            let set = classify(y, alpha, C);
+            let in_up = matches!(set, IndexSet::I0 | IndexSet::I1 | IndexSet::I2);
+            let in_low = matches!(set, IndexSet::I0 | IndexSet::I3 | IndexSet::I4);
+            assert_eq!(in_up_set(y, alpha, C), in_up, "y={y} a={alpha}");
+            assert_eq!(in_low_set(y, alpha, C), in_low, "y={y} a={alpha}");
+        }
+    }
+
+    #[test]
+    fn every_sample_is_in_at_least_one_scan_set() {
+        for y in [1.0, -1.0] {
+            for alpha in [0.0, 1e-15, 3.0, C - 1e-15, C] {
+                assert!(
+                    in_up_set(y, alpha, C) || in_low_set(y, alpha, C),
+                    "y={y} a={alpha} in neither set"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tolerance_absorbs_clipping_residue() {
+        // residue from floating-point clipping must classify as bound
+        assert!(at_lower(1e-14, C));
+        assert!(at_upper(C - 1e-14, C));
+        assert_eq!(classify(1.0, 1e-14, C), IndexSet::I1);
+        assert_eq!(classify(1.0, C - 1e-14, C), IndexSet::I3);
+    }
+
+    #[test]
+    fn free_region_is_exclusive() {
+        assert!(!at_lower(0.5, C) && !at_upper(0.5, C));
+        assert_eq!(classify(-1.0, 0.5, C), IndexSet::I0);
+    }
+}

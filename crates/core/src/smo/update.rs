@@ -1,0 +1,231 @@
+//! The two-variable analytical solve — Eq. (6)/(7) of the paper.
+//!
+//! Given the maximal violating pair `(i_up, i_low)`, the dual subproblem in
+//! `(α_up, α_low)` has the closed form
+//!
+//! ```text
+//! ρ = 2K_ul − K_uu − K_ll            (Eq. 7; ρ < 0 for PD kernels)
+//! α_low' = α_low − y_low (γ_up − γ_low)/ρ
+//! α_up'  = α_up  + y_up y_low (α_low − α_low')
+//! ```
+//!
+//! `α_low'` must then be clipped so both variables stay in `[0, C]` while
+//! preserving the equality constraint `Σ αᵢ yᵢ = 0`. When `ρ` degenerates
+//! (`ρ ≥ −τ`, possible with duplicate samples), the curvature is floored at
+//! `τ` — Platt's fallback case referenced in §III.
+
+/// Result of one pair solve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairSolution {
+    /// New `α` for the up sample, clipped.
+    pub alpha_up: f64,
+    /// New `α` for the low sample, clipped.
+    pub alpha_low: f64,
+    /// `α_up' − α_up`.
+    pub delta_up: f64,
+    /// `α_low' − α_low`.
+    pub delta_low: f64,
+}
+
+impl PairSolution {
+    /// True when the step moved neither variable (numerical stall signal).
+    pub fn is_null(&self) -> bool {
+        self.delta_up == 0.0 && self.delta_low == 0.0
+    }
+}
+
+/// Solve the two-variable subproblem.
+///
+/// Arguments are the pair's labels, current multipliers, gradients
+/// (`γ = f(x) − y`), the three kernel values, the box constraint and the
+/// degeneracy floor `tau`. Both samples share the bound `c`; use
+/// [`solve_pair_weighted`] for per-class bounds.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_pair(
+    y_up: f64,
+    y_low: f64,
+    alpha_up: f64,
+    alpha_low: f64,
+    g_up: f64,
+    g_low: f64,
+    k_uu: f64,
+    k_ll: f64,
+    k_ul: f64,
+    c: f64,
+    tau: f64,
+) -> PairSolution {
+    solve_pair_weighted(
+        y_up, y_low, alpha_up, alpha_low, g_up, g_low, k_uu, k_ll, k_ul, c, c, tau,
+    )
+}
+
+/// [`solve_pair`] with distinct box constraints for the two samples
+/// (class-weighted SVM: `C_i = C · w_{y_i}`). The feasible segment for
+/// `α_low` is derived from the conservation law and both caps.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_pair_weighted(
+    y_up: f64,
+    y_low: f64,
+    alpha_up: f64,
+    alpha_low: f64,
+    g_up: f64,
+    g_low: f64,
+    k_uu: f64,
+    k_ll: f64,
+    k_ul: f64,
+    c_up: f64,
+    c_low: f64,
+    tau: f64,
+) -> PairSolution {
+    // η = −ρ = K_uu + K_ll − 2K_ul ≥ 0 for PSD kernels.
+    let mut eta = k_uu + k_ll - 2.0 * k_ul;
+    if eta < tau {
+        eta = tau;
+    }
+    let s = y_up * y_low;
+
+    let unclipped = alpha_low + y_low * (g_up - g_low) / eta;
+
+    // Feasible segment for α_low given the equality constraint.
+    let (lo, hi) = if s > 0.0 {
+        // α_up + α_low conserved
+        let k = alpha_up + alpha_low;
+        ((k - c_up).max(0.0), k.min(c_low))
+    } else {
+        // α_low − α_up conserved
+        let k = alpha_low - alpha_up;
+        (k.max(0.0), (c_up + k).min(c_low))
+    };
+    let new_low = unclipped.clamp(lo, hi);
+    let mut new_up = alpha_up + s * (alpha_low - new_low);
+    // guard fp residue
+    new_up = new_up.clamp(0.0, c_up);
+
+    PairSolution {
+        alpha_up: new_up,
+        alpha_low: new_low,
+        delta_up: new_up - alpha_up,
+        delta_low: new_low - alpha_low,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: f64 = 1.0;
+    const TAU: f64 = 1e-12;
+
+    #[test]
+    fn textbook_two_point_problem_converges_in_one_step() {
+        // x1=(1,0) y=+1, x2=(0,1) y=-1, linear kernel.
+        // γ init: γ1=-1, γ2=+1; pair (up=1, low=2).
+        let sol = solve_pair(1.0, -1.0, 0.0, 0.0, -1.0, 1.0, 1.0, 1.0, 0.0, C, TAU);
+        assert!((sol.alpha_low - 1.0).abs() < 1e-15);
+        assert!((sol.alpha_up - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn equality_constraint_is_preserved() {
+        // Σ αᵢyᵢ must not change: y_up·Δup + y_low·Δlow = 0.
+        for (y_up, y_low) in [(1.0, -1.0), (1.0, 1.0), (-1.0, 1.0), (-1.0, -1.0)] {
+            for (au, al) in [(0.0, 0.0), (0.3, 0.7), (0.0, 1.0), (0.9, 0.1)] {
+                let sol = solve_pair(y_up, y_low, au, al, -2.0, 1.5, 1.0, 1.0, 0.2, C, TAU);
+                let drift = y_up * sol.delta_up + y_low * sol.delta_low;
+                assert!(drift.abs() < 1e-12, "drift {drift} for y=({y_up},{y_low}) a=({au},{al})");
+            }
+        }
+    }
+
+    #[test]
+    fn solution_stays_in_box() {
+        let grids = [-5.0, -1.0, -0.1, 0.0, 0.1, 1.0, 5.0];
+        for &g_up in &grids {
+            for &g_low in &grids {
+                for (au, al) in [(0.0, 0.0), (0.5, 0.5), (1.0, 0.0), (0.2, 0.9)] {
+                    for (yu, yl) in [(1.0, -1.0), (1.0, 1.0), (-1.0, -1.0), (-1.0, 1.0)] {
+                        let sol =
+                            solve_pair(yu, yl, au, al, g_up, g_low, 1.0, 1.0, 0.3, C, TAU);
+                        assert!((0.0..=C).contains(&sol.alpha_up), "{sol:?}");
+                        assert!((0.0..=C).contains(&sol.alpha_low), "{sol:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn violating_pair_always_progresses() {
+        // When g_up < g_low (a violation) and the pair is scan-eligible,
+        // the step must strictly move α_low in its feasible direction.
+        // y_low = +1, α_low interior → movable down; y_low picked so the
+        // update direction is feasible.
+        let sol = solve_pair(1.0, 1.0, 0.0, 0.5, -1.0, 1.0, 1.0, 1.0, 0.0, C, TAU);
+        assert!(sol.delta_low < 0.0);
+        assert!(!sol.is_null());
+    }
+
+    #[test]
+    fn clipping_binds_at_box_edges() {
+        // huge violation, α_low already near the feasible edge
+        let sol = solve_pair(1.0, -1.0, 0.0, 0.9, -100.0, 100.0, 1.0, 1.0, 0.0, C, TAU);
+        // s = -1: k = 0.9; hi = min(C, C + 0.9) = 1.0
+        assert_eq!(sol.alpha_low, 1.0);
+        assert!((sol.alpha_up - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn degenerate_curvature_uses_tau_floor() {
+        // identical samples: η = 0; update must remain finite and in-box.
+        let sol = solve_pair(1.0, -1.0, 0.0, 0.0, -1.0, 1.0, 1.0, 1.0, 1.0, C, TAU);
+        assert!(sol.alpha_low.is_finite());
+        assert!((0.0..=C).contains(&sol.alpha_low));
+        // with a tiny floor the step slams into the box edge
+        assert_eq!(sol.alpha_low, C);
+    }
+
+    #[test]
+    fn null_step_when_box_blocks() {
+        // α_low at its feasible maximum already and update pushes further up.
+        let sol = solve_pair(-1.0, 1.0, 0.0, 0.0, -1.0, 1.0, 1.0, 1.0, 0.0, C, TAU);
+        // y_low=+1: α_low' = 0 + (-2)/2 = -1 → clipped to lo.
+        // s = -1: k = 0; lo = 0 → α_low' = 0: null step.
+        assert!(sol.is_null());
+    }
+
+    #[test]
+    fn same_class_pair_conserves_sum() {
+        let sol = solve_pair(1.0, 1.0, 0.4, 0.6, -3.0, 2.0, 1.0, 1.0, 0.1, C, TAU);
+        assert!(((sol.alpha_up + sol.alpha_low) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_caps_bind_independently() {
+        // c_up = 2, c_low = 0.5: a same-class transfer must respect both.
+        let sol = solve_pair_weighted(
+            1.0, 1.0, 1.5, 0.3, -9.0, 9.0, 1.0, 1.0, 0.0, 2.0, 0.5, TAU,
+        );
+        assert!(sol.alpha_up <= 2.0 + 1e-15);
+        assert!(sol.alpha_low <= 0.5 + 1e-15);
+        // conservation: sum preserved
+        assert!(((sol.alpha_up + sol.alpha_low) - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_reduces_to_plain_when_equal() {
+        let a = solve_pair(1.0, -1.0, 0.2, 0.4, -1.0, 2.0, 1.0, 1.0, 0.3, 1.0, TAU);
+        let b = solve_pair_weighted(1.0, -1.0, 0.2, 0.4, -1.0, 2.0, 1.0, 1.0, 0.3, 1.0, 1.0, TAU);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weighted_opposite_class_cap() {
+        // s = -1: α_low can rise to min(c_low, c_up + k)
+        let sol = solve_pair_weighted(
+            1.0, -1.0, 0.0, 0.0, -5.0, 5.0, 1.0, 1.0, 0.0, 0.25, 1.0, TAU,
+        );
+        // α_up' = α_up + s(α_low − α_low') = α_low' must stay ≤ c_up = 0.25
+        assert!(sol.alpha_up <= 0.25 + 1e-15);
+        assert_eq!(sol.alpha_low, 0.25);
+    }
+}

@@ -1,0 +1,200 @@
+//! Execution traces of a training run.
+//!
+//! A [`Trace`] records what the performance projector
+//! ([`crate::perfmodel`]) needs to model the run at any process count:
+//! the iteration count, the *sum over iterations of the global active-set
+//! size* (which divided by `p` is each rank's γ-update work), and every
+//! gradient-reconstruction event with the volumes it moved. A sampled
+//! active-set curve is kept for reports like the paper's §V-D3/D4
+//! narratives ("shrinking continues almost to convergence", "75% of
+//! iterations ran with 20% of samples active").
+
+/// One gradient-reconstruction event (Algorithm 3 invocation).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReconEvent {
+    /// Global iteration index at which reconstruction ran.
+    pub at_iteration: u64,
+    /// Globally shrunk samples whose gradients were recomputed (and which
+    /// were reactivated).
+    pub reactivated: u64,
+    /// Samples with `α > 0` circulated around the ring.
+    pub sv_count: u64,
+    /// Total payload bytes circulated (sum over ranks of their block).
+    pub sv_bytes: u64,
+}
+
+/// Merged (global) trace of one training run.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Global sample count.
+    pub n: u64,
+    /// Mean stored entries per sample.
+    pub mean_row_nnz: f64,
+    /// Total SMO iterations.
+    pub iterations: u64,
+    /// `Σ_t A_t`: the global active-set size summed over iterations.
+    pub sum_active: u128,
+    /// Reconstruction events, in order.
+    pub recon_events: Vec<ReconEvent>,
+    /// Sampled `(iteration, global active count)` pairs (recorded at every
+    /// shrink pass and reconstruction).
+    pub active_curve: Vec<(u64, u64)>,
+    /// Whether the run reached optimality.
+    pub converged: bool,
+    /// Final `β_low − β_up`.
+    pub final_gap: f64,
+}
+
+impl Trace {
+    /// Mean active-set size per iteration (equals `n` for no-shrinking
+    /// runs).
+    pub fn mean_active(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.sum_active as f64 / self.iterations as f64
+        }
+    }
+
+    /// Fraction of γ-update work eliminated by shrinking, relative to a
+    /// run that kept every sample active.
+    pub fn work_saved(&self) -> f64 {
+        let full = self.n as u128 * self.iterations as u128;
+        if full == 0 {
+            0.0
+        } else {
+            1.0 - self.sum_active as f64 / full as f64
+        }
+    }
+
+    /// Fraction of iterations during which at most `frac·n` samples were
+    /// active (from the sampled curve; the §V-D4 "75% of iterations had
+    /// ≤ 20% active" style statistic). Returns `None` when the curve has
+    /// fewer than two points.
+    pub fn fraction_of_iterations_below(&self, frac: f64) -> Option<f64> {
+        if self.active_curve.len() < 2 || self.iterations == 0 {
+            return None;
+        }
+        let threshold = self.n as f64 * frac;
+        let mut below = 0u64;
+        // treat each curve segment as constant at its left endpoint
+        for w in self.active_curve.windows(2) {
+            if (w[0].1 as f64) <= threshold {
+                below += w[1].0 - w[0].0;
+            }
+        }
+        // tail segment to the end of the run
+        if let Some(&(it, a)) = self.active_curve.last() {
+            if (a as f64) <= threshold {
+                below += self.iterations.saturating_sub(it);
+            }
+        }
+        Some(below as f64 / self.iterations as f64)
+    }
+}
+
+/// Per-rank trace fragment, merged by the driver into a [`Trace`].
+#[derive(Clone, Debug, Default)]
+pub struct RankTrace {
+    /// `Σ_t` (local active count) on this rank.
+    pub sum_active_local: u128,
+    /// Iterations this rank executed (identical on every rank).
+    pub iterations: u64,
+    /// Reconstruction events (identical on every rank — all fields come
+    /// from allreduced values).
+    pub recon_events: Vec<ReconEvent>,
+    /// Sampled global active counts (identical on every rank).
+    pub active_curve: Vec<(u64, u64)>,
+    /// Local kernel-evaluation count.
+    pub kernel_evals: u64,
+}
+
+/// Merge per-rank fragments (summing local fields, taking global fields
+/// from rank 0).
+pub fn merge_rank_traces(
+    ranks: &[RankTrace],
+    n: u64,
+    mean_row_nnz: f64,
+    converged: bool,
+    final_gap: f64,
+) -> Trace {
+    assert!(!ranks.is_empty());
+    let sum_active = ranks.iter().map(|r| r.sum_active_local).sum();
+    Trace {
+        n,
+        mean_row_nnz,
+        iterations: ranks[0].iterations,
+        sum_active,
+        recon_events: ranks[0].recon_events.clone(),
+        active_curve: ranks[0].active_curve.clone(),
+        converged,
+        final_gap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_active_and_work_saved() {
+        let t = Trace {
+            n: 100,
+            iterations: 10,
+            sum_active: 500, // mean 50 of 100 → half the work saved
+            ..Default::default()
+        };
+        assert_eq!(t.mean_active(), 50.0);
+        assert!((t.work_saved() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_iteration_trace_is_safe() {
+        let t = Trace::default();
+        assert_eq!(t.mean_active(), 0.0);
+        assert_eq!(t.work_saved(), 0.0);
+        assert!(t.fraction_of_iterations_below(0.5).is_none());
+    }
+
+    #[test]
+    fn fraction_below_integrates_curve() {
+        let t = Trace {
+            n: 100,
+            iterations: 100,
+            active_curve: vec![(0, 100), (25, 10), (75, 5)],
+            ..Default::default()
+        };
+        // [0,25): 100 active (above 20%); [25,75): 10 (below); [75,100): 5 (below)
+        let f = t.fraction_of_iterations_below(0.2).unwrap();
+        assert!((f - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_local_and_keeps_global() {
+        let r0 = RankTrace {
+            sum_active_local: 30,
+            iterations: 7,
+            recon_events: vec![ReconEvent {
+                at_iteration: 5,
+                reactivated: 4,
+                sv_count: 2,
+                sv_bytes: 64,
+            }],
+            active_curve: vec![(5, 6)],
+            kernel_evals: 10,
+        };
+        let r1 = RankTrace {
+            sum_active_local: 12,
+            iterations: 7,
+            recon_events: r0.recon_events.clone(),
+            active_curve: r0.active_curve.clone(),
+            kernel_evals: 11,
+        };
+        let t = merge_rank_traces(&[r0, r1], 10, 3.5, true, 1e-4);
+        assert_eq!(t.sum_active, 42);
+        assert_eq!(t.iterations, 7);
+        assert_eq!(t.recon_events.len(), 1);
+        assert_eq!(t.n, 10);
+        assert!(t.converged);
+    }
+}

@@ -1,0 +1,150 @@
+//! Classic low-dimensional toy problems (blobs, XOR, rings).
+//!
+//! These need a *nonlinear* kernel to solve — they exercise the RBF path in
+//! tests and examples the way Figure 1 of the paper illustrates a two-class
+//! cloud with few support vectors.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use shrinksvm_sparse::{CsrBuilder, Dataset};
+
+/// Standard-normal draw via Box-Muller (keeps the dependency surface to
+/// `rand`'s uniform core).
+fn normal(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn build(points: Vec<(Vec<f64>, f64)>, dim: usize) -> Dataset {
+    let mut b = CsrBuilder::new(dim);
+    let mut y = Vec::with_capacity(points.len());
+    let mut idx = Vec::new();
+    let mut val = Vec::new();
+    for (p, label) in points {
+        idx.clear();
+        val.clear();
+        for (c, v) in p.iter().enumerate() {
+            if *v != 0.0 {
+                idx.push(c as u32);
+                val.push(*v);
+            }
+        }
+        b.push_row(&idx, &val).expect("well-formed row");
+        y.push(label);
+    }
+    Dataset::new(b.finish(), y).expect("labels ±1")
+}
+
+/// Two Gaussian blobs in `dim` dimensions, means at `±separation/2` along
+/// the first axis, unit variance. Linearly separable when `separation` is
+/// large.
+pub fn two_blobs(n: usize, dim: usize, separation: f64, seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts = (0..n)
+        .map(|i| {
+            let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let mut p: Vec<f64> = (0..dim).map(|_| normal(&mut rng)).collect();
+            p[0] += y * separation / 2.0;
+            (p, y)
+        })
+        .collect();
+    build(pts, dim)
+}
+
+/// The XOR problem: four Gaussian clusters at `(±1, ±1)`, label = product of
+/// the corner signs. Not linearly separable — an RBF kernel is required.
+pub fn xor(n: usize, spread: f64, seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts = (0..n)
+        .map(|i| {
+            let cx = if (i / 2) % 2 == 0 { 1.0 } else { -1.0 };
+            let cy = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let p = vec![cx + spread * normal(&mut rng), cy + spread * normal(&mut rng)];
+            (p, cx * cy)
+        })
+        .collect();
+    build(pts, 2)
+}
+
+/// Two concentric rings: inner radius `r`, outer radius `2r` (labels
+/// +1/−1) with radial jitter. Also requires a nonlinear kernel.
+pub fn rings(n: usize, r: f64, jitter: f64, seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts = (0..n)
+        .map(|i| {
+            let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let radius = if y > 0.0 { r } else { 2.0 * r } + jitter * normal(&mut rng);
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            (vec![radius * theta.cos(), radius * theta.sin()], y)
+        })
+        .collect();
+    build(pts, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_shape_and_balance() {
+        let ds = two_blobs(100, 5, 4.0, 1);
+        assert_eq!(ds.len(), 100);
+        assert_eq!(ds.x.ncols(), 5);
+        let (p, n) = ds.class_counts();
+        assert_eq!(p, n);
+    }
+
+    #[test]
+    fn blobs_separate_along_first_axis() {
+        let ds = two_blobs(400, 3, 8.0, 2);
+        let mut pos_mean = 0.0;
+        let mut neg_mean = 0.0;
+        for i in 0..ds.len() {
+            let v = ds.x.row(i).get(0);
+            if ds.y[i] > 0.0 {
+                pos_mean += v;
+            } else {
+                neg_mean += v;
+            }
+        }
+        assert!(pos_mean / 200.0 > 2.0);
+        assert!(neg_mean / 200.0 < -2.0);
+    }
+
+    #[test]
+    fn xor_is_not_linearly_separable() {
+        let ds = xor(200, 0.1, 3);
+        // any linear rule on raw coords misclassifies ~half; verify signs of
+        // the coordinate product correlate with labels instead
+        let mut agree = 0;
+        for i in 0..ds.len() {
+            let r = ds.x.row(i);
+            let prod = r.get(0) * r.get(1);
+            if prod.signum() == ds.y[i] {
+                agree += 1;
+            }
+        }
+        assert!(agree > 190, "xor structure broken: {agree}/200");
+    }
+
+    #[test]
+    fn rings_have_distinct_radii() {
+        let ds = rings(200, 1.0, 0.05, 4);
+        for i in 0..ds.len() {
+            let r = ds.x.row(i).squared_norm().sqrt();
+            if ds.y[i] > 0.0 {
+                assert!(r < 1.5, "inner point at {r}");
+            } else {
+                assert!(r > 1.5, "outer point at {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = xor(50, 0.2, 9);
+        let b = xor(50, 0.2, 9);
+        assert_eq!(a.x, b.x);
+    }
+}

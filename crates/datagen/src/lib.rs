@@ -1,0 +1,29 @@
+//! Synthetic dataset substrate.
+//!
+//! The paper evaluates on ten datasets downloaded from the libsvm page
+//! (UCI HIGGS, Offending URL, Forest/covtype, real-sim, MNIST, cod-rna,
+//! a9a, w7a, USPS, Mushrooms, RCV1). Those files are not available here and
+//! would be far too large for this host anyway, so this crate builds
+//! *controlled synthetic analogs*: a planted-boundary generator
+//! ([`planted`]) that lets every property the paper's phenomena depend on —
+//! sample count, dimensionality, sparsity, the fraction of samples that end
+//! up as support vectors, and label noise — be dialed in explicitly, plus
+//! one preset per paper dataset ([`paper`]) with the hyper-parameters of
+//! Table III.
+//!
+//! The reproduction argument: shrinking's benefit is governed by how many
+//! samples are *not* support vectors and how quickly their gradients leave
+//! the `[β_up, β_low]` bracket; both are functions of the margin
+//! distribution and noise rate, which the generator controls directly.
+//! Dataset *sizes* are scaled down to laptop scale; `EXPERIMENTS.md`
+//! records the substitution per experiment.
+//!
+//! [`gaussian`] adds classic nonlinear toy sets (blobs, XOR, rings) used by
+//! examples and tests that need problems where an RBF kernel is essential.
+
+pub mod gaussian;
+pub mod paper;
+pub mod planted;
+
+pub use paper::{PaperData, PaperDataset};
+pub use planted::{FeatureStyle, PlantedConfig};

@@ -1,0 +1,379 @@
+//! Presets mirroring the paper's evaluation datasets (Table III + the
+//! smaller sets of Table IV), scaled to laptop size.
+//!
+//! Each preset keeps the *character* of its namesake — dimensionality,
+//! sparsity style, test-split availability, approximate support-vector
+//! fraction and noise level — and carries the paper's hyper-parameters
+//! (`C`, `σ²` from Table III; literature-typical values for the three
+//! smaller sets Table III omits). Sample counts are `base × scale`; the
+//! default `scale = 1.0` sizes every experiment to minutes on one core.
+
+use crate::planted::{FeatureStyle, PlantedConfig};
+use shrinksvm_sparse::Dataset;
+
+/// The ten evaluation datasets of the paper (plus RCV1 from Table IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PaperDataset {
+    /// UCI HIGGS (paper: 2.6M × 28 dense; hard, noisy physics data).
+    Higgs,
+    /// Offending URL (paper: 2.3M × 3.2M sparse binary; very separable).
+    Url,
+    /// Forest covtype (paper: 581k × 54 dense; gradual shrinking).
+    Forest,
+    /// real-sim (paper: 72.3k × ~21k sparse tf-idf).
+    RealSim,
+    /// MNIST 8-vs-rest (paper: 60k × 780, with a 10k test set).
+    Mnist,
+    /// cod-rna (paper: 59.5k × 8 dense, 271k test set).
+    CodRna,
+    /// Adult-9 / a9a (paper: 32.6k × 123 binary, 16.3k test set).
+    Adult9,
+    /// Web w7a (paper: 24.7k × 300 binary, 25.1k test set).
+    W7a,
+    /// USPS (Table IV; 7.3k × 256 dense).
+    Usps,
+    /// Mushrooms (Table IV; 8.1k × 112 binary, perfectly separable).
+    Mushrooms,
+    /// RCV1 (Table IV; 20.2k × 47k sparse tf-idf).
+    Rcv1,
+}
+
+/// A generated analog: train split, optional test split, paper
+/// hyper-parameters and bookkeeping for reports.
+#[derive(Clone, Debug)]
+pub struct PaperData {
+    /// Dataset identity.
+    pub which: PaperDataset,
+    /// Display name matching the paper's tables.
+    pub name: &'static str,
+    /// Training split.
+    pub train: Dataset,
+    /// Test split where the paper's dataset ships one (Table III/V).
+    pub test: Option<Dataset>,
+    /// Regularization `C` (Table III).
+    pub c: f64,
+    /// Gaussian kernel width `σ²` (Table III).
+    pub sigma_sq: f64,
+    /// The original dataset's training-set size, for the scale-down record.
+    pub paper_train_size: usize,
+}
+
+struct Preset {
+    name: &'static str,
+    base_train: usize,
+    base_test: usize,
+    dim: usize,
+    nnz: usize,
+    style: FeatureStyle,
+    sv_fraction: f64,
+    noise: f64,
+    c: f64,
+    sigma_sq: f64,
+    target_norm: Option<f64>,
+    feature_skew: f64,
+    margin_scale: f64,
+    paper_train_size: usize,
+}
+
+impl PaperDataset {
+    /// Every preset, in the order the paper's tables list them.
+    pub fn all() -> [PaperDataset; 11] {
+        use PaperDataset::*;
+        [
+            Higgs, Url, Forest, RealSim, Mnist, CodRna, Adult9, W7a, Usps, Mushrooms, Rcv1,
+        ]
+    }
+
+    /// The four "large" datasets used by Figure 8.
+    pub fn large_four() -> [PaperDataset; 4] {
+        use PaperDataset::*;
+        [Higgs, Url, Forest, RealSim]
+    }
+
+    fn preset(self) -> Preset {
+        use FeatureStyle::*;
+        match self {
+            PaperDataset::Higgs => Preset {
+                name: "Higgs Boson",
+                base_train: 6000,
+                base_test: 0,
+                dim: 28,
+                nnz: 28,
+                style: Dense,
+                sv_fraction: 0.40,
+                noise: 0.08,
+                c: 32.0,
+                sigma_sq: 64.0,
+                target_norm: None,
+                feature_skew: 0.0,
+                margin_scale: 1.0,
+                paper_train_size: 2_600_000,
+            },
+            PaperDataset::Url => Preset {
+                name: "Offending URL",
+                base_train: 6000,
+                base_test: 0,
+                dim: 50_000,
+                nnz: 40,
+                style: SparseBinary,
+                sv_fraction: 0.04,
+                noise: 0.03,
+                c: 10.0,
+                sigma_sq: 4.0,
+                target_norm: Some(3.27),
+                feature_skew: 4.0,
+                margin_scale: 2.5,
+                paper_train_size: 2_300_000,
+            },
+            PaperDataset::Forest => Preset {
+                name: "Forest",
+                base_train: 5000,
+                base_test: 0,
+                dim: 54,
+                nnz: 54,
+                style: Dense,
+                sv_fraction: 0.25,
+                noise: 0.08,
+                c: 10.0,
+                sigma_sq: 4.0,
+                target_norm: Some(3.27),
+                feature_skew: 0.0,
+                margin_scale: 2.5,
+                paper_train_size: 581_012,
+            },
+            PaperDataset::RealSim => Preset {
+                name: "real-sim",
+                base_train: 4000,
+                base_test: 0,
+                dim: 20_000,
+                nnz: 50,
+                style: SparseContinuous,
+                sv_fraction: 0.10,
+                noise: 0.05,
+                c: 10.0,
+                sigma_sq: 4.0,
+                target_norm: Some(3.27),
+                feature_skew: 4.0,
+                margin_scale: 2.5,
+                paper_train_size: 72_309,
+            },
+            PaperDataset::Mnist => Preset {
+                name: "MNIST",
+                base_train: 3000,
+                base_test: 600,
+                dim: 780,
+                nnz: 150,
+                style: SparseContinuous,
+                sv_fraction: 0.15,
+                noise: 0.04,
+                c: 10.0,
+                sigma_sq: 25.0,
+                target_norm: Some(8.16),
+                feature_skew: 4.0,
+                margin_scale: 2.5,
+                paper_train_size: 60_000,
+            },
+            PaperDataset::CodRna => Preset {
+                name: "cod-rna",
+                base_train: 3000,
+                base_test: 2000,
+                dim: 8,
+                nnz: 8,
+                style: Dense,
+                sv_fraction: 0.30,
+                noise: 0.04,
+                c: 32.0,
+                sigma_sq: 64.0,
+                target_norm: None,
+                feature_skew: 0.0,
+                margin_scale: 1.0,
+                paper_train_size: 59_535,
+            },
+            PaperDataset::Adult9 => Preset {
+                name: "Adult-9 (a9a)",
+                base_train: 2500,
+                base_test: 1200,
+                dim: 123,
+                nnz: 14,
+                style: SparseBinary,
+                sv_fraction: 0.35,
+                noise: 0.08,
+                c: 32.0,
+                sigma_sq: 64.0,
+                target_norm: None,
+                feature_skew: 0.0,
+                margin_scale: 1.0,
+                paper_train_size: 32_561,
+            },
+            PaperDataset::W7a => Preset {
+                name: "Web (w7a)",
+                base_train: 2000,
+                base_test: 1000,
+                dim: 300,
+                nnz: 12,
+                style: SparseBinary,
+                sv_fraction: 0.06,
+                noise: 0.015,
+                c: 32.0,
+                sigma_sq: 64.0,
+                target_norm: None,
+                feature_skew: 2.5,
+                margin_scale: 1.0,
+                paper_train_size: 24_692,
+            },
+            PaperDataset::Usps => Preset {
+                name: "USPS",
+                base_train: 1400,
+                base_test: 400,
+                dim: 256,
+                nnz: 256,
+                style: Dense,
+                sv_fraction: 0.25,
+                noise: 0.04,
+                c: 10.0,
+                sigma_sq: 8.0,
+                target_norm: Some(4.62),
+                feature_skew: 0.0,
+                margin_scale: 2.5,
+                paper_train_size: 7_291,
+            },
+            PaperDataset::Mushrooms => Preset {
+                name: "Mushrooms",
+                base_train: 1600,
+                base_test: 0,
+                dim: 112,
+                nnz: 22,
+                style: SparseBinary,
+                sv_fraction: 0.05,
+                noise: 0.0,
+                c: 10.0,
+                sigma_sq: 4.0,
+                target_norm: Some(3.27),
+                feature_skew: 2.5,
+                margin_scale: 2.5,
+                paper_train_size: 8_124,
+            },
+            PaperDataset::Rcv1 => Preset {
+                name: "RCV1",
+                base_train: 3000,
+                base_test: 0,
+                dim: 30_000,
+                nnz: 60,
+                style: SparseContinuous,
+                sv_fraction: 0.08,
+                noise: 0.05,
+                c: 10.0,
+                sigma_sq: 4.0,
+                target_norm: Some(3.27),
+                feature_skew: 4.0,
+                margin_scale: 2.5,
+                paper_train_size: 20_242,
+            },
+        }
+    }
+
+    /// Display name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        self.preset().name
+    }
+
+    /// Generate the analog at `scale ×` the base sample counts (minimum 64
+    /// train samples). Deterministic per dataset.
+    pub fn generate(self, scale: f64) -> PaperData {
+        assert!(scale > 0.0, "scale must be positive");
+        let p = self.preset();
+        let n_train = ((p.base_train as f64 * scale) as usize).max(64);
+        let n_test = (p.base_test as f64 * scale) as usize;
+        let seed = 0x5EED_0000 + self as u64;
+        let cfg = PlantedConfig {
+            n: n_train + n_test,
+            dim: p.dim,
+            nnz_per_row: p.nnz,
+            sv_fraction: p.sv_fraction,
+            label_noise: p.noise,
+            margin_scale: p.margin_scale,
+            style: p.style,
+            target_norm: p.target_norm,
+            feature_skew: p.feature_skew,
+            seed,
+        };
+        let all = cfg.generate();
+        let (train, test) = if n_test > 0 {
+            let (tr, te) = all.split_at(n_train);
+            (tr, Some(te))
+        } else {
+            (all, None)
+        };
+        PaperData {
+            which: self,
+            name: p.name,
+            train,
+            test,
+            c: p.c,
+            sigma_sq: p.sigma_sq,
+            paper_train_size: p.paper_train_size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_generate() {
+        for d in PaperDataset::all() {
+            let data = d.generate(0.05);
+            assert!(data.train.len() >= 64, "{}", data.name);
+            assert!(data.train.x.validate().is_ok());
+            if let Some(t) = &data.test {
+                assert_eq!(t.x.ncols(), data.train.x.ncols());
+            }
+            assert!(data.c > 0.0 && data.sigma_sq > 0.0);
+        }
+    }
+
+    #[test]
+    fn table3_hyperparameters_match_paper() {
+        let h = PaperDataset::Higgs.generate(0.02);
+        assert_eq!((h.c, h.sigma_sq), (32.0, 64.0));
+        let u = PaperDataset::Url.generate(0.02);
+        assert_eq!((u.c, u.sigma_sq), (10.0, 4.0));
+        let m = PaperDataset::Mnist.generate(0.02);
+        assert_eq!((m.c, m.sigma_sq), (10.0, 25.0));
+        let a = PaperDataset::Adult9.generate(0.02);
+        assert_eq!((a.c, a.sigma_sq), (32.0, 64.0));
+    }
+
+    #[test]
+    fn test_splits_follow_table3() {
+        // Table III: test sets exist for MNIST, cod-rna, a9a, w7a (and USPS).
+        assert!(PaperDataset::Mnist.generate(0.05).test.is_some());
+        assert!(PaperDataset::CodRna.generate(0.05).test.is_some());
+        assert!(PaperDataset::Higgs.generate(0.05).test.is_none());
+        assert!(PaperDataset::Url.generate(0.05).test.is_none());
+    }
+
+    #[test]
+    fn url_is_sparse_higgs_is_dense() {
+        let u = PaperDataset::Url.generate(0.05);
+        assert!(u.train.x.density() < 0.01);
+        let h = PaperDataset::Higgs.generate(0.05);
+        assert!(h.train.x.density() > 0.9);
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let small = PaperDataset::Forest.generate(0.02);
+        let big = PaperDataset::Forest.generate(0.1);
+        assert!(big.train.len() > small.train.len() * 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = PaperDataset::W7a.generate(0.1);
+        let b = PaperDataset::W7a.generate(0.1);
+        assert_eq!(a.train.x, b.train.x);
+        assert_eq!(a.train.y, b.train.y);
+    }
+}

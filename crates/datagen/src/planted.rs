@@ -1,0 +1,435 @@
+//! Planted-boundary dataset generator.
+//!
+//! Construction: fix a sparse unit teacher vector `w` and offset `b₀`. For
+//! each sample, draw a random sparse feature vector, pick a class label
+//! `y = ±1` (balanced), pick a *target functional margin* `t > 0` — small
+//! for a configurable fraction of samples (the support-vector candidates),
+//! large for the rest — then shift the sample along `w`'s support so that
+//! `w·x + b₀ = y·t` exactly. Finally flip a configurable fraction of labels
+//! (noise ⇒ bound support vectors at `α = C`).
+//!
+//! The result is a problem whose support-vector fraction, noise level,
+//! sparsity and size are all independent dials — exactly the properties the
+//! paper's shrinking behavior depends on.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use shrinksvm_sparse::{CsrBuilder, Dataset};
+
+/// The distribution feature values are drawn from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FeatureStyle {
+    /// Every feature stored, values uniform in `[-1, 1]` (HIGGS/covtype
+    /// style).
+    Dense,
+    /// Sparse rows whose stored values are all `1.0` (URL/a9a/w7a style
+    /// one-hot data).
+    SparseBinary,
+    /// Sparse rows with positive continuous values in `(0, 1]`
+    /// (real-sim/RCV1 tf-idf style).
+    SparseContinuous,
+}
+
+/// Full recipe for one synthetic dataset.
+#[derive(Clone, Debug)]
+pub struct PlantedConfig {
+    /// Samples to generate.
+    pub n: usize,
+    /// Feature-space dimensionality.
+    pub dim: usize,
+    /// Stored entries per row (ignored for [`FeatureStyle::Dense`], where
+    /// every feature is stored).
+    pub nnz_per_row: usize,
+    /// Fraction of samples given a *small* margin (support-vector
+    /// candidates), in `[0, 1]`.
+    pub sv_fraction: f64,
+    /// Fraction of labels flipped after construction, in `[0, 1)`.
+    pub label_noise: f64,
+    /// Scales all margins; larger ⇒ easier problem.
+    pub margin_scale: f64,
+    /// Value distribution.
+    pub style: FeatureStyle,
+    /// When set, rescale each row to this L2 norm after planting. The
+    /// libsvm-site distributions of URL/real-sim/RCV1 are row-normalized,
+    /// and the paper's cross-validated `σ²` values presuppose feature
+    /// scales the Gaussian kernel resolves; a target norm of
+    /// `≈ 1.63·σ` puts typical pairwise distances in the kernel's
+    /// responsive range.
+    pub target_norm: Option<f64>,
+    /// Power-law skew of sparse feature occurrence (0 = uniform columns).
+    /// Real text-like data (URL, RCV1, real-sim) has Zipf-distributed
+    /// feature frequencies — common features shared by most samples — and
+    /// that overlap is what lets an RBF model generalize with few support
+    /// vectors. A column is drawn as `⌊dim · u^(1+skew)⌋` for `u ∈ (0,1)`.
+    pub feature_skew: f64,
+    /// RNG seed — generation is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl PlantedConfig {
+    /// A tiny well-separated dense problem for doctests and quick demos.
+    pub fn small_demo(seed: u64) -> Self {
+        PlantedConfig {
+            n: 200,
+            dim: 10,
+            nnz_per_row: 10,
+            sv_fraction: 0.2,
+            label_noise: 0.0,
+            margin_scale: 1.0,
+            style: FeatureStyle::Dense,
+            target_norm: None,
+            feature_skew: 0.0,
+            seed,
+        }
+    }
+
+    /// Generate the dataset.
+    pub fn generate(&self) -> Dataset {
+        assert!(self.n > 0 && self.dim > 0, "empty dataset requested");
+        assert!(
+            (0.0..=1.0).contains(&self.sv_fraction),
+            "sv_fraction out of range"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.label_noise),
+            "label_noise out of range"
+        );
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+
+        // Teacher: a sparse unit vector over `support_dim` random columns
+        // (or all columns when dense), plus a small offset.
+        let support_dim = match self.style {
+            FeatureStyle::Dense => self.dim,
+            _ => self.dim.min((self.nnz_per_row * 2).max(8)),
+        };
+        let mut teacher_cols = sample_skewed(&mut rng, self.dim, support_dim, self.feature_skew);
+        teacher_cols.sort_unstable();
+        let mut teacher_vals: Vec<f64> =
+            (0..support_dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let norm: f64 = teacher_vals.iter().map(|v| v * v).sum::<f64>().sqrt();
+        for v in &mut teacher_vals {
+            *v /= norm.max(1e-12);
+        }
+        let b0: f64 = rng.gen_range(-0.1..0.1);
+
+        // Map from column -> teacher component for the shift step.
+        let mut teacher_dense = vec![0.0f64; self.dim];
+        for (c, v) in teacher_cols.iter().zip(&teacher_vals) {
+            teacher_dense[*c as usize] = *v;
+        }
+
+        let mut b = CsrBuilder::new(self.dim);
+        b.reserve(self.n, self.n * self.nnz_per_row.min(self.dim));
+        let mut labels = Vec::with_capacity(self.n);
+        let mut entries: Vec<(u32, f64)> = Vec::new();
+
+        for i in 0..self.n {
+            // Balanced classes: alternate, so exact balance regardless of n.
+            let y: f64 = if i % 2 == 0 { 1.0 } else { -1.0 };
+            entries.clear();
+            match self.style {
+                FeatureStyle::Dense => {
+                    for c in 0..self.dim {
+                        entries.push((c as u32, rng.gen_range(-1.0..1.0)));
+                    }
+                }
+                FeatureStyle::SparseBinary => {
+                    let cols = sample_skewed(
+                        &mut rng,
+                        self.dim,
+                        self.nnz_per_row.min(self.dim),
+                        self.feature_skew,
+                    );
+                    for c in cols {
+                        entries.push((c, 1.0));
+                    }
+                }
+                FeatureStyle::SparseContinuous => {
+                    let cols = sample_skewed(
+                        &mut rng,
+                        self.dim,
+                        self.nnz_per_row.min(self.dim),
+                        self.feature_skew,
+                    );
+                    for c in cols {
+                        entries.push((c, rng.gen_range(0.05..1.0)));
+                    }
+                }
+            }
+
+            // Current functional value and target margin.
+            let s: f64 = entries
+                .iter()
+                .map(|(c, v)| v * teacher_dense[*c as usize])
+                .sum::<f64>()
+                + b0;
+            let near = rng.gen_bool(self.sv_fraction);
+            // Near group: tight margins (support-vector candidates). Far
+            // group: *log-uniform* margins spanning more than an order of
+            // magnitude — real datasets have heavy-tailed margin
+            // distributions, which is what makes samples leave the
+            // [β_up, β_low] bracket progressively (and shrinking passes
+            // productive at any point of the run) rather than all at once
+            // near convergence.
+            let t = if near {
+                rng.gen_range(0.02..0.35)
+            } else {
+                let (lo, hi) = (0.6f64, 15.0f64);
+                rng.gen_range(lo.ln()..hi.ln()).exp()
+            } * self.margin_scale;
+
+            // Shift along the teacher support so w·x + b0 == y * t.
+            // Because ||w|| == 1, adding ((y t − s)) · w achieves it exactly.
+            let delta = y * t - s;
+            if delta != 0.0 {
+                // Merge the shift into the entry list (touches only w's
+                // support). Search only the sorted original prefix; new
+                // columns are appended — teacher columns are distinct, so no
+                // duplicates can arise among the appended tail.
+                entries.sort_unstable_by_key(|e| e.0);
+                let orig_len = entries.len();
+                for (c, wv) in teacher_cols.iter().zip(&teacher_vals) {
+                    if *wv == 0.0 {
+                        continue;
+                    }
+                    match entries[..orig_len].binary_search_by_key(c, |e| e.0) {
+                        Ok(pos) => entries[pos].1 += delta * wv,
+                        Err(_) => entries.push((*c, delta * wv)),
+                    }
+                }
+            }
+            // binary style keeps its one-hot character except on the teacher
+            // support, which is unavoidable if margins are to be planted.
+
+            let noisy = rng.gen_bool(self.label_noise);
+            labels.push(if noisy { -y } else { y });
+            entries.retain(|e| e.1 != 0.0);
+            if let Some(target) = self.target_norm {
+                let norm: f64 = entries.iter().map(|e| e.1 * e.1).sum::<f64>().sqrt();
+                if norm > 0.0 {
+                    let f = target / norm;
+                    for e in &mut entries {
+                        e.1 *= f;
+                    }
+                }
+            }
+            b.push_row_unsorted(std::mem::take(&mut entries))
+                .expect("generated row is well-formed");
+        }
+        Dataset::new(b.finish(), labels).expect("labels are ±1 by construction")
+    }
+}
+
+/// Sample `k` distinct columns with a power-law bias towards low indices
+/// (`skew = 0` falls back to uniform sampling).
+fn sample_skewed(rng: &mut SmallRng, n: usize, k: usize, skew: f64) -> Vec<u32> {
+    if skew <= 0.0 {
+        return sample_distinct(rng, n, k);
+    }
+    debug_assert!(k <= n);
+    let mut out: Vec<u32> = Vec::with_capacity(k);
+    let mut seen = std::collections::HashSet::with_capacity(k * 2);
+    let mut tries = 0usize;
+    while out.len() < k {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let c = ((n as f64) * u.powf(1.0 + skew)) as u32;
+        let c = c.min(n as u32 - 1);
+        if seen.insert(c) {
+            out.push(c);
+        }
+        tries += 1;
+        if tries > 50 * k {
+            // heavy skew with tiny dim: fill the remainder uniformly
+            for c in 0..n as u32 {
+                if out.len() >= k {
+                    break;
+                }
+                if seen.insert(c) {
+                    out.push(c);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Sample `k` distinct values from `0..n` (u32), unordered.
+fn sample_distinct(rng: &mut SmallRng, n: usize, k: usize) -> Vec<u32> {
+    debug_assert!(k <= n);
+    if k * 3 >= n {
+        // dense case: partial Fisher-Yates
+        let mut all: Vec<u32> = (0..n as u32).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            all.swap(i, j);
+        }
+        all.truncate(k);
+        all
+    } else {
+        // sparse case: rejection with a scratch set
+        let mut out = Vec::with_capacity(k);
+        let mut seen = std::collections::HashSet::with_capacity(k * 2);
+        while out.len() < k {
+            let c = rng.gen_range(0..n as u32);
+            if seen.insert(c) {
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn margins(ds: &Dataset, cfg: &PlantedConfig) -> Vec<f64> {
+        // Re-derive w·x for each sample via a fresh run of the teacher isn't
+        // possible from outside; instead verify statistical properties.
+        let _ = cfg;
+        (0..ds.len()).map(|i| ds.x.row(i).squared_norm()).collect()
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        let cfg = PlantedConfig {
+            n: 100,
+            dim: 50,
+            nnz_per_row: 5,
+            sv_fraction: 0.1,
+            label_noise: 0.0,
+            margin_scale: 1.0,
+            style: FeatureStyle::SparseBinary,
+            target_norm: None,
+            feature_skew: 0.0,
+            seed: 1,
+        };
+        let ds = cfg.generate();
+        assert_eq!(ds.len(), 100);
+        assert_eq!(ds.x.ncols(), 50);
+        assert!(ds.x.validate().is_ok());
+        // sparse: far fewer stored entries than dense would have
+        assert!(ds.x.nnz() < 100 * 50 / 2);
+    }
+
+    #[test]
+    fn dense_style_fills_rows() {
+        let cfg = PlantedConfig {
+            n: 20,
+            dim: 8,
+            nnz_per_row: 0, // ignored
+            sv_fraction: 0.3,
+            label_noise: 0.0,
+            margin_scale: 1.0,
+            style: FeatureStyle::Dense,
+            target_norm: None,
+            feature_skew: 0.0,
+            seed: 2,
+        };
+        let ds = cfg.generate();
+        // allow an occasional exact zero, but rows must be essentially dense
+        assert!(ds.x.mean_row_nnz() > 7.0);
+    }
+
+    #[test]
+    fn classes_are_balanced_without_noise() {
+        let ds = PlantedConfig::small_demo(3).generate();
+        let (p, n) = ds.class_counts();
+        assert_eq!(p, n);
+    }
+
+    #[test]
+    fn noise_flips_roughly_the_requested_fraction() {
+        let mut cfg = PlantedConfig::small_demo(4);
+        cfg.n = 2000;
+        cfg.label_noise = 0.2;
+        let noisy = cfg.generate();
+        cfg.label_noise = 0.0;
+        let clean = cfg.generate();
+        let flips = noisy
+            .y
+            .iter()
+            .zip(&clean.y)
+            .filter(|(a, b)| a != b)
+            .count();
+        let frac = flips as f64 / 2000.0;
+        assert!((0.15..0.25).contains(&frac), "flip fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = PlantedConfig::small_demo(9);
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert_eq!(a.y, b.y);
+        assert_eq!(a.x, b.x);
+        let mut cfg2 = cfg.clone();
+        cfg2.seed = 10;
+        let c = cfg2.generate();
+        assert_ne!(a.x, c.x);
+    }
+
+    #[test]
+    fn linearly_separable_when_clean() {
+        // With no noise the planted construction guarantees a separating
+        // hyperplane exists; verify via a quick perceptron sanity run.
+        let cfg = PlantedConfig {
+            n: 300,
+            dim: 12,
+            nnz_per_row: 12,
+            sv_fraction: 0.2,
+            label_noise: 0.0,
+            margin_scale: 1.0,
+            style: FeatureStyle::Dense,
+            target_norm: None,
+            feature_skew: 0.0,
+            seed: 5,
+        };
+        let ds = cfg.generate();
+        let mut w = [0.0f64; 13]; // +1 for bias
+        let mut converged = false;
+        for _ in 0..2000 {
+            let mut errs = 0;
+            for i in 0..ds.len() {
+                let mut s = w[12];
+                for (c, v) in ds.x.row(i).iter() {
+                    s += v * w[c as usize];
+                }
+                if s * ds.y[i] <= 0.0 {
+                    errs += 1;
+                    for (c, v) in ds.x.row(i).iter() {
+                        w[c as usize] += ds.y[i] * v;
+                    }
+                    w[12] += ds.y[i];
+                }
+            }
+            if errs == 0 {
+                converged = true;
+                break;
+            }
+        }
+        assert!(converged, "clean planted data must be linearly separable");
+    }
+
+    #[test]
+    fn margins_smoke() {
+        let cfg = PlantedConfig::small_demo(6);
+        let ds = cfg.generate();
+        let m = margins(&ds, &cfg);
+        assert_eq!(m.len(), ds.len());
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        for (n, k) in [(10usize, 10usize), (1000, 5), (50, 20)] {
+            let s = sample_distinct(&mut rng, n, k);
+            assert_eq!(s.len(), k);
+            let mut d = s.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), k, "duplicates for n={n} k={k}");
+            assert!(d.iter().all(|c| (*c as usize) < n));
+        }
+    }
+}

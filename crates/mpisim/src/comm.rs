@@ -1,0 +1,397 @@
+//! Per-rank communicator: point-to-point layer, nonblocking requests, and
+//! the simulated clock.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crate::cost::CostParams;
+use crate::fabric::{Endpoints, Message};
+use crate::stats::CommStats;
+use crate::MAX_USER_TAG;
+
+/// How long a blocking receive waits for a matching message before the
+/// simulation declares itself deadlocked. Generous: legitimate waits are
+/// bounded by the slowest rank's compute burst.
+const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// A nonblocking-operation handle (`MPI_Request` analog).
+///
+/// Created by [`Comm::isend`] / [`Comm::irecv`], completed by
+/// [`Comm::waitall`].
+#[derive(Debug)]
+pub enum Request {
+    /// A send; complete at creation (the fabric buffers eagerly, like an MPI
+    /// eager-protocol send of a small/medium message).
+    Send,
+    /// A posted receive, matched at wait time.
+    Recv {
+        /// Source rank.
+        src: usize,
+        /// Matching tag.
+        tag: u64,
+    },
+}
+
+/// The per-rank handle to the simulated machine: identity, point-to-point
+/// operations, collectives (in [`crate::collectives`]), the simulated clock
+/// and activity counters.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    endpoints: Endpoints,
+    /// Messages received but not yet matched by tag, per source rank.
+    pending: Vec<VecDeque<Message>>,
+    clock: f64,
+    cost: CostParams,
+    stats: CommStats,
+    pub(crate) coll_seq: u64,
+}
+
+impl Comm {
+    pub(crate) fn new(rank: usize, size: usize, endpoints: Endpoints, cost: CostParams) -> Self {
+        let pending = (0..size).map(|_| VecDeque::new()).collect();
+        Comm {
+            rank,
+            size,
+            endpoints,
+            pending,
+            clock: 0.0,
+            cost,
+            stats: CommStats::default(),
+            coll_seq: 0,
+        }
+    }
+
+    /// This rank's id in `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The simulated clock, in seconds.
+    #[inline]
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// The cost model in force.
+    pub fn cost(&self) -> CostParams {
+        self.cost
+    }
+
+    /// Activity counters so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Charge `secs` of computation to this rank's simulated clock.
+    #[inline]
+    pub fn advance_compute(&mut self, secs: f64) {
+        debug_assert!(secs >= 0.0, "compute time cannot be negative");
+        self.clock += secs;
+        self.stats.compute_time += secs;
+    }
+
+    // ---------------------------------------------------------------- p2p
+
+    /// Blocking-semantics send (buffered, so it never actually blocks —
+    /// MPI's eager protocol).
+    pub fn send(&mut self, dst: usize, tag: u64, payload: &[u8]) {
+        debug_assert!(tag < MAX_USER_TAG, "tag {tag} is in the collective namespace");
+        self.send_internal(dst, tag, payload);
+    }
+
+    pub(crate) fn send_internal(&mut self, dst: usize, tag: u64, payload: &[u8]) {
+        assert!(dst < self.size, "send to rank {dst} of {}", self.size);
+        self.clock += self.cost.send_overhead;
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += payload.len() as u64;
+        self.endpoints.outgoing[dst]
+            .send(Message {
+                tag,
+                payload: payload.to_vec(),
+                depart: self.clock,
+            })
+            .unwrap_or_else(|_| panic!("rank {} vanished (channel closed)", dst));
+    }
+
+    /// Blocking receive of a message with `tag` from `src`.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<u8> {
+        debug_assert!(tag < MAX_USER_TAG, "tag {tag} is in the collective namespace");
+        self.recv_internal(src, tag)
+    }
+
+    pub(crate) fn recv_internal(&mut self, src: usize, tag: u64) -> Vec<u8> {
+        assert!(src < self.size, "recv from rank {src} of {}", self.size);
+        // Check messages already pulled off the channel.
+        if let Some(pos) = self.pending[src].iter().position(|m| m.tag == tag) {
+            let msg = self.pending[src].remove(pos).unwrap();
+            return self.accept(msg);
+        }
+        loop {
+            let msg = self.endpoints.incoming[src]
+                .recv_timeout(DEADLOCK_TIMEOUT)
+                .unwrap_or_else(|_| {
+                    panic!(
+                        "rank {}: deadlock/timeout waiting for tag {tag:#x} from rank {src}",
+                        self.rank
+                    )
+                });
+            if msg.tag == tag {
+                return self.accept(msg);
+            }
+            self.pending[src].push_back(msg);
+        }
+    }
+
+    /// Book a matched message: advance the clock per the cost model and
+    /// return its payload.
+    fn accept(&mut self, msg: Message) -> Vec<u8> {
+        let arrive = msg.depart + self.cost.wire_time(msg.payload.len());
+        if arrive > self.clock {
+            self.stats.comm_time += arrive - self.clock;
+            self.clock = arrive;
+        }
+        self.stats.msgs_recv += 1;
+        self.stats.bytes_recv += msg.payload.len() as u64;
+        msg.payload
+    }
+
+    /// Nonblocking send (`MPI_Isend`).
+    pub fn isend(&mut self, dst: usize, tag: u64, payload: &[u8]) -> Request {
+        self.send(dst, tag, payload);
+        Request::Send
+    }
+
+    /// Post a nonblocking receive (`MPI_Irecv`).
+    pub fn irecv(&mut self, src: usize, tag: u64) -> Request {
+        debug_assert!(tag < MAX_USER_TAG, "tag {tag} is in the collective namespace");
+        Request::Recv { src, tag }
+    }
+
+    /// Complete a batch of requests (`MPI_Waitall`). The returned vector is
+    /// parallel to `reqs`: `Some(payload)` for receives, `None` for sends.
+    pub fn waitall(&mut self, reqs: Vec<Request>) -> Vec<Option<Vec<u8>>> {
+        reqs.into_iter()
+            .map(|r| match r {
+                Request::Send => None,
+                Request::Recv { src, tag } => Some(self.recv_internal(src, tag)),
+            })
+            .collect()
+    }
+
+    /// Simultaneous send+receive with the same partner (`MPI_Sendrecv`);
+    /// safe against head-on exchanges because sends are buffered.
+    pub fn sendrecv(&mut self, partner: usize, tag: u64, payload: &[u8]) -> Vec<u8> {
+        self.send(partner, tag, payload);
+        self.recv(partner, tag)
+    }
+
+    // --------------------------------------------------------- typed sugar
+
+    /// Send a slice of `f64`s.
+    pub fn send_f64s(&mut self, dst: usize, tag: u64, data: &[f64]) {
+        let mut buf = Vec::with_capacity(data.len() * 8);
+        for v in data {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self.send(dst, tag, &buf);
+    }
+
+    /// Receive a slice of `f64`s.
+    pub fn recv_f64s(&mut self, src: usize, tag: u64) -> Vec<f64> {
+        let bytes = self.recv(src, tag);
+        decode_f64s(&bytes)
+    }
+
+    pub(crate) fn bump_coll_seq(&mut self) -> u64 {
+        let s = self.coll_seq;
+        self.coll_seq += 1;
+        s
+    }
+
+    pub(crate) fn note_allreduce(&mut self) {
+        self.stats.allreduces += 1;
+    }
+    pub(crate) fn note_bcast(&mut self) {
+        self.stats.bcasts += 1;
+    }
+    pub(crate) fn note_barrier(&mut self) {
+        self.stats.barriers += 1;
+    }
+
+    /// Force the simulated clock forward (used by tests; not part of the
+    /// MPI-like surface).
+    #[doc(hidden)]
+    pub fn set_clock_for_test(&mut self, clock: f64) {
+        self.clock = clock;
+    }
+}
+
+/// Decode a little-endian f64 byte stream.
+pub fn decode_f64s(bytes: &[u8]) -> Vec<f64> {
+    assert!(bytes.len().is_multiple_of(8), "payload is not a whole number of f64s");
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Encode a little-endian f64 byte stream.
+pub fn encode_f64s(data: &[f64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(data.len() * 8);
+    for v in data {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::universe::Universe;
+    use crate::CostParams;
+
+    #[test]
+    fn ping_pong_delivers_payloads() {
+        let out = Universe::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 5, &[1, 2, 3]);
+                c.recv(1, 6)
+            } else {
+                let got = c.recv(0, 5);
+                c.send(0, 6, &[9]);
+                got
+            }
+        });
+        assert_eq!(out[0].value, vec![9]);
+        assert_eq!(out[1].value, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn tag_matching_reorders() {
+        // rank 0 sends tag 2 then tag 1; rank 1 receives tag 1 first.
+        let out = Universe::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 2, &[2]);
+                c.send(1, 1, &[1]);
+                vec![]
+            } else {
+                let first = c.recv(0, 1);
+                let second = c.recv(0, 2);
+                vec![first[0], second[0]]
+            }
+        });
+        assert_eq!(out[1].value, vec![1, 2]);
+    }
+
+    #[test]
+    fn clock_advances_by_wire_time() {
+        let cost = CostParams {
+            latency: 1.0,
+            gap_per_byte: 0.5,
+            send_overhead: 0.0,
+        };
+        let out = Universe::new(2).with_cost(cost).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 1, &[0u8; 4]);
+            } else {
+                c.recv(0, 1);
+            }
+            c.clock()
+        });
+        assert_eq!(out[0].value, 0.0);
+        // arrive = 0 + 1.0 + 4*0.5 = 3.0
+        assert!((out[1].value - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_takes_max_of_local_and_arrival() {
+        let cost = CostParams {
+            latency: 1.0,
+            gap_per_byte: 0.0,
+            send_overhead: 0.0,
+        };
+        let out = Universe::new(2).with_cost(cost).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 1, &[]);
+            } else {
+                c.advance_compute(10.0);
+                c.recv(0, 1); // arrival (1.0) is in the past
+            }
+            c.clock()
+        });
+        assert!((out[1].value - 10.0).abs() < 1e-12);
+        assert_eq!(out[1].stats.comm_time, 0.0);
+    }
+
+    #[test]
+    fn compute_is_charged() {
+        let out = Universe::new(1).run(|c| {
+            c.advance_compute(2.5);
+            (c.clock(), c.stats().compute_time)
+        });
+        assert_eq!(out[0].value, (2.5, 2.5));
+    }
+
+    #[test]
+    fn isend_irecv_waitall_roundtrip() {
+        let out = Universe::new(2).run(|c| {
+            let peer = 1 - c.rank();
+            let r1 = c.irecv(peer, 3);
+            let r2 = c.isend(peer, 3, &[c.rank() as u8]);
+            let reqs = vec![r1, r2];
+            let done = c.waitall(reqs);
+            done[0].as_ref().unwrap()[0]
+        });
+        assert_eq!(out[0].value, 1);
+        assert_eq!(out[1].value, 0);
+    }
+
+    #[test]
+    fn sendrecv_exchanges_head_on() {
+        let out = Universe::new(2).run(|c| {
+            let peer = 1 - c.rank();
+            let got = c.sendrecv(peer, 9, &[c.rank() as u8 + 10]);
+            got[0]
+        });
+        assert_eq!(out[0].value, 11);
+        assert_eq!(out[1].value, 10);
+    }
+
+    #[test]
+    fn f64_helpers_roundtrip() {
+        let out = Universe::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.send_f64s(1, 4, &[1.5, -2.25, f64::MIN_POSITIVE]);
+                vec![]
+            } else {
+                c.recv_f64s(0, 4)
+            }
+        });
+        assert_eq!(out[1].value, vec![1.5, -2.25, f64::MIN_POSITIVE]);
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let out = Universe::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 1, &[0; 100]);
+                c.send(1, 2, &[0; 50]);
+            } else {
+                c.recv(0, 1);
+                c.recv(0, 2);
+            }
+            c.stats()
+        });
+        assert_eq!(out[0].stats.msgs_sent, 2);
+        assert_eq!(out[0].stats.bytes_sent, 150);
+        assert_eq!(out[1].value.msgs_recv, 2);
+        assert_eq!(out[1].value.bytes_recv, 150);
+    }
+}

@@ -1,0 +1,91 @@
+//! LogGP-style network cost model.
+
+/// Parameters of the simulated network.
+///
+/// A message of `b` bytes from a sender whose clock reads `t` arrives at
+/// `t + send_overhead + latency + b · gap_per_byte`; the receiver's clock
+/// becomes the max of its own clock and the arrival time. These three
+/// numbers are the paper's `l` (network latency) and `1/G` (bandwidth) from
+/// Table I, plus a small CPU send overhead.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostParams {
+    /// One-way wire latency in seconds (`l`).
+    pub latency: f64,
+    /// Seconds per payload byte (`G`, the reciprocal bandwidth).
+    pub gap_per_byte: f64,
+    /// CPU time charged to the sender per message.
+    pub send_overhead: f64,
+}
+
+impl CostParams {
+    /// Zero-cost network: clocks only move via `advance_compute`. Useful for
+    /// pure-correctness tests.
+    pub fn zero() -> Self {
+        CostParams {
+            latency: 0.0,
+            gap_per_byte: 0.0,
+            send_overhead: 0.0,
+        }
+    }
+
+    /// InfiniBand-FDR-like parameters matching the paper's testbed (PNNL
+    /// Cascade): ~1.5 µs MPI latency, ~6.8 GB/s effective per-link
+    /// bandwidth.
+    pub fn fdr() -> Self {
+        CostParams {
+            latency: 1.5e-6,
+            gap_per_byte: 1.0 / 6.8e9,
+            send_overhead: 0.2e-6,
+        }
+    }
+
+    /// Commodity-Ethernet-like parameters (for ablations on how the
+    /// algorithm degrades on slow networks).
+    pub fn ethernet_10g() -> Self {
+        CostParams {
+            latency: 25.0e-6,
+            gap_per_byte: 1.0 / 1.1e9,
+            send_overhead: 1.0e-6,
+        }
+    }
+
+    /// Transfer time for `bytes` over one hop, excluding the sender
+    /// overhead.
+    #[inline]
+    pub fn wire_time(&self, bytes: usize) -> f64 {
+        self.latency + bytes as f64 * self.gap_per_byte
+    }
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams::fdr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_is_affine_in_bytes() {
+        let c = CostParams::fdr();
+        let t0 = c.wire_time(0);
+        let t1 = c.wire_time(1_000_000);
+        assert!((t0 - c.latency).abs() < 1e-18);
+        assert!(t1 > t0);
+        assert!((t1 - t0 - 1_000_000.0 * c.gap_per_byte).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_model_charges_nothing() {
+        let c = CostParams::zero();
+        assert_eq!(c.wire_time(1 << 20), 0.0);
+    }
+
+    #[test]
+    fn presets_are_ordered_sensibly() {
+        assert!(CostParams::fdr().latency < CostParams::ethernet_10g().latency);
+        assert!(CostParams::fdr().gap_per_byte < CostParams::ethernet_10g().gap_per_byte);
+    }
+}

@@ -1,0 +1,54 @@
+//! An MPI-like message-passing substrate for single-host simulation of
+//! distributed-memory algorithms.
+//!
+//! The paper's solver is an MPI program (MVAPICH2 on InfiniBand FDR); Rust
+//! has no mature MPI binding, and this reproduction must run on one host
+//! anyway. So we build the substrate: every *rank* is an OS thread, every
+//! pair of ranks is connected by an unbounded channel, and the primitives
+//! the paper uses — `Send`/`Recv`, `Isend`/`Irecv`/`Waitall`,
+//! `Bcast` (binomial tree), `Allreduce` (recursive doubling, including
+//! MINLOC/MAXLOC), `Barrier` (dissemination) and a ring shift — are
+//! implemented *on top of the point-to-point layer*, exactly the way an MPI
+//! library implements them.
+//!
+//! ## Simulated time
+//!
+//! Real wall-clock time on a single host says nothing about scaling, so the
+//! substrate carries a LogGP-style cost model ([`CostParams`]): each rank
+//! owns a simulated clock; every message departs stamped with the sender's
+//! clock and the receiver advances to
+//! `max(own, depart + latency + bytes·G)`. Compute is charged explicitly via
+//! [`Comm::advance_compute`]. Because the collectives are built from
+//! point-to-point messages, their `O(log p)` critical paths *emerge* from
+//! the simulation rather than being asserted — the same trees an MPI
+//! implementation would use produce the same time structure.
+//!
+//! ## Example
+//!
+//! ```
+//! use shrinksvm_mpisim::{CostParams, Universe};
+//!
+//! let outcomes = Universe::new(4).with_cost(CostParams::fdr()).run(|comm| {
+//!     let local = (comm.rank() + 1) as f64;
+//!     comm.allreduce_f64_sum(local)
+//! });
+//! assert!(outcomes.iter().all(|o| o.value == 10.0));
+//! ```
+
+pub mod collectives;
+pub mod comm;
+pub mod cost;
+pub mod fabric;
+pub mod reduce;
+pub mod stats;
+pub mod universe;
+
+pub use comm::{Comm, Request};
+pub use cost::CostParams;
+pub use reduce::{MaxLoc, MinLoc};
+pub use stats::CommStats;
+pub use universe::{RankOutcome, Universe};
+
+/// User-visible tags must stay below this bound; higher tag space is
+/// reserved for collectives.
+pub const MAX_USER_TAG: u64 = 1 << 32;

@@ -1,0 +1,68 @@
+//! Per-rank activity counters.
+
+/// Counters a rank accumulates over its lifetime. Returned alongside the
+/// closure result by [`crate::Universe::run`] so harnesses can report
+/// message counts, volumes and the compute/communication time split.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CommStats {
+    /// Point-to-point messages sent (collective-internal traffic included).
+    pub msgs_sent: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Point-to-point messages received.
+    pub msgs_recv: u64,
+    /// Payload bytes received.
+    pub bytes_recv: u64,
+    /// Allreduce operations completed.
+    pub allreduces: u64,
+    /// Broadcast operations completed.
+    pub bcasts: u64,
+    /// Barriers completed.
+    pub barriers: u64,
+    /// Simulated seconds charged as computation.
+    pub compute_time: f64,
+    /// Simulated seconds this rank's clock advanced while waiting on
+    /// messages (communication + idle/imbalance time).
+    pub comm_time: f64,
+}
+
+impl CommStats {
+    /// Merge another rank's counters into this one (for fleet summaries).
+    pub fn merge(&mut self, other: &CommStats) {
+        self.msgs_sent += other.msgs_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.msgs_recv += other.msgs_recv;
+        self.bytes_recv += other.bytes_recv;
+        self.allreduces += other.allreduces;
+        self.bcasts += other.bcasts;
+        self.barriers += other.barriers;
+        self.compute_time += other.compute_time;
+        self.comm_time += other.comm_time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CommStats {
+            msgs_sent: 1,
+            bytes_sent: 10,
+            msgs_recv: 2,
+            bytes_recv: 20,
+            allreduces: 3,
+            bcasts: 4,
+            barriers: 5,
+            compute_time: 0.5,
+            comm_time: 0.25,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.msgs_sent, 2);
+        assert_eq!(a.bytes_recv, 40);
+        assert_eq!(a.barriers, 10);
+        assert!((a.compute_time - 1.0).abs() < 1e-15);
+    }
+}

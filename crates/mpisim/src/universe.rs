@@ -1,0 +1,154 @@
+//! Launching a fleet of ranks.
+
+use crate::comm::Comm;
+use crate::cost::CostParams;
+use crate::fabric;
+use crate::stats::CommStats;
+
+/// What one rank produced: the closure's return value plus the rank's final
+/// simulated clock and activity counters.
+#[derive(Clone, Debug)]
+pub struct RankOutcome<T> {
+    /// The value returned by the rank closure.
+    pub value: T,
+    /// Final simulated time on this rank's clock, in seconds.
+    pub clock: f64,
+    /// Traffic and compute counters.
+    pub stats: CommStats,
+}
+
+/// A set of `p` simulated ranks sharing a cost model (`MPI_COMM_WORLD`
+/// analog). Construct once, [`Universe::run`] any number of programs.
+#[derive(Clone, Debug)]
+pub struct Universe {
+    p: usize,
+    cost: CostParams,
+}
+
+impl Universe {
+    /// A universe of `p` ranks with zero-cost networking (pure correctness).
+    pub fn new(p: usize) -> Self {
+        assert!(p >= 1, "need at least one rank");
+        Universe {
+            p,
+            cost: CostParams::zero(),
+        }
+    }
+
+    /// Attach a network cost model.
+    pub fn with_cost(mut self, cost: CostParams) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.p
+    }
+
+    /// Run `f` on every rank concurrently (one OS thread per rank) and
+    /// return the outcomes in rank order. Panics propagate: if any rank
+    /// panics, the join panics here with that rank's payload.
+    pub fn run<T, F>(&self, f: F) -> Vec<RankOutcome<T>>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        let endpoints = fabric::build(self.p);
+        let cost = self.cost;
+        let p = self.p;
+        let mut outcomes: Vec<Option<RankOutcome<T>>> = (0..p).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, eps) in endpoints.into_iter().enumerate() {
+                let f = &f;
+                handles.push(s.spawn(move || {
+                    let mut comm = Comm::new(rank, p, eps, cost);
+                    let value = f(&mut comm);
+                    RankOutcome {
+                        value,
+                        clock: comm.clock(),
+                        stats: comm.stats(),
+                    }
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(outcome) => outcomes[rank] = Some(outcome),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        outcomes.into_iter().map(|o| o.expect("rank completed")).collect()
+    }
+
+    /// Convenience: run and return the maximum simulated clock across ranks
+    /// (the fleet's makespan) alongside the rank-0 value.
+    pub fn run_timed<T, F>(&self, f: F) -> (T, f64)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        let mut outcomes = self.run(f);
+        let makespan = outcomes.iter().map(|o| o.clock).fold(0.0f64, f64::max);
+        (outcomes.remove(0).value, makespan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_rank_order() {
+        let out = Universe::new(5).run(|c| c.rank() * 10);
+        let vals: Vec<usize> = out.iter().map(|o| o.value).collect();
+        assert_eq!(vals, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn single_rank_universe_works() {
+        let out = Universe::new(1).run(|c| {
+            assert_eq!(c.size(), 1);
+            c.allreduce_f64_sum(3.0)
+        });
+        assert_eq!(out[0].value, 3.0);
+    }
+
+    #[test]
+    fn run_timed_reports_makespan() {
+        let ((), t) = Universe::new(3).run_timed(|c| {
+            c.advance_compute(c.rank() as f64);
+        });
+        assert_eq!(t, 2.0);
+    }
+
+    #[test]
+    fn closures_can_borrow_environment() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let out = Universe::new(2).run(|c| data[c.rank()] * 2.0);
+        assert_eq!(out[0].value, 2.0);
+        assert_eq!(out[1].value, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panic bubbles")]
+    fn rank_panics_propagate() {
+        Universe::new(2).run(|c| {
+            if c.rank() == 1 {
+                panic!("rank panic bubbles");
+            }
+            // rank 0 returns immediately; no cross-rank wait, so the panic
+            // surfaces cleanly at join.
+        });
+    }
+
+    #[test]
+    fn universe_is_reusable() {
+        let u = Universe::new(3);
+        for _ in 0..3 {
+            let out = u.run(|c| c.allreduce_u64_sum(1));
+            assert!(out.iter().all(|o| o.value == 3));
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Incremental CSR construction.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+
+/// Builds a [`CsrMatrix`] one row at a time.
+///
+/// Rows are appended with [`CsrBuilder::push_row`]; the column count may be
+/// fixed up-front or grown automatically with [`CsrBuilder::auto_cols`]
+/// (useful when parsing libsvm files, where the dimensionality is implicit).
+#[derive(Debug)]
+pub struct CsrBuilder {
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+    ncols: usize,
+    auto_cols: bool,
+}
+
+impl CsrBuilder {
+    /// Builder for a matrix with exactly `ncols` columns.
+    pub fn new(ncols: usize) -> Self {
+        CsrBuilder {
+            indptr: vec![0],
+            indices: Vec::new(),
+            values: Vec::new(),
+            ncols,
+            auto_cols: false,
+        }
+    }
+
+    /// Builder whose column count grows to fit the largest index pushed.
+    pub fn auto_cols() -> Self {
+        CsrBuilder {
+            indptr: vec![0],
+            indices: Vec::new(),
+            values: Vec::new(),
+            ncols: 0,
+            auto_cols: true,
+        }
+    }
+
+    /// Reserve space for roughly `nnz` entries across `nrows` rows.
+    pub fn reserve(&mut self, nrows: usize, nnz: usize) {
+        self.indptr.reserve(nrows);
+        self.indices.reserve(nnz);
+        self.values.reserve(nnz);
+    }
+
+    /// Number of rows pushed so far.
+    pub fn nrows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Append one row. `indices` must be strictly increasing; `values` must
+    /// have the same length. Exact zeros are kept as provided (callers that
+    /// care strip them before pushing).
+    pub fn push_row(&mut self, indices: &[u32], values: &[f64]) -> Result<(), SparseError> {
+        if indices.len() != values.len() {
+            return Err(SparseError::Malformed(format!(
+                "row has {} indices but {} values",
+                indices.len(),
+                values.len()
+            )));
+        }
+        for w in indices.windows(2) {
+            if w[1] <= w[0] {
+                return Err(SparseError::UnsortedRow { row: self.nrows() });
+            }
+        }
+        if let Some(&last) = indices.last() {
+            let needed = last as usize + 1;
+            if needed > self.ncols {
+                if self.auto_cols {
+                    self.ncols = needed;
+                } else {
+                    return Err(SparseError::ColumnOutOfBounds {
+                        col: last,
+                        ncols: self.ncols,
+                    });
+                }
+            }
+        }
+        self.indices.extend_from_slice(indices);
+        self.values.extend_from_slice(values);
+        self.indptr.push(self.indices.len());
+        Ok(())
+    }
+
+    /// Append one row from possibly-unsorted `(col, value)` pairs; the pairs
+    /// are sorted and duplicate columns rejected.
+    pub fn push_row_unsorted(&mut self, mut entries: Vec<(u32, f64)>) -> Result<(), SparseError> {
+        entries.sort_unstable_by_key(|e| e.0);
+        for w in entries.windows(2) {
+            if w[1].0 == w[0].0 {
+                return Err(SparseError::UnsortedRow { row: self.nrows() });
+            }
+        }
+        let idx: Vec<u32> = entries.iter().map(|e| e.0).collect();
+        let val: Vec<f64> = entries.iter().map(|e| e.1).collect();
+        self.push_row(&idx, &val)
+    }
+
+    /// Finish, consuming the builder. The result always satisfies the CSR
+    /// invariants by construction.
+    pub fn finish(self) -> CsrMatrix {
+        CsrMatrix::new(self.indptr, self.indices, self.values, self.ncols)
+            .expect("builder maintains CSR invariants")
+    }
+
+    /// Finish with an explicit column count (must cover every pushed index).
+    pub fn finish_with_cols(mut self, ncols: usize) -> Result<CsrMatrix, SparseError> {
+        if ncols < self.ncols {
+            return Err(SparseError::Malformed(format!(
+                "requested {} columns but rows contain index up to {}",
+                ncols,
+                self.ncols.saturating_sub(1)
+            )));
+        }
+        self.ncols = ncols;
+        CsrMatrix::new(self.indptr, self.indices, self.values, self.ncols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_in_order() {
+        let mut b = CsrBuilder::new(4);
+        b.push_row(&[0, 3], &[1.0, 2.0]).unwrap();
+        b.push_row(&[], &[]).unwrap();
+        b.push_row(&[1], &[5.0]).unwrap();
+        let m = b.finish();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row(2).get(1), 5.0);
+    }
+
+    #[test]
+    fn rejects_unsorted_and_mismatched() {
+        let mut b = CsrBuilder::new(4);
+        assert!(b.push_row(&[3, 0], &[1.0, 2.0]).is_err());
+        assert!(b.push_row(&[0], &[1.0, 2.0]).is_err());
+        assert!(b.push_row(&[1, 1], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn fixed_cols_rejects_overflow() {
+        let mut b = CsrBuilder::new(2);
+        assert!(b.push_row(&[2], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn auto_cols_grows() {
+        let mut b = CsrBuilder::auto_cols();
+        b.push_row(&[0], &[1.0]).unwrap();
+        b.push_row(&[9], &[1.0]).unwrap();
+        let m = b.finish();
+        assert_eq!(m.ncols(), 10);
+    }
+
+    #[test]
+    fn unsorted_entry_api_sorts() {
+        let mut b = CsrBuilder::new(5);
+        b.push_row_unsorted(vec![(4, 4.0), (1, 1.0)]).unwrap();
+        let m = b.finish();
+        assert_eq!(m.row(0).indices, &[1, 4]);
+        assert_eq!(m.row(0).values, &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn unsorted_entry_api_rejects_dupes() {
+        let mut b = CsrBuilder::new(5);
+        assert!(b.push_row_unsorted(vec![(1, 1.0), (1, 2.0)]).is_err());
+    }
+
+    #[test]
+    fn finish_with_cols_widens_but_never_narrows() {
+        let mut b = CsrBuilder::auto_cols();
+        b.push_row(&[3], &[1.0]).unwrap();
+        assert!(CsrBuilder::auto_cols().finish_with_cols(7).is_ok());
+        let m = b.finish_with_cols(8).unwrap();
+        assert_eq!(m.ncols(), 8);
+
+        let mut b2 = CsrBuilder::auto_cols();
+        b2.push_row(&[3], &[1.0]).unwrap();
+        assert!(b2.finish_with_cols(2).is_err());
+    }
+}

@@ -1,0 +1,327 @@
+//! Immutable compressed sparse row matrix.
+
+use crate::error::SparseError;
+use crate::rowview::RowView;
+
+/// A compressed sparse row matrix.
+///
+/// Invariants (checked by [`CsrMatrix::validate`], upheld by the
+/// constructors):
+///
+/// * `indptr.len() == nrows + 1`, `indptr[0] == 0`, non-decreasing,
+///   `indptr[nrows] == indices.len() == values.len()`;
+/// * within each row, column indices are strictly increasing and
+///   `< ncols`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+    ncols: usize,
+}
+
+impl CsrMatrix {
+    /// Build from raw parts, validating the invariants.
+    pub fn new(
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f64>,
+        ncols: usize,
+    ) -> Result<Self, SparseError> {
+        let m = CsrMatrix {
+            indptr,
+            indices,
+            values,
+            ncols,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// An empty matrix with zero rows and `ncols` columns.
+    pub fn empty(ncols: usize) -> Self {
+        CsrMatrix {
+            indptr: vec![0],
+            indices: Vec::new(),
+            values: Vec::new(),
+            ncols,
+        }
+    }
+
+    /// Build from a dense row-major matrix, dropping exact zeros.
+    pub fn from_dense(rows: &[Vec<f64>], ncols: usize) -> Result<Self, SparseError> {
+        let mut b = crate::builder::CsrBuilder::new(ncols);
+        let mut idx = Vec::new();
+        let mut val = Vec::new();
+        for r in rows {
+            if r.len() > ncols {
+                return Err(SparseError::Malformed(format!(
+                    "dense row of length {} exceeds ncols {}",
+                    r.len(),
+                    ncols
+                )));
+            }
+            idx.clear();
+            val.clear();
+            for (c, &v) in r.iter().enumerate() {
+                if v != 0.0 {
+                    idx.push(c as u32);
+                    val.push(v);
+                }
+            }
+            b.push_row(&idx, &val)?;
+        }
+        Ok(b.finish())
+    }
+
+    /// Check structural invariants. Cheap relative to construction; used by
+    /// constructors and by property tests.
+    pub fn validate(&self) -> Result<(), SparseError> {
+        if self.indptr.is_empty() || self.indptr[0] != 0 {
+            return Err(SparseError::Malformed(
+                "indptr must start with 0 and be non-empty".into(),
+            ));
+        }
+        if *self.indptr.last().unwrap() != self.indices.len()
+            || self.indices.len() != self.values.len()
+        {
+            return Err(SparseError::Malformed(format!(
+                "indptr end {} vs indices {} vs values {}",
+                self.indptr.last().unwrap(),
+                self.indices.len(),
+                self.values.len()
+            )));
+        }
+        for w in self.indptr.windows(2) {
+            if w[1] < w[0] {
+                return Err(SparseError::Malformed("indptr must be non-decreasing".into()));
+            }
+        }
+        for row in 0..self.nrows() {
+            let (lo, hi) = (self.indptr[row], self.indptr[row + 1]);
+            let idx = &self.indices[lo..hi];
+            for pair in idx.windows(2) {
+                if pair[1] <= pair[0] {
+                    return Err(SparseError::UnsortedRow { row });
+                }
+            }
+            if let Some(&last) = idx.last() {
+                if (last as usize) >= self.ncols {
+                    return Err(SparseError::ColumnOutOfBounds {
+                        col: last,
+                        ncols: self.ncols,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of rows (samples).
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Number of columns (features).
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Total stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Stored entries in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.indptr[i + 1] - self.indptr[i]
+    }
+
+    /// Fraction of stored entries relative to a dense matrix.
+    pub fn density(&self) -> f64 {
+        let cells = self.nrows() as f64 * self.ncols as f64;
+        if cells == 0.0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells
+        }
+    }
+
+    /// Borrowed view of row `i`. Panics if out of bounds (hot path).
+    #[inline]
+    pub fn row(&self, i: usize) -> RowView<'_> {
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        RowView {
+            indices: &self.indices[lo..hi],
+            values: &self.values[lo..hi],
+        }
+    }
+
+    /// Checked variant of [`CsrMatrix::row`].
+    pub fn try_row(&self, i: usize) -> Result<RowView<'_>, SparseError> {
+        if i >= self.nrows() {
+            return Err(SparseError::RowOutOfBounds {
+                row: i,
+                nrows: self.nrows(),
+            });
+        }
+        Ok(self.row(i))
+    }
+
+    /// Raw row-pointer slice (for partitioning logic).
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Squared Euclidean norm of every row. The RBF kernel consumes these to
+    /// turn distance computations into a single dot product.
+    pub fn row_squared_norms(&self) -> Vec<f64> {
+        (0..self.nrows()).map(|i| self.row(i).squared_norm()).collect()
+    }
+
+    /// Average stored entries per row (the paper's `m`, Table I).
+    pub fn mean_row_nnz(&self) -> f64 {
+        if self.nrows() == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.nrows() as f64
+        }
+    }
+
+    /// Copy out a subset of rows (in the given order) into a new matrix.
+    pub fn select_rows(&self, rows: &[usize]) -> Result<Self, SparseError> {
+        let mut b = crate::builder::CsrBuilder::new(self.ncols);
+        for &r in rows {
+            let v = self.try_row(r)?;
+            b.push_row(v.indices, v.values)?;
+        }
+        Ok(b.finish())
+    }
+
+    /// Materialize into a dense row-major `Vec<Vec<f64>>` (tests/debug only).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        (0..self.nrows()).map(|i| self.row(i).to_dense(self.ncols)).collect()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.indptr.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<u32>()
+            + self.values.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 0 3 4 ]
+        CsrMatrix::new(
+            vec![0, 2, 2, 4],
+            vec![0, 2, 1, 2],
+            vec![1.0, 2.0, 3.0, 4.0],
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions_and_nnz() {
+        let m = small();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(1), 0);
+        assert!((m.density() - 4.0 / 9.0).abs() < 1e-15);
+        assert!((m.mean_row_nnz() - 4.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rows_view_correctly() {
+        let m = small();
+        assert_eq!(m.row(0).get(2), 2.0);
+        assert!(m.row(1).is_empty());
+        assert_eq!(m.row(2).indices, &[1, 2]);
+    }
+
+    #[test]
+    fn try_row_bounds() {
+        let m = small();
+        assert!(m.try_row(2).is_ok());
+        assert!(matches!(
+            m.try_row(3),
+            Err(SparseError::RowOutOfBounds { row: 3, nrows: 3 })
+        ));
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = small();
+        let d = m.to_dense();
+        let back = CsrMatrix::from_dense(&d, 3).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn validation_catches_unsorted() {
+        let e = CsrMatrix::new(vec![0, 2], vec![2, 1], vec![1.0, 2.0], 3);
+        assert!(matches!(e, Err(SparseError::UnsortedRow { row: 0 })));
+    }
+
+    #[test]
+    fn validation_catches_duplicate_col() {
+        let e = CsrMatrix::new(vec![0, 2], vec![1, 1], vec![1.0, 2.0], 3);
+        assert!(matches!(e, Err(SparseError::UnsortedRow { row: 0 })));
+    }
+
+    #[test]
+    fn validation_catches_col_overflow() {
+        let e = CsrMatrix::new(vec![0, 1], vec![5], vec![1.0], 3);
+        assert!(matches!(e, Err(SparseError::ColumnOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn validation_catches_bad_indptr() {
+        assert!(CsrMatrix::new(vec![1, 2], vec![0], vec![1.0], 3).is_err());
+        assert!(CsrMatrix::new(vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0], 3).is_err());
+        assert!(CsrMatrix::new(vec![0, 3], vec![0], vec![1.0], 3).is_err());
+    }
+
+    #[test]
+    fn select_rows_reorders() {
+        let m = small();
+        let s = m.select_rows(&[2, 0]).unwrap();
+        assert_eq!(s.nrows(), 2);
+        assert_eq!(s.row(0).indices, m.row(2).indices);
+        assert_eq!(s.row(1).values, m.row(0).values);
+    }
+
+    #[test]
+    fn row_squared_norms_match() {
+        let m = small();
+        let n = m.row_squared_norms();
+        assert_eq!(n.len(), 3);
+        assert!((n[0] - 5.0).abs() < 1e-15);
+        assert_eq!(n[1], 0.0);
+        assert!((n[2] - 25.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CsrMatrix::empty(10);
+        assert_eq!(m.nrows(), 0);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.density(), 0.0);
+        assert!(m.validate().is_ok());
+    }
+}

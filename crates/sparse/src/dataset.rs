@@ -1,0 +1,239 @@
+//! A labeled dataset: CSR samples plus ±1 class labels.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+
+/// A binary-classification dataset.
+///
+/// Labels are stored as `f64` but must be exactly `+1.0` or `-1.0`
+/// (enforced by [`Dataset::new`]); the SMO formulation multiplies by `y`
+/// constantly so keeping the float form avoids conversions in hot loops.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Samples, one per row.
+    pub x: CsrMatrix,
+    /// Class labels, `+1.0` / `-1.0`, one per row of `x`.
+    pub y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Construct, validating that labels are ±1 and match the row count.
+    pub fn new(x: CsrMatrix, y: Vec<f64>) -> Result<Self, SparseError> {
+        if x.nrows() != y.len() {
+            return Err(SparseError::BadLabels(format!(
+                "{} rows but {} labels",
+                x.nrows(),
+                y.len()
+            )));
+        }
+        for (i, &l) in y.iter().enumerate() {
+            if l != 1.0 && l != -1.0 {
+                return Err(SparseError::BadLabels(format!(
+                    "label {l} at row {i} is not +1/-1"
+                )));
+            }
+        }
+        Ok(Dataset { x, y })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// `(positives, negatives)` counts.
+    pub fn class_counts(&self) -> (usize, usize) {
+        let pos = self.y.iter().filter(|l| **l > 0.0).count();
+        (pos, self.len() - pos)
+    }
+
+    /// Copy out a subset of samples (in the given order).
+    pub fn select(&self, rows: &[usize]) -> Result<Dataset, SparseError> {
+        let x = self.x.select_rows(rows)?;
+        let y = rows.iter().map(|&r| self.y[r]).collect();
+        Dataset::new(x, y)
+    }
+
+    /// Split into `(head, tail)` at `at` samples. Panics if `at > len`.
+    pub fn split_at(&self, at: usize) -> (Dataset, Dataset) {
+        let head: Vec<usize> = (0..at).collect();
+        let tail: Vec<usize> = (at..self.len()).collect();
+        (
+            self.select(&head).expect("indices in range"),
+            self.select(&tail).expect("indices in range"),
+        )
+    }
+
+    /// Deterministically shuffle sample order with a splitmix64 stream seeded
+    /// by `seed` (self-contained so the crate needs no RNG dependency).
+    pub fn shuffled(&self, seed: u64) -> Dataset {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..order.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        self.select(&order).expect("permutation in range")
+    }
+
+    /// Indices of the `k` cross-validation folds (contiguous blocks of a
+    /// shuffled order): returns `(train, test)` index lists per fold.
+    pub fn kfold_indices(&self, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+        assert!(k >= 2, "need at least 2 folds");
+        let n = self.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        // same splitmix64 shuffle as `shuffled`
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..n).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let mut folds = Vec::with_capacity(k);
+        for f in 0..k {
+            let lo = f * n / k;
+            let hi = (f + 1) * n / k;
+            let test: Vec<usize> = order[lo..hi].to_vec();
+            let mut train: Vec<usize> = Vec::with_capacity(n - (hi - lo));
+            train.extend_from_slice(&order[..lo]);
+            train.extend_from_slice(&order[hi..]);
+            folds.push((train, test));
+        }
+        folds
+    }
+
+    /// One-line summary used by the harness (Table III style).
+    pub fn summary(&self) -> String {
+        let (p, n) = self.class_counts();
+        format!(
+            "n={} d={} nnz={} density={:.4}% (+{p}/-{n})",
+            self.len(),
+            self.x.ncols(),
+            self.x.nnz(),
+            self.x.density() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CsrBuilder;
+
+    fn toy(n: usize) -> Dataset {
+        let mut b = CsrBuilder::new(2);
+        let mut y = Vec::new();
+        for i in 0..n {
+            b.push_row(&[0, 1], &[i as f64, 1.0]).unwrap();
+            y.push(if i % 2 == 0 { 1.0 } else { -1.0 });
+        }
+        Dataset::new(b.finish(), y).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let mut b = CsrBuilder::new(1);
+        b.push_row(&[0], &[1.0]).unwrap();
+        assert!(Dataset::new(b.finish(), vec![0.5]).is_err());
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let b = CsrBuilder::new(1);
+        assert!(Dataset::new(b.finish(), vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn class_counts_add_up() {
+        let ds = toy(7);
+        let (p, n) = ds.class_counts();
+        assert_eq!(p + n, 7);
+        assert_eq!(p, 4);
+    }
+
+    #[test]
+    fn select_preserves_pairing() {
+        let ds = toy(5);
+        let s = ds.select(&[4, 0]).unwrap();
+        assert_eq!(s.y, vec![1.0, 1.0]);
+        assert_eq!(s.x.row(0).get(0), 4.0);
+        assert_eq!(s.x.row(1).get(0), 0.0);
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let ds = toy(6);
+        let (a, b) = ds.split_at(2);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.x.row(0).get(0), 2.0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_deterministic() {
+        let ds = toy(20);
+        let s1 = ds.shuffled(42);
+        let s2 = ds.shuffled(42);
+        let s3 = ds.shuffled(7);
+        let key = |d: &Dataset| {
+            let mut v: Vec<i64> = (0..d.len()).map(|i| d.x.row(i).get(0) as i64).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&s1), key(&ds)); // same multiset
+        let order = |d: &Dataset| -> Vec<i64> {
+            (0..d.len()).map(|i| d.x.row(i).get(0) as i64).collect()
+        };
+        assert_eq!(order(&s1), order(&s2)); // deterministic
+        assert_ne!(order(&s1), order(&s3)); // seed matters
+        assert_ne!(order(&s1), order(&ds)); // actually shuffles
+        // labels move with their rows
+        for i in 0..s1.len() {
+            let v = s1.x.row(i).get(0) as i64;
+            assert_eq!(s1.y[i], if v % 2 == 0 { 1.0 } else { -1.0 });
+        }
+    }
+
+    #[test]
+    fn kfold_covers_everything_exactly_once() {
+        let ds = toy(23);
+        let folds = ds.kfold_indices(5, 1);
+        assert_eq!(folds.len(), 5);
+        let mut seen = [0usize; 23];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 23);
+            for &t in test {
+                seen[t] += 1;
+            }
+            // train/test disjoint
+            for &t in test {
+                assert!(!train.contains(&t));
+            }
+        }
+        assert!(seen.iter().all(|c| *c == 1));
+    }
+
+    #[test]
+    fn summary_mentions_size() {
+        let ds = toy(3);
+        assert!(ds.summary().contains("n=3"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type shared by the sparse crate.
+
+use std::fmt;
+
+/// Errors produced while building, indexing or parsing sparse data.
+#[derive(Debug)]
+pub enum SparseError {
+    /// Row pointers, indices or values arrays are mutually inconsistent.
+    Malformed(String),
+    /// A column index is out of bounds for the declared number of columns.
+    ColumnOutOfBounds { col: u32, ncols: usize },
+    /// A row index is out of bounds.
+    RowOutOfBounds { row: usize, nrows: usize },
+    /// Column indices within a row are not strictly increasing.
+    UnsortedRow { row: usize },
+    /// Parse failure in the libsvm text format.
+    Parse { line: usize, msg: String },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Labels and rows disagree in count, or labels are not ±1.
+    BadLabels(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::Malformed(msg) => write!(f, "malformed CSR structure: {msg}"),
+            SparseError::ColumnOutOfBounds { col, ncols } => {
+                write!(f, "column index {col} out of bounds for {ncols} columns")
+            }
+            SparseError::RowOutOfBounds { row, nrows } => {
+                write!(f, "row index {row} out of bounds for {nrows} rows")
+            }
+            SparseError::UnsortedRow { row } => {
+                write!(f, "column indices in row {row} are not strictly increasing")
+            }
+            SparseError::Parse { line, msg } => write!(f, "parse error on line {line}: {msg}"),
+            SparseError::Io(e) => write!(f, "i/o error: {e}"),
+            SparseError::BadLabels(msg) => write!(f, "bad labels: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SparseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SparseError::ColumnOutOfBounds { col: 7, ncols: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+        let e = SparseError::Parse {
+            line: 12,
+            msg: "bad float".into(),
+        };
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn io_error_round_trips_source() {
+        use std::error::Error;
+        let e: SparseError = std::io::Error::new(std::io::ErrorKind::NotFound, "nope").into();
+        assert!(e.source().is_some());
+    }
+}

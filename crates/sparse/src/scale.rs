@@ -1,0 +1,168 @@
+//! Per-feature min/max scaling (the `svm-scale` preprocessing step).
+//!
+//! The libsvm datasets the paper downloads are distributed pre-scaled to
+//! `[0, 1]` or `[-1, 1]`; our synthetic generators emit raw features, so the
+//! harness applies this scaler to match that convention. Scaling is fit on
+//! the training set and applied to both splits, as `svm-scale` does.
+
+use crate::builder::CsrBuilder;
+use crate::csr::CsrMatrix;
+use crate::dataset::Dataset;
+use crate::error::SparseError;
+
+/// Fitted per-feature affine transform `v ↦ lo + (v − min)·(hi − lo)/(max − min)`.
+///
+/// Sparse caveat (same as `svm-scale`): the transform is only applied to
+/// *stored* entries, so scaling that does not map 0 to 0 would densify the
+/// data. We therefore scale each feature by range only (`v · s_j`), mapping
+/// zero to zero, unless the caller explicitly asks for offset scaling on
+/// dense data.
+#[derive(Clone, Debug)]
+pub struct Scaler {
+    /// Per-feature multiplier.
+    pub factors: Vec<f64>,
+    /// Target upper magnitude.
+    pub hi: f64,
+}
+
+impl Scaler {
+    /// Fit a zero-preserving scaler: each feature is divided by its maximum
+    /// absolute value so values land in `[-hi, hi]`.
+    pub fn fit(x: &CsrMatrix, hi: f64) -> Scaler {
+        assert!(hi > 0.0, "target magnitude must be positive");
+        let mut maxabs = vec![0.0f64; x.ncols()];
+        for i in 0..x.nrows() {
+            for (c, v) in x.row(i).iter() {
+                let a = v.abs();
+                if a > maxabs[c as usize] {
+                    maxabs[c as usize] = a;
+                }
+            }
+        }
+        let factors = maxabs
+            .into_iter()
+            .map(|m| if m > 0.0 { hi / m } else { 1.0 })
+            .collect();
+        Scaler { factors, hi }
+    }
+
+    /// Apply to a matrix, producing a new one. Features beyond the fitted
+    /// width are rejected.
+    pub fn transform(&self, x: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
+        if x.ncols() > self.factors.len() {
+            return Err(SparseError::Malformed(format!(
+                "scaler fitted on {} features, matrix has {}",
+                self.factors.len(),
+                x.ncols()
+            )));
+        }
+        let mut b = CsrBuilder::new(self.factors.len());
+        b.reserve(x.nrows(), x.nnz());
+        let mut idx = Vec::new();
+        let mut val = Vec::new();
+        for i in 0..x.nrows() {
+            idx.clear();
+            val.clear();
+            for (c, v) in x.row(i).iter() {
+                idx.push(c);
+                val.push(v * self.factors[c as usize]);
+            }
+            b.push_row(&idx, &val)?;
+        }
+        Ok(b.finish())
+    }
+
+    /// Fit on `train.x` and apply to every dataset given, in place of their
+    /// matrices. Returns the fitted scaler for inspection.
+    pub fn fit_transform_all(datasets: &mut [&mut Dataset], hi: f64) -> Scaler {
+        assert!(!datasets.is_empty());
+        let scaler = Scaler::fit(&datasets[0].x, hi);
+        for ds in datasets.iter_mut() {
+            ds.x = scaler.transform(&ds.x).expect("fitted width covers data");
+        }
+        scaler
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> CsrMatrix {
+        CsrMatrix::from_dense(
+            &[
+                vec![2.0, 0.0, -8.0],
+                vec![4.0, 10.0, 0.0],
+                vec![0.0, -5.0, 2.0],
+            ],
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fit_finds_max_abs() {
+        let s = Scaler::fit(&matrix(), 1.0);
+        assert!((s.factors[0] - 1.0 / 4.0).abs() < 1e-15);
+        assert!((s.factors[1] - 1.0 / 10.0).abs() < 1e-15);
+        assert!((s.factors[2] - 1.0 / 8.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn transform_bounds_values() {
+        let m = matrix();
+        let s = Scaler::fit(&m, 1.0);
+        let t = s.transform(&m).unwrap();
+        for i in 0..t.nrows() {
+            for (_, v) in t.row(i).iter() {
+                assert!(v.abs() <= 1.0 + 1e-12);
+            }
+        }
+        // max magnitude is attained
+        assert!((t.row(1).get(1) - 1.0).abs() < 1e-15);
+        assert!((t.row(0).get(2) + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_stays_zero_and_sparsity_is_preserved() {
+        let m = matrix();
+        let s = Scaler::fit(&m, 1.0);
+        let t = s.transform(&m).unwrap();
+        assert_eq!(t.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn constant_zero_feature_is_passthrough() {
+        let m = CsrMatrix::from_dense(&[vec![0.0, 1.0], vec![0.0, 2.0]], 2).unwrap();
+        let s = Scaler::fit(&m, 1.0);
+        assert_eq!(s.factors[0], 1.0);
+    }
+
+    #[test]
+    fn rejects_wider_matrix() {
+        let m = matrix();
+        let s = Scaler::fit(&m, 1.0);
+        let wide = CsrMatrix::from_dense(&[vec![0.0, 0.0, 0.0, 9.0]], 4).unwrap();
+        assert!(s.transform(&wide).is_err());
+    }
+
+    #[test]
+    fn narrower_matrix_is_fine() {
+        let m = matrix();
+        let s = Scaler::fit(&m, 1.0);
+        let narrow = CsrMatrix::from_dense(&[vec![4.0]], 1).unwrap();
+        let t = s.transform(&narrow).unwrap();
+        assert!((t.row(0).get(0) - 1.0).abs() < 1e-15);
+        assert_eq!(t.ncols(), 3); // widened to fitted width
+    }
+
+    #[test]
+    fn fit_transform_all_shares_one_fit() {
+        let mut train = Dataset::new(matrix(), vec![1.0, -1.0, 1.0]).unwrap();
+        let test_x = CsrMatrix::from_dense(&[vec![8.0, 0.0, 0.0]], 3).unwrap();
+        let mut test = Dataset::new(test_x, vec![1.0]).unwrap();
+        Scaler::fit_transform_all(&mut [&mut train, &mut test], 1.0);
+        // test scaled with TRAIN max (4.0), so 8.0 -> 2.0 (out of range is fine)
+        assert!((test.x.row(0).get(0) - 2.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,309 @@
+//! The fork-join pool.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::schedule::{static_block, Schedule};
+use crate::stats::PoolStats;
+
+/// A fork-join thread pool with OpenMP-like semantics.
+///
+/// Each parallel region spawns (scoped) workers, so closures may borrow from
+/// the caller's stack freely — the same capture model as an OpenMP
+/// `parallel for`. With one worker every region runs inline, which keeps
+/// single-threaded runs deterministic and overhead-free.
+#[derive(Debug)]
+pub struct ThreadPool {
+    nthreads: usize,
+    schedule: Schedule,
+    stats: PoolStats,
+}
+
+impl ThreadPool {
+    /// A pool with `nthreads` workers (clamped to ≥ 1) and static scheduling.
+    pub fn new(nthreads: usize) -> Self {
+        ThreadPool {
+            nthreads: nthreads.max(1),
+            schedule: Schedule::Static,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// A pool sized to the machine (`available_parallelism`).
+    pub fn with_available_parallelism() -> Self {
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ThreadPool::new(n)
+    }
+
+    /// Override the scheduling policy.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        if let Schedule::Dynamic { chunk } = schedule {
+            assert!(chunk >= 1, "dynamic chunk must be >= 1");
+        }
+        self.schedule = schedule;
+        self
+    }
+
+    /// Worker count.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    /// `for i in range { f(i) }`, parallelized.
+    pub fn parallel_for<F>(&self, range: Range<usize>, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let n = range.end.saturating_sub(range.start);
+        let t = self.nthreads.min(n);
+        if t <= 1 {
+            self.stats.record_region(n, true);
+            for i in range {
+                f(i);
+            }
+            return;
+        }
+        self.stats.record_region(n, false);
+        match self.schedule {
+            Schedule::Static => std::thread::scope(|s| {
+                for w in 0..t {
+                    let f = &f;
+                    let (lo, hi) = static_block(range.start, n, w, t);
+                    s.spawn(move || {
+                        for i in lo..hi {
+                            f(i);
+                        }
+                    });
+                }
+            }),
+            Schedule::Dynamic { chunk } => {
+                let counter = AtomicUsize::new(range.start);
+                let end = range.end;
+                std::thread::scope(|s| {
+                    for _ in 0..t {
+                        let f = &f;
+                        let counter = &counter;
+                        s.spawn(move || loop {
+                            let lo = counter.fetch_add(chunk, Ordering::Relaxed);
+                            if lo >= end {
+                                break;
+                            }
+                            let hi = (lo + chunk).min(end);
+                            for i in lo..hi {
+                                f(i);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+    }
+
+    /// Partition `data` into one contiguous chunk per worker and run
+    /// `f(global_offset, chunk)` on each — the safe way to *mutate* a slice
+    /// in parallel (each worker owns its chunk exclusively).
+    pub fn parallel_for_slices<T, F>(&self, data: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let n = data.len();
+        let t = self.nthreads.min(n);
+        if t <= 1 {
+            self.stats.record_region(n, true);
+            f(0, data);
+            return;
+        }
+        self.stats.record_region(n, false);
+        std::thread::scope(|s| {
+            let mut rest = data;
+            let mut offset = 0usize;
+            for w in 0..t {
+                let (lo, hi) = static_block(0, n, w, t);
+                let (chunk, tail) = rest.split_at_mut(hi - lo);
+                rest = tail;
+                let f = &f;
+                let off = offset;
+                offset += chunk.len();
+                s.spawn(move || f(off, chunk));
+            }
+        });
+    }
+
+    /// Map-reduce over an index range: each worker folds its share into a
+    /// fresh accumulator from `init`, and the per-worker results are combined
+    /// left-to-right (worker order) with `combine` — deterministic for
+    /// commutative *or* merely associative operations.
+    pub fn parallel_reduce<T, I, F, C>(&self, range: Range<usize>, init: I, fold: F, combine: C) -> T
+    where
+        T: Send,
+        I: Fn() -> T + Sync,
+        F: Fn(&mut T, usize) + Sync,
+        C: Fn(T, T) -> T,
+    {
+        let n = range.end.saturating_sub(range.start);
+        let t = self.nthreads.min(n);
+        if t <= 1 {
+            self.stats.record_region(n, true);
+            let mut acc = init();
+            for i in range {
+                fold(&mut acc, i);
+            }
+            return acc;
+        }
+        self.stats.record_region(n, false);
+        let mut partials: Vec<Option<T>> = (0..t).map(|_| None).collect();
+        std::thread::scope(|s| {
+            for (w, slot) in partials.iter_mut().enumerate() {
+                let init = &init;
+                let fold = &fold;
+                let (lo, hi) = static_block(range.start, n, w, t);
+                s.spawn(move || {
+                    let mut acc = init();
+                    for i in lo..hi {
+                        fold(&mut acc, i);
+                    }
+                    *slot = Some(acc);
+                });
+            }
+        });
+        let mut iter = partials.into_iter().map(|p| p.expect("worker completed"));
+        let first = iter.next().expect("at least one worker");
+        iter.fold(first, combine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        for nthreads in [1, 2, 4] {
+            for sched in [Schedule::Static, Schedule::Dynamic { chunk: 3 }] {
+                let pool = ThreadPool::new(nthreads).with_schedule(sched);
+                let n = 101;
+                let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+                pool.parallel_for(0..n, |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_empty_range_is_noop() {
+        let pool = ThreadPool::new(4);
+        pool.parallel_for(5..5, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn parallel_for_offset_range() {
+        let pool = ThreadPool::new(3);
+        let sum = AtomicU64::new(0);
+        pool.parallel_for(10..20, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (10..20u64).sum());
+    }
+
+    #[test]
+    fn slices_partition_disjointly() {
+        for nthreads in [1, 2, 5] {
+            let pool = ThreadPool::new(nthreads);
+            let mut data = vec![0u64; 97];
+            pool.parallel_for_slices(&mut data, |off, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = (off + k) as u64;
+                }
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_matches_sequential() {
+        for nthreads in [1, 2, 4, 9] {
+            let pool = ThreadPool::new(nthreads);
+            let total = pool.parallel_reduce(
+                0..1000usize,
+                || 0u64,
+                |acc, i| *acc += i as u64,
+                |a, b| a + b,
+            );
+            assert_eq!(total, (0..1000u64).sum());
+        }
+    }
+
+    #[test]
+    fn reduce_min_with_index_is_deterministic() {
+        let data: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64).collect();
+        let pool = ThreadPool::new(4);
+        let seq = data
+            .iter()
+            .enumerate()
+            .fold((f64::INFINITY, usize::MAX), |best, (i, &v)| {
+                if v < best.0 {
+                    (v, i)
+                } else {
+                    best
+                }
+            });
+        let par = pool.parallel_reduce(
+            0..data.len(),
+            || (f64::INFINITY, usize::MAX),
+            |acc, i| {
+                if data[i] < acc.0 {
+                    *acc = (data[i], i);
+                }
+            },
+            |a, b| {
+                if b.0 < a.0 {
+                    b
+                } else {
+                    a
+                }
+            },
+        );
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.nthreads(), 1);
+        let hits: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        pool.parallel_for(0..4, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn stats_track_regions() {
+        let pool = ThreadPool::new(2);
+        pool.parallel_for(0..10, |_| {});
+        pool.parallel_for(0..0, |_| {});
+        assert_eq!(pool.stats().regions(), 2);
+        assert_eq!(pool.stats().items(), 10);
+        assert_eq!(pool.stats().sequential_fallbacks(), 1);
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let pool = ThreadPool::new(8);
+        let tid = std::thread::current().id();
+        pool.parallel_for(0..1, |_| {
+            assert_eq!(std::thread::current().id(), tid);
+        });
+    }
+}

@@ -1,0 +1,79 @@
+//! Loop scheduling policies, mirroring OpenMP's `schedule(static|dynamic)`.
+
+/// How a `parallel for` divides its iteration space among workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Default)]
+pub enum Schedule {
+    /// Contiguous blocks, one per worker — best cache locality; the default,
+    /// as in OpenMP.
+    #[default]
+    Static,
+    /// Workers repeatedly grab `chunk` iterations from a shared counter —
+    /// better load balance for irregular bodies (e.g. rows with very
+    /// different numbers of non-zeros).
+    Dynamic {
+        /// Iterations taken per grab; must be ≥ 1.
+        chunk: usize,
+    },
+}
+
+
+impl Schedule {
+    /// Dynamic scheduling with a sane default chunk.
+    pub fn dynamic() -> Self {
+        Schedule::Dynamic { chunk: 64 }
+    }
+}
+
+/// The static block `[lo, hi)` of worker `w` out of `t` over `n` items
+/// starting at `start`. Blocks differ in size by at most one item and
+/// exactly cover the range.
+#[inline]
+pub fn static_block(start: usize, n: usize, w: usize, t: usize) -> (usize, usize) {
+    debug_assert!(w < t);
+    (start + w * n / t, start + (w + 1) * n / t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_blocks_partition_exactly() {
+        for n in [0usize, 1, 7, 64, 1000] {
+            for t in [1usize, 2, 3, 7, 16] {
+                let mut covered = 0usize;
+                let mut prev_hi = 10;
+                for w in 0..t {
+                    let (lo, hi) = static_block(10, n, w, t);
+                    assert!(lo <= hi);
+                    assert_eq!(lo, prev_hi, "blocks must be contiguous");
+                    covered += hi - lo;
+                    prev_hi = hi;
+                }
+                assert_eq!(covered, n);
+                assert_eq!(prev_hi, 10 + n);
+            }
+        }
+    }
+
+    #[test]
+    fn static_blocks_are_balanced() {
+        let t = 7;
+        let n = 100;
+        let sizes: Vec<usize> = (0..t)
+            .map(|w| {
+                let (lo, hi) = static_block(0, n, w, t);
+                hi - lo
+            })
+            .collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn default_is_static() {
+        assert_eq!(Schedule::default(), Schedule::Static);
+    }
+}

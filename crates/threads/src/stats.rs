@@ -1,0 +1,52 @@
+//! Lightweight counters for pool activity.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters accumulated across every parallel region run by one pool.
+/// All methods are thread-safe; reads are `Relaxed` snapshots.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    regions: AtomicU64,
+    items: AtomicU64,
+    sequential_fallbacks: AtomicU64,
+}
+
+impl PoolStats {
+    pub(crate) fn record_region(&self, items: usize, sequential: bool) {
+        self.regions.fetch_add(1, Ordering::Relaxed);
+        self.items.fetch_add(items as u64, Ordering::Relaxed);
+        if sequential {
+            self.sequential_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Parallel regions entered (`parallel_for` / `parallel_reduce` calls).
+    pub fn regions(&self) -> u64 {
+        self.regions.load(Ordering::Relaxed)
+    }
+
+    /// Total loop iterations dispatched.
+    pub fn items(&self) -> u64 {
+        self.items.load(Ordering::Relaxed)
+    }
+
+    /// Regions executed inline because there was ≤ 1 worker or ≤ 1 item.
+    pub fn sequential_fallbacks(&self) -> u64 {
+        self.sequential_fallbacks.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = PoolStats::default();
+        s.record_region(10, false);
+        s.record_region(5, true);
+        assert_eq!(s.regions(), 2);
+        assert_eq!(s.items(), 15);
+        assert_eq!(s.sequential_fallbacks(), 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Hyper-parameter selection by ten-fold cross-validation, as the paper
+//! does for Table III (§V-C): sweep a `(C, σ²)` grid, report the best
+//! point, then train the final model with it.
+//!
+//! ```text
+//! cargo run --release --example grid_search
+//! ```
+
+use shrinksvm::prelude::*;
+use shrinksvm_core::cv::{cross_validate, grid_search};
+use shrinksvm_datagen::gaussian;
+
+fn main() {
+    let ds = gaussian::xor(300, 0.2, 5);
+    let (train, test) = ds.split_at(240);
+    println!("train: {}", train.summary());
+
+    let base = SvmParams::new(1.0, KernelKind::Linear).with_epsilon(1e-3);
+    let cs = [1.0, 10.0, 32.0];
+    let sigma_sqs = [0.25, 4.0, 64.0];
+
+    println!("\n(C, σ²) grid, 10-fold CV accuracy:");
+    let points = grid_search(&train, &cs, &sigma_sqs, &base, 10, 42).expect("grid search");
+    for p in &points {
+        println!("  C={:<5} σ²={:<6} -> {:.2}%", p.c, p.sigma_sq, p.mean_accuracy * 100.0);
+    }
+    let best = &points[0];
+    println!("\nselected: C={} σ²={}", best.c, best.sigma_sq);
+
+    // Confirm the selected point with a fresh CV and per-fold spread.
+    let chosen = SvmParams::new(best.c, KernelKind::rbf_from_sigma_sq(best.sigma_sq));
+    let cv = cross_validate(&train, &chosen, 10, 7).expect("cv");
+    println!("re-validated: {:.2}% ± {:.2}%", cv.mean() * 100.0, cv.stddev() * 100.0);
+
+    // Final model on the full training split, evaluated on held-out data.
+    let out = SmoSolver::new(&train, chosen).train().expect("final fit");
+    println!(
+        "final model: {} SVs, held-out accuracy {:.1}%",
+        out.model.n_sv(),
+        accuracy(&out.model, &test) * 100.0
+    );
+}

@@ -1,0 +1,54 @@
+//! Model persistence and the libsvm dataset format: write a dataset to
+//! disk in libsvm text format, read it back, train, save the model, reload
+//! it and predict — the full round trip a downstream user needs.
+//!
+//! ```text
+//! cargo run --release --example model_io
+//! ```
+
+use shrinksvm::prelude::*;
+use shrinksvm_datagen::gaussian;
+use shrinksvm_sparse::io::{read_libsvm, write_libsvm};
+
+fn main() {
+    let dir = std::env::temp_dir().join("shrinksvm-model-io-example");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let data_path = dir.join("rings.libsvm");
+    let model_path = dir.join("rings.model");
+
+    // 1. Write a dataset in the standard libsvm text format.
+    let ds = gaussian::rings(500, 1.0, 0.05, 21);
+    write_libsvm(&ds, &data_path).expect("write dataset");
+    println!("wrote {} samples to {}", ds.len(), data_path.display());
+
+    // 2. Read it back, exactly as a user would read a downloaded dataset.
+    let loaded = read_libsvm(&data_path).expect("read dataset");
+    assert_eq!(loaded.len(), ds.len());
+    let (train, test) = loaded.split_at(400);
+
+    // 3. Train with shrinking enabled and persist the model.
+    let params = SvmParams::new(10.0, KernelKind::rbf_from_sigma_sq(0.5))
+        .with_shrink(ShrinkPolicy::best());
+    let run = DistSolver::new(&train, params).with_processes(2).train().expect("train");
+    run.model.save(&model_path).expect("save model");
+    println!(
+        "trained: {} SVs, bias {:+.4}; saved to {}",
+        run.model.n_sv(),
+        run.model.bias(),
+        model_path.display()
+    );
+
+    // 4. Reload and predict.
+    let model = SvmModel::load(&model_path).expect("load model");
+    let acc = accuracy(&model, &test);
+    println!("reloaded model test accuracy: {:.1}%", acc * 100.0);
+    assert!(acc > 0.95, "rings should be nearly perfectly separable");
+
+    // The reloaded model is byte-for-byte equivalent to the trained one.
+    for i in 0..test.len() {
+        assert_eq!(model.predict(test.x.row(i)), run.model.predict(test.x.row(i)));
+    }
+    println!("reloaded predictions identical ✓");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,67 @@
+//! Scaling study: train the HIGGS-like analog distributed at increasing
+//! rank counts, really executing each configuration, and print the
+//! simulated-time scaling plus a projection to supercomputer scale — a
+//! miniature of the paper's Figure 3 pipeline.
+//!
+//! ```text
+//! cargo run --release --example scaling_study [-- <scale>]
+//! ```
+
+use shrinksvm::prelude::*;
+use shrinksvm_core::perfmodel::MachineModel;
+use shrinksvm_datagen::PaperDataset;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.2);
+    let data = PaperDataset::Higgs.generate(scale);
+    println!("dataset: {} — {}", data.name, data.train.summary());
+
+    let params = SvmParams::new(data.c, KernelKind::rbf_from_sigma_sq(data.sigma_sq))
+        .with_epsilon(1e-3);
+
+    // Really execute at 1..8 ranks; the trajectory is identical, so the
+    // simulated makespans are directly comparable.
+    println!("\nreal threaded execution (simulated cluster clock):");
+    println!("{:>6} {:>10} {:>12} {:>10}", "procs", "iters", "sim time", "speedup");
+    let mut t1 = 0.0;
+    for p in [1usize, 2, 4, 8] {
+        let run = DistSolver::new(&data.train, params.clone().with_shrink(ShrinkPolicy::best()))
+            .with_processes(p)
+            .train()
+            .expect("training");
+        if p == 1 {
+            t1 = run.makespan;
+        }
+        println!(
+            "{:>6} {:>10} {:>10.2}ms {:>10.2}",
+            p,
+            run.iterations,
+            run.makespan * 1e3,
+            t1 / run.makespan
+        );
+    }
+
+    // Project the captured trace to the paper's process grid.
+    let cap = DistSolver::new(&data.train, params.with_shrink(ShrinkPolicy::best()))
+        .with_processes(4)
+        .train()
+        .expect("capture");
+    let model = MachineModel::default();
+    let row_bytes = 44.0 + 12.0 * data.train.x.mean_row_nnz();
+    println!("\nmodel projection to cluster scale (same trace, Table-I cost model):");
+    println!("{:>6} {:>12} {:>10} {:>8}", "procs", "time", "speedup", "recon%");
+    let t1p = model.project(&cap.trace, 1, row_bytes).total();
+    for p in [64usize, 256, 1024, 4096] {
+        let proj = model.project(&cap.trace, p, row_bytes);
+        println!(
+            "{:>6} {:>10.2}ms {:>10.1} {:>7.2}%",
+            p,
+            proj.total() * 1e3,
+            t1p / proj.total(),
+            proj.recon_fraction() * 100.0
+        );
+    }
+}

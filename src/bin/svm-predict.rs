@@ -1,0 +1,104 @@
+//! `svm-predict` — classify a libsvm-format file with a trained model, in
+//! the spirit of libsvm's tool of the same name.
+//!
+//! ```text
+//! svm-predict [-q] [-v] test_file model_file [output_file]
+//!
+//!   -q   quiet (accuracy only to stdout)
+//!   -v   verbose: also print the confusion matrix / precision / recall
+//! ```
+//!
+//! Writes one predicted label per line to `output_file` (if given) and
+//! prints accuracy like libsvm: `Accuracy = 97.5% (390/400)`.
+
+use std::io::Write;
+use std::process::exit;
+
+use shrinksvm::prelude::*;
+use shrinksvm::sparse::io::read_libsvm;
+use shrinksvm_core::metrics::Confusion;
+
+fn usage() -> ! {
+    eprintln!("usage: svm-predict [-q] [-v] test_file model_file [output_file]");
+    exit(2);
+}
+
+fn main() {
+    let mut quiet = false;
+    let mut verbose = false;
+    let mut positional: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "-q" => quiet = true,
+            "-v" => verbose = true,
+            "-h" | "--help" => usage(),
+            _ => positional.push(a),
+        }
+    }
+    if positional.len() < 2 || positional.len() > 3 {
+        usage();
+    }
+    let test_file = &positional[0];
+    let model_file = &positional[1];
+    let output_file = positional.get(2);
+
+    let ds = match read_libsvm(test_file) {
+        Ok(ds) => ds,
+        Err(e) => {
+            eprintln!("svm-predict: cannot read {test_file}: {e}");
+            exit(1);
+        }
+    };
+    let model = match SvmModel::load(model_file) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("svm-predict: cannot load model {model_file}: {e}");
+            exit(1);
+        }
+    };
+    if !quiet {
+        eprintln!(
+            "model: {} SVs, kernel {}, bias {:+.6}",
+            model.n_sv(),
+            model.kernel().name(),
+            model.bias()
+        );
+    }
+
+    let mut out: Box<dyn Write> = match output_file {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Box::new(std::io::BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("svm-predict: cannot create {path}: {e}");
+                exit(1);
+            }
+        },
+        None => Box::new(std::io::sink()),
+    };
+    let mut correct = 0usize;
+    for i in 0..ds.len() {
+        let pred = model.predict(ds.x.row(i));
+        if pred == ds.y[i] {
+            correct += 1;
+        }
+        writeln!(out, "{}", pred as i64).expect("write prediction");
+    }
+    out.flush().expect("flush predictions");
+
+    println!(
+        "Accuracy = {:.4}% ({}/{})",
+        100.0 * correct as f64 / ds.len().max(1) as f64,
+        correct,
+        ds.len()
+    );
+    if verbose {
+        let c = Confusion::evaluate(&model, &ds);
+        println!("confusion: tp={} fp={} tn={} fn={}", c.tp, c.fp, c.tn, c.fn_);
+        println!(
+            "precision = {:.4}  recall = {:.4}  f1 = {:.4}",
+            c.precision(),
+            c.recall(),
+            c.f1()
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! `svm-scale` — per-feature scaling of libsvm-format data, in the spirit
+//! of libsvm's tool of the same name.
+//!
+//! ```text
+//! svm-scale [-u upper] [-s save_file | -r restore_file] data_file
+//!
+//!   -u <float>  target magnitude (features land in [-u, u]; default 1.0)
+//!   -s <file>   save the fitted scaling factors to <file>
+//!   -r <file>   restore factors from <file> instead of fitting (so test
+//!               sets are scaled consistently with their training set)
+//! ```
+//!
+//! Scaled data is written to stdout. Scaling is zero-preserving (sparse
+//! data stays sparse), matching this crate's `Scaler`.
+
+use std::io::{BufRead, Write};
+use std::process::exit;
+
+use shrinksvm::sparse::io::{read_libsvm, write_libsvm_to};
+use shrinksvm::sparse::scale::Scaler;
+use shrinksvm::sparse::Dataset;
+
+fn usage() -> ! {
+    eprintln!("usage: svm-scale [-u upper] [-s save_file | -r restore_file] data_file");
+    exit(2);
+}
+
+fn save_factors(path: &str, scaler: &Scaler) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "shrinksvm-scale v1 {}", scaler.hi)?;
+    for (i, v) in scaler.factors.iter().enumerate() {
+        writeln!(f, "{} {v:e}", i + 1)?;
+    }
+    f.flush()
+}
+
+fn load_factors(path: &str) -> Result<Scaler, String> {
+    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+    let mut lines = std::io::BufReader::new(file).lines();
+    let header = lines.next().ok_or("empty factor file")?.map_err(|e| e.to_string())?;
+    let toks: Vec<&str> = header.split_whitespace().collect();
+    if toks.len() != 3 || toks[0] != "shrinksvm-scale" || toks[1] != "v1" {
+        return Err(format!("bad header '{header}'"));
+    }
+    let hi: f64 = toks[2].parse().map_err(|_| "bad magnitude")?;
+    let mut factors = Vec::new();
+    for line in lines {
+        let line = line.map_err(|e| e.to_string())?;
+        let mut t = line.split_whitespace();
+        let idx: usize = t
+            .next()
+            .ok_or("missing index")?
+            .parse()
+            .map_err(|_| "bad index")?;
+        let val: f64 = t
+            .next()
+            .ok_or("missing factor")?
+            .parse()
+            .map_err(|_| "bad factor")?;
+        if idx != factors.len() + 1 {
+            return Err(format!("non-contiguous factor index {idx}"));
+        }
+        factors.push(val);
+    }
+    Ok(Scaler { factors, hi })
+}
+
+fn main() {
+    let mut upper = 1.0f64;
+    let mut save: Option<String> = None;
+    let mut restore: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-u" => upper = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "-s" => save = Some(args.next().unwrap_or_else(|| usage())),
+            "-r" => restore = Some(args.next().unwrap_or_else(|| usage())),
+            "-h" | "--help" => usage(),
+            _ => positional.push(a),
+        }
+    }
+    if positional.len() != 1 || (save.is_some() && restore.is_some()) {
+        usage();
+    }
+    let ds = match read_libsvm(&positional[0]) {
+        Ok(ds) => ds,
+        Err(e) => {
+            eprintln!("svm-scale: cannot read {}: {e}", positional[0]);
+            exit(1);
+        }
+    };
+    let scaler = match &restore {
+        Some(path) => match load_factors(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("svm-scale: cannot restore factors: {e}");
+                exit(1);
+            }
+        },
+        None => Scaler::fit(&ds.x, upper),
+    };
+    if let Some(path) = &save {
+        if let Err(e) = save_factors(path, &scaler) {
+            eprintln!("svm-scale: cannot save factors: {e}");
+            exit(1);
+        }
+    }
+    let x = match scaler.transform(&ds.x) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("svm-scale: {e}");
+            exit(1);
+        }
+    };
+    let scaled = Dataset::new(x, ds.y).expect("labels unchanged");
+    let stdout = std::io::stdout();
+    if let Err(e) = write_libsvm_to(&scaled, stdout.lock()) {
+        eprintln!("svm-scale: write failed: {e}");
+        exit(1);
+    }
+}

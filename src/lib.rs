@@ -1,0 +1,58 @@
+//! # shrinksvm
+//!
+//! A distributed-memory Support Vector Machine trainer with adaptive sample
+//! *shrinking* and distributed *gradient reconstruction* — a from-scratch
+//! Rust reproduction of:
+//!
+//! > A. Vishnu, J. Narasimhan, L. Holder, D. Kerbyson, A. Hoisie.
+//! > *Fast and Accurate Support Vector Machines on Large Scale Systems.*
+//! > IEEE CLUSTER 2015.
+//!
+//! This facade crate re-exports the workspace members so applications can
+//! depend on a single crate:
+//!
+//! * [`sparse`] — CSR matrices, libsvm I/O, scaling, datasets.
+//! * [`datagen`] — synthetic analogs of the paper's ten datasets.
+//! * [`mpisim`] — the MPI-like message-passing substrate (threaded ranks,
+//!   LogGP cost model, simulated clocks).
+//! * [`threads`] — the OpenMP-analog thread pool used by the enhanced-libsvm
+//!   baseline.
+//! * [`core`] — SMO solvers (sequential, multicore, distributed), the
+//!   shrinking heuristics of Table II, gradient reconstruction
+//!   (Algorithm 3), models, metrics, cross-validation, tracing and the
+//!   performance projector.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use shrinksvm::prelude::*;
+//!
+//! // A small, clearly separable synthetic problem.
+//! let ds = shrinksvm::datagen::planted::PlantedConfig::small_demo(42).generate();
+//! let (train, test) = ds.split_at(ds.len() * 4 / 5);
+//!
+//! let params = SvmParams::new(1.0, KernelKind::rbf_from_sigma_sq(1.0)).with_epsilon(1e-3);
+//! let model = SmoSolver::new(&train, params).train().unwrap().model;
+//! let acc = accuracy(&model, &test);
+//! assert!(acc > 0.8, "accuracy was {acc}");
+//! ```
+
+pub use shrinksvm_core as core;
+pub use shrinksvm_datagen as datagen;
+pub use shrinksvm_mpisim as mpisim;
+pub use shrinksvm_sparse as sparse;
+pub use shrinksvm_threads as threads;
+
+/// Convenient re-exports of the types most programs need.
+pub mod prelude {
+    pub use shrinksvm_core::dist::{DistConfig, DistSolver};
+    pub use shrinksvm_core::kernel::KernelKind;
+    pub use shrinksvm_core::metrics::accuracy;
+    pub use shrinksvm_core::model::SvmModel;
+    pub use shrinksvm_core::params::SvmParams;
+    pub use shrinksvm_core::shrink::{Heuristic, ReconPolicy, ShrinkPolicy};
+    pub use shrinksvm_core::smo::SmoSolver;
+    pub use shrinksvm_mpisim::{CostParams, Universe};
+    pub use shrinksvm_sparse::{CsrMatrix, Dataset, RowView};
+    pub use shrinksvm_threads::ThreadPool;
+}

@@ -1,0 +1,147 @@
+//! End-to-end tests of the command-line tool suite
+//! (`svm-scale` → `svm-train` → `svm-predict`).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("shrinksvm-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Deterministic two-class libsvm-format file: class signal on feature 1.
+fn write_dataset(path: &PathBuf, n: usize, seed: u64) {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 2001) as f64 / 1000.0 - 1.0
+    };
+    let mut out = String::new();
+    for i in 0..n {
+        let y: f64 = if i % 2 == 0 { 1.0 } else { -1.0 };
+        let x0 = y * 1.5 + 0.5 * next();
+        let x1 = next() * 3.0;
+        out.push_str(&format!("{} 1:{:.4} 2:{:.4}\n", y as i64, x0, x1));
+    }
+    std::fs::write(path, out).unwrap();
+}
+
+fn run(bin: &str, args: &[&str]) -> std::process::Output {
+    Command::new(bin).args(args).output().expect("binary runs")
+}
+
+#[test]
+fn scale_train_predict_pipeline() {
+    let dir = workdir();
+    let train = dir.join("train.libsvm");
+    let test = dir.join("test.libsvm");
+    write_dataset(&train, 240, 7);
+    write_dataset(&test, 80, 99);
+
+    // scale: fit on train, save factors, restore for test
+    let factors = dir.join("factors");
+    let train_scaled = dir.join("train.scaled");
+    let test_scaled = dir.join("test.scaled");
+    let out = run(
+        env!("CARGO_BIN_EXE_svm-scale"),
+        &["-u", "1", "-s", factors.to_str().unwrap(), train.to_str().unwrap()],
+    );
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::write(&train_scaled, &out.stdout).unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_svm-scale"),
+        &["-r", factors.to_str().unwrap(), test.to_str().unwrap()],
+    );
+    assert!(out.status.success());
+    std::fs::write(&test_scaled, &out.stdout).unwrap();
+
+    // train distributed with shrinking
+    let model = dir.join("m.model");
+    let out = run(
+        env!("CARGO_BIN_EXE_svm-train"),
+        &[
+            "-t", "2", "-g", "2", "-c", "10", "-H", "Multi5pc", "-P", "3",
+            train_scaled.to_str().unwrap(),
+            model.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+
+    // predict
+    let preds = dir.join("preds");
+    let out = run(
+        env!("CARGO_BIN_EXE_svm-predict"),
+        &[
+            test_scaled.to_str().unwrap(),
+            model.to_str().unwrap(),
+            preds.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Accuracy ="), "{stdout}");
+    // pull the percentage out and require a sane classifier
+    let pct: f64 = stdout
+        .split("Accuracy = ")
+        .nth(1)
+        .and_then(|s| s.split('%').next())
+        .and_then(|s| s.trim().parse().ok())
+        .expect("accuracy parse");
+    assert!(pct > 90.0, "accuracy {pct}%");
+    // one prediction per test line
+    let lines = std::fs::read_to_string(&preds).unwrap().lines().count();
+    assert_eq!(lines, 80);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn train_sequential_and_multicore_paths() {
+    let dir = workdir();
+    let train = dir.join("t2.libsvm");
+    write_dataset(&train, 150, 13);
+    let model = dir.join("t2.model");
+
+    // sequential with 2nd-order WSS (the default path)
+    let out = run(
+        env!("CARGO_BIN_EXE_svm-train"),
+        &["-t", "2", "-g", "1", "-q", train.to_str().unwrap(), model.to_str().unwrap()],
+    );
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // multicore
+    let out = run(
+        env!("CARGO_BIN_EXE_svm-train"),
+        &["-T", "2", "-q", train.to_str().unwrap(), model.to_str().unwrap()],
+    );
+    assert!(out.status.success());
+
+    // weighted classes
+    let out = run(
+        env!("CARGO_BIN_EXE_svm-train"),
+        &["-w+", "4", "-w-", "1", "-q", train.to_str().unwrap(), model.to_str().unwrap()],
+    );
+    assert!(out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let out = run(env!("CARGO_BIN_EXE_svm-train"), &["/does/not/exist.libsvm"]);
+    assert!(!out.status.success());
+    let out = run(env!("CARGO_BIN_EXE_svm-predict"), &["a"]);
+    assert!(!out.status.success());
+    let dir = workdir();
+    let train = dir.join("t3.libsvm");
+    write_dataset(&train, 50, 5);
+    let out = run(
+        env!("CARGO_BIN_EXE_svm-train"),
+        &["-H", "bogus", train.to_str().unwrap()],
+    );
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}

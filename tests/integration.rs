@@ -1,0 +1,125 @@
+//! End-to-end integration: the full user journey across every crate —
+//! generate → persist → load → scale → train (all three solvers) →
+//! evaluate → persist model → reload → predict.
+
+use shrinksvm::prelude::*;
+use shrinksvm::sparse::io::{read_libsvm, write_libsvm};
+use shrinksvm::sparse::scale::Scaler;
+use shrinksvm_core::cv::cross_validate;
+use shrinksvm_core::metrics::Confusion;
+use shrinksvm_core::perfmodel::MachineModel;
+use shrinksvm_datagen::{gaussian, PaperDataset};
+
+#[test]
+fn full_pipeline_through_files() {
+    let dir = std::env::temp_dir().join("shrinksvm-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let data_path = dir.join("data.libsvm");
+    let model_path = dir.join("model.txt");
+
+    // generate + persist + reload
+    let ds = gaussian::two_blobs(300, 6, 5.0, 3);
+    write_libsvm(&ds, &data_path).unwrap();
+    let loaded = read_libsvm(&data_path).unwrap();
+    assert_eq!(loaded.len(), 300);
+
+    // scale train and test consistently
+    let (mut train, mut test) = loaded.split_at(240);
+    Scaler::fit_transform_all(&mut [&mut train, &mut test], 1.0);
+
+    // distributed training with shrinking
+    let params = SvmParams::new(10.0, KernelKind::rbf_from_sigma_sq(2.0))
+        .with_shrink(ShrinkPolicy::best());
+    let run = DistSolver::new(&train, params).with_processes(3).train().unwrap();
+    assert!(run.converged);
+
+    // model persistence round trip preserves predictions
+    run.model.save(&model_path).unwrap();
+    let back = SvmModel::load(&model_path).unwrap();
+    for i in 0..test.len() {
+        assert_eq!(back.predict(test.x.row(i)), run.model.predict(test.x.row(i)));
+    }
+    let acc = accuracy(&back, &test);
+    assert!(acc > 0.9, "accuracy {acc}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn three_solvers_agree_on_a_paper_dataset() {
+    let data = PaperDataset::W7a.generate(0.1);
+    let test = data.test.as_ref().unwrap();
+    let params = SvmParams::new(data.c, KernelKind::rbf_from_sigma_sq(data.sigma_sq));
+
+    let seq = SmoSolver::new(&data.train, params.clone().with_cache_bytes(32 << 20))
+        .train()
+        .unwrap();
+    let pool = ThreadPool::new(3);
+    let smp = SmoSolver::new(&data.train, params.clone())
+        .with_pool(&pool)
+        .train()
+        .unwrap();
+    let dist = DistSolver::new(&data.train, params.with_shrink(ShrinkPolicy::best()))
+        .with_processes(4)
+        .train()
+        .unwrap();
+
+    assert_eq!(seq.iterations, smp.iterations, "pool must not change math");
+    let a_seq = accuracy(&seq.model, test);
+    let a_smp = accuracy(&smp.model, test);
+    let a_dist = accuracy(&dist.model, test);
+    assert_eq!(a_seq, a_smp);
+    assert!((a_seq - a_dist).abs() < 0.02, "{a_seq} vs {a_dist}");
+}
+
+#[test]
+fn confusion_matrix_is_consistent_with_accuracy() {
+    let data = PaperDataset::CodRna.generate(0.1);
+    let test = data.test.as_ref().unwrap();
+    let params = SvmParams::new(data.c, KernelKind::rbf_from_sigma_sq(data.sigma_sq));
+    let out = SmoSolver::new(&data.train, params).train().unwrap();
+    let c = Confusion::evaluate(&out.model, test);
+    assert_eq!(c.total(), test.len());
+    assert!((c.accuracy() - accuracy(&out.model, test)).abs() < 1e-15);
+    assert!(c.f1() > 0.5);
+}
+
+#[test]
+fn cross_validation_runs_on_generated_data() {
+    let ds = gaussian::rings(240, 1.0, 0.08, 5);
+    let params = SvmParams::new(10.0, KernelKind::rbf_from_sigma_sq(0.5));
+    let cv = cross_validate(&ds, &params, 4, 9).unwrap();
+    assert!(cv.mean() > 0.9, "rings cv accuracy {}", cv.mean());
+}
+
+#[test]
+fn trace_projection_reproduces_simulated_clock_order() {
+    // The projector and the mpisim clocks are two implementations of the
+    // same cost model; they must rank configurations identically.
+    let data = PaperDataset::Higgs.generate(0.08);
+    let params = SvmParams::new(data.c, KernelKind::rbf_from_sigma_sq(data.sigma_sq));
+    let measure = |p: usize| {
+        DistSolver::new(&data.train, params.clone())
+            .with_processes(p)
+            .train()
+            .unwrap()
+    };
+    let r2 = measure(2);
+    let r4 = measure(4);
+    assert!(r4.makespan < r2.makespan, "sim clocks: more ranks faster");
+    let model = MachineModel::default();
+    let row_bytes = 44.0 + 12.0 * data.train.x.mean_row_nnz();
+    let p2 = model.project(&r2.trace, 2, row_bytes).total();
+    let p4 = model.project(&r2.trace, 4, row_bytes).total();
+    assert!(p4 < p2, "projection agrees on the ordering");
+}
+
+#[test]
+fn workspace_prelude_is_sufficient_for_the_readme_snippet() {
+    // If this compiles and runs, the README quickstart is honest.
+    let ds = shrinksvm::datagen::planted::PlantedConfig::small_demo(42).generate();
+    let (train, test) = ds.split_at(ds.len() * 4 / 5);
+    let params = SvmParams::new(1.0, KernelKind::rbf_from_sigma_sq(1.0)).with_epsilon(1e-3);
+    let model = SmoSolver::new(&train, params).train().unwrap().model;
+    assert!(accuracy(&model, &test) > 0.8);
+}

@@ -1,0 +1,140 @@
+//! Property tests for the message-passing substrate: every collective must
+//! equal its sequential reduction for arbitrary rank counts and inputs,
+//! and the simulated clocks must behave like time.
+
+use proptest::prelude::*;
+use shrinksvm::mpisim::{CostParams, MaxLoc, MinLoc, Universe};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allreduce_sum_equals_sequential(
+        p in 1usize..10,
+        values in proptest::collection::vec(-1e6..1e6f64, 10)
+    ) {
+        let vals = values.clone();
+        let out = Universe::new(p).run(move |c| c.allreduce_f64_sum(vals[c.rank()]));
+        let expect: f64 = values[..p].iter().sum();
+        for o in &out {
+            prop_assert!((o.value - expect).abs() <= 1e-9 * (1.0 + expect.abs()),
+                "p={p}: {} vs {expect}", o.value);
+        }
+        // every rank agrees exactly (same reduction tree)
+        for o in &out {
+            prop_assert_eq!(o.value, out[0].value);
+        }
+    }
+
+    #[test]
+    fn minloc_maxloc_agree_with_scan(
+        p in 1usize..9,
+        values in proptest::collection::vec(-100.0..100.0f64, 9)
+    ) {
+        let vals = values.clone();
+        let out = Universe::new(p).run(move |c| {
+            let m = MinLoc { value: vals[c.rank()], index: c.rank() as u64 };
+            let x = MaxLoc { value: vals[c.rank()], index: c.rank() as u64 };
+            (c.allreduce_minloc(m), c.allreduce_maxloc(x))
+        });
+        let mut exp_min = MinLoc::identity();
+        let mut exp_max = MaxLoc::identity();
+        for (i, &v) in values[..p].iter().enumerate() {
+            exp_min = MinLoc::combine(exp_min, MinLoc { value: v, index: i as u64 });
+            exp_max = MaxLoc::combine(exp_max, MaxLoc { value: v, index: i as u64 });
+        }
+        for o in &out {
+            prop_assert_eq!(o.value.0, exp_min);
+            prop_assert_eq!(o.value.1, exp_max);
+        }
+    }
+
+    #[test]
+    fn bcast_delivers_arbitrary_payloads(
+        p in 1usize..9,
+        root_choice in 0usize..9,
+        payload in proptest::collection::vec(any::<u8>(), 0..200)
+    ) {
+        let root = root_choice % p;
+        let pl = payload.clone();
+        let out = Universe::new(p).run(move |c| {
+            let mine = if c.rank() == root { pl.clone() } else { vec![] };
+            c.bcast(root, &mine)
+        });
+        for o in &out {
+            prop_assert_eq!(&o.value, &payload);
+        }
+    }
+
+    #[test]
+    fn allgatherv_preserves_every_piece(p in 1usize..8, stamp in any::<u8>()) {
+        let out = Universe::new(p).run(move |c| {
+            let mine = vec![stamp ^ (c.rank() as u8); c.rank() % 3 + 1];
+            c.allgatherv(&mine)
+        });
+        for o in &out {
+            for (r, piece) in o.value.iter().enumerate() {
+                prop_assert_eq!(piece, &vec![stamp ^ (r as u8); r % 3 + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn clocks_are_monotone_and_barrier_syncs(
+        p in 2usize..8,
+        busy_rank in 0usize..8,
+        work in 0.0..100.0f64
+    ) {
+        let busy = busy_rank % p;
+        let out = Universe::new(p)
+            .with_cost(CostParams { latency: 0.5, gap_per_byte: 0.0, send_overhead: 0.1 })
+            .run(move |c| {
+                let before = c.clock();
+                if c.rank() == busy {
+                    c.advance_compute(work);
+                }
+                c.barrier();
+                let after = c.clock();
+                (before, after)
+            });
+        for o in &out {
+            prop_assert!(o.value.1 >= o.value.0, "clock went backwards");
+            prop_assert!(o.value.1 >= work, "barrier must not complete before the slowest rank");
+        }
+    }
+
+    #[test]
+    fn ring_circulation_conserves_data(p in 1usize..8) {
+        let out = Universe::new(p).run(move |c| {
+            let mut cur = vec![c.rank() as u8];
+            let mut collected = vec![c.rank()];
+            for _ in 0..p - 1 {
+                cur = c.ring_shift(&cur);
+                collected.push(cur[0] as usize);
+            }
+            collected.sort_unstable();
+            collected
+        });
+        for o in &out {
+            prop_assert_eq!(&o.value, &(0..p).collect::<Vec<_>>());
+        }
+    }
+}
+
+#[test]
+fn stats_balance_across_fleet() {
+    // total messages sent == total received for a busy collective workload
+    let out = Universe::new(6).run(|c| {
+        c.allreduce_f64_sum(1.0);
+        c.barrier();
+        c.bcast(2, &[1, 2, 3]);
+        c.allgatherv(&[c.rank() as u8]);
+        c.stats()
+    });
+    let sent: u64 = out.iter().map(|o| o.value.msgs_sent).sum();
+    let recv: u64 = out.iter().map(|o| o.value.msgs_recv).sum();
+    assert_eq!(sent, recv);
+    let bytes_sent: u64 = out.iter().map(|o| o.value.bytes_sent).sum();
+    let bytes_recv: u64 = out.iter().map(|o| o.value.bytes_recv).sum();
+    assert_eq!(bytes_sent, bytes_recv);
+}

@@ -1,0 +1,134 @@
+//! Property tests on the optimizer itself: dual feasibility, optimality at
+//! termination, shrinking exactness and process-count invariance on
+//! randomly generated problems.
+
+use proptest::prelude::*;
+use shrinksvm::core::dist::DistSolver;
+use shrinksvm::core::kernel::{KernelEval, KernelKind};
+use shrinksvm::core::params::SvmParams;
+use shrinksvm::core::shrink::{Heuristic, ReconPolicy, ShrinkPolicy};
+use shrinksvm::core::smo::update::solve_pair;
+use shrinksvm::core::smo::SmoSolver;
+use shrinksvm::sparse::{CsrMatrix, Dataset};
+
+/// Strategy: a random small two-class dataset (guaranteed both classes).
+fn dataset() -> impl Strategy<Value = Dataset> {
+    (4usize..40, 1usize..5, 0u64..10_000).prop_map(|(n, dim, seed)| {
+        // cheap deterministic pseudo-data from the seed
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        let mut state = seed.wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f64 / 1000.0 - 1.0
+        };
+        for i in 0..n {
+            let label = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let mut row: Vec<f64> = (0..dim).map(|_| next()).collect();
+            row[0] += label; // some signal so problems aren't pure noise
+            rows.push(row);
+            y.push(label);
+        }
+        Dataset::new(CsrMatrix::from_dense(&rows, dim).unwrap(), y).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pair_solve_feasibility(
+        y_up in prop_oneof![Just(1.0), Just(-1.0)],
+        y_low in prop_oneof![Just(1.0), Just(-1.0)],
+        a_up in 0.0..1.0f64,
+        a_low in 0.0..1.0f64,
+        g_up in -10.0..10.0f64,
+        g_low in -10.0..10.0f64,
+        k_ul in -1.0..1.0f64,
+    ) {
+        let c = 1.0;
+        let sol = solve_pair(y_up, y_low, a_up, a_low, g_up, g_low, 1.0, 1.0, k_ul, c, 1e-12);
+        prop_assert!((0.0..=c).contains(&sol.alpha_up), "{sol:?}");
+        prop_assert!((0.0..=c).contains(&sol.alpha_low), "{sol:?}");
+        // equality constraint preserved
+        let drift = y_up * sol.delta_up + y_low * sol.delta_low;
+        prop_assert!(drift.abs() < 1e-9, "Σαy drift {drift}");
+    }
+
+    #[test]
+    fn training_satisfies_kkt_style_invariants(ds in dataset(), c_exp in 0i32..3) {
+        let c = 10f64.powi(c_exp - 1); // 0.1, 1, 10
+        let params = SvmParams::new(c, KernelKind::Rbf { gamma: 0.5 })
+            .with_epsilon(1e-3)
+            .with_max_iter(50_000);
+        let out = SmoSolver::new(&ds, params).train().unwrap();
+        prop_assert!(out.converged);
+        // Σ coef = Σ α y = 0; |coef| ≤ C
+        let sum: f64 = out.model.coefficients().iter().sum();
+        prop_assert!(sum.abs() < 1e-7 * (1.0 + c), "Σαy = {sum}");
+        for &co in out.model.coefficients() {
+            prop_assert!(co.abs() <= c + 1e-9);
+        }
+        // final optimality gap within tolerance
+        prop_assert!(out.final_gap <= 2.0 * 1e-3 + 1e-12);
+    }
+
+    #[test]
+    fn dual_objective_never_higher_with_more_iterations(ds in dataset()) {
+        let ke = KernelEval::new(KernelKind::Rbf { gamma: 0.5 }, &ds.x);
+        let obj_at = |iters: u64| {
+            let params = SvmParams::new(1.0, KernelKind::Rbf { gamma: 0.5 })
+                .with_max_iter(iters);
+            let out = SmoSolver::new(&ds, params).train().unwrap();
+            let mut alpha = vec![0.0; ds.len()];
+            for (k, &idx) in out.model.training_indices().iter().enumerate() {
+                alpha[idx] = out.model.coefficients()[k] * ds.y[idx];
+            }
+            shrinksvm::core::smo::dual_objective(&ke, &ds.y, &alpha)
+        };
+        let o3 = obj_at(3);
+        let o30 = obj_at(30);
+        let o300 = obj_at(300);
+        prop_assert!(o30 <= o3 + 1e-9, "{o3} -> {o30}");
+        prop_assert!(o300 <= o30 + 1e-9, "{o30} -> {o300}");
+    }
+
+    #[test]
+    fn shrinking_never_changes_the_answer(ds in dataset(), procs in 1usize..5) {
+        let base = SvmParams::new(1.0, KernelKind::Rbf { gamma: 0.5 })
+            .with_epsilon(1e-3)
+            .with_max_iter(50_000);
+        let plain = DistSolver::new(&ds, base.clone()).with_processes(procs).train().unwrap();
+        let shrunk = DistSolver::new(
+            &ds,
+            base.with_shrink(ShrinkPolicy::new(Heuristic::Random(2), ReconPolicy::Multi)),
+        )
+        .with_processes(procs)
+        .train()
+        .unwrap();
+        prop_assert!(plain.converged && shrunk.converged);
+        // both satisfy the optimality gap on the full set
+        prop_assert!(shrunk.trace.final_gap <= 2e-3 + 1e-12);
+        // identical predictions on the training samples
+        for i in 0..ds.len() {
+            prop_assert_eq!(
+                plain.model.predict(ds.x.row(i)),
+                shrunk.model.predict(ds.x.row(i)),
+                "sample {} diverged", i
+            );
+        }
+    }
+
+    #[test]
+    fn process_count_is_invisible(ds in dataset(), pa in 1usize..6, pb in 1usize..6) {
+        let params = SvmParams::new(1.0, KernelKind::Rbf { gamma: 0.5 })
+            .with_epsilon(1e-3)
+            .with_max_iter(50_000);
+        let a = DistSolver::new(&ds, params.clone()).with_processes(pa).train().unwrap();
+        let b = DistSolver::new(&ds, params).with_processes(pb).train().unwrap();
+        prop_assert_eq!(a.iterations, b.iterations);
+        prop_assert_eq!(a.model.coefficients(), b.model.coefficients());
+    }
+}

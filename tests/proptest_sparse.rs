@@ -1,0 +1,128 @@
+//! Property tests for the sparse substrate: CSR structure, arithmetic
+//! identities, I/O and scaling.
+
+use proptest::prelude::*;
+use shrinksvm::sparse::io::{read_libsvm_from, write_libsvm_to};
+use shrinksvm::sparse::ops;
+use shrinksvm::sparse::scale::Scaler;
+use shrinksvm::sparse::{CsrBuilder, CsrMatrix, Dataset};
+
+/// Strategy: a small dense matrix as `Vec<Vec<f64>>` with bounded values.
+fn dense_matrix() -> impl Strategy<Value = (Vec<Vec<f64>>, usize)> {
+    (1usize..8).prop_flat_map(|ncols| {
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(
+                    prop_oneof![3 => Just(0.0), 7 => -100.0..100.0f64],
+                    ncols,
+                ),
+                1..12,
+            ),
+            Just(ncols),
+        )
+    })
+}
+
+/// Strategy: one sparse row over `ncols` columns.
+fn sparse_row(ncols: u32) -> impl Strategy<Value = Vec<(u32, f64)>> {
+    proptest::collection::btree_map(0..ncols, -50.0..50.0f64, 0..(ncols as usize).min(10))
+        .prop_map(|m| m.into_iter().filter(|(_, v)| *v != 0.0).collect())
+}
+
+proptest! {
+    #[test]
+    fn csr_dense_roundtrip((rows, ncols) in dense_matrix()) {
+        let m = CsrMatrix::from_dense(&rows, ncols).unwrap();
+        prop_assert!(m.validate().is_ok());
+        let back = m.to_dense();
+        for (orig, rt) in rows.iter().zip(&back) {
+            prop_assert_eq!(orig, rt);
+        }
+        // nnz agrees with the dense count of non-zeros
+        let nnz: usize = rows.iter().flatten().filter(|v| **v != 0.0).count();
+        prop_assert_eq!(m.nnz(), nnz);
+    }
+
+    #[test]
+    fn dot_is_symmetric_and_matches_dense(
+        a in sparse_row(20), b in sparse_row(20)
+    ) {
+        let mut ba = CsrBuilder::new(20);
+        ba.push_row_unsorted(a.clone()).unwrap();
+        ba.push_row_unsorted(b.clone()).unwrap();
+        let m = ba.finish();
+        let (ra, rb) = (m.row(0), m.row(1));
+        let d1 = ops::dot(ra, rb);
+        let d2 = ops::dot(rb, ra);
+        prop_assert_eq!(d1, d2);
+        let dense_b = rb.to_dense(20);
+        let d3 = ops::dot_dense(ra, &dense_b);
+        prop_assert!((d1 - d3).abs() <= 1e-9 * (1.0 + d1.abs()));
+    }
+
+    #[test]
+    fn distance_identity_holds(a in sparse_row(16), b in sparse_row(16)) {
+        let mut bld = CsrBuilder::new(16);
+        bld.push_row_unsorted(a).unwrap();
+        bld.push_row_unsorted(b).unwrap();
+        let m = bld.finish();
+        let (ra, rb) = (m.row(0), m.row(1));
+        let via_norms = ops::squared_distance_direct(ra, rb);
+        let direct: f64 = {
+            let da = ra.to_dense(16);
+            let db = rb.to_dense(16);
+            da.iter().zip(&db).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+        prop_assert!(via_norms >= 0.0);
+        prop_assert!((via_norms - direct).abs() <= 1e-7 * (1.0 + direct));
+    }
+
+    #[test]
+    fn libsvm_io_roundtrips((rows, ncols) in dense_matrix()) {
+        let m = CsrMatrix::from_dense(&rows, ncols).unwrap();
+        let y: Vec<f64> = (0..m.nrows()).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let ds = Dataset::new(m, y).unwrap();
+        let mut buf = Vec::new();
+        write_libsvm_to(&ds, &mut buf).unwrap();
+        let back = read_libsvm_from(&buf[..]).unwrap();
+        prop_assert_eq!(back.len(), ds.len());
+        prop_assert_eq!(&back.y, &ds.y);
+        for i in 0..ds.len() {
+            prop_assert_eq!(back.x.row(i).indices, ds.x.row(i).indices);
+            for (va, vb) in back.x.row(i).values.iter().zip(ds.x.row(i).values) {
+                prop_assert!((va - vb).abs() < 1e-12, "value drift {va} vs {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn scaler_bounds_training_data((rows, ncols) in dense_matrix()) {
+        let m = CsrMatrix::from_dense(&rows, ncols).unwrap();
+        let s = Scaler::fit(&m, 1.0);
+        let t = s.transform(&m).unwrap();
+        prop_assert_eq!(t.nnz(), m.nnz(), "sparsity preserved");
+        for i in 0..t.nrows() {
+            for (_, v) in t.row(i).iter() {
+                prop_assert!(v.abs() <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation(n in 1usize..40, seed in 0u64..1000) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let m = CsrMatrix::from_dense(&rows, 1).unwrap();
+        let y: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let ds = Dataset::new(m, y).unwrap();
+        let sh = ds.shuffled(seed);
+        let mut seen: Vec<i64> = (0..sh.len()).map(|i| sh.x.row(i).get(0) as i64).collect();
+        seen.sort_unstable();
+        let expect: Vec<i64> = (0..n as i64).collect();
+        prop_assert_eq!(seen, expect);
+        // labels still pair with their rows
+        for i in 0..sh.len() {
+            let v = sh.x.row(i).get(0) as i64;
+            prop_assert_eq!(sh.y[i], if v % 2 == 0 { 1.0 } else { -1.0 });
+        }
+    }
+}
