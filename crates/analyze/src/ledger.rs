@@ -1,0 +1,222 @@
+//! The collective lockstep checker.
+//!
+//! An SPMD program must execute the same sequence of collectives on every
+//! rank. The substrate matches collective traffic purely by per-rank
+//! sequence-number tag arithmetic, so a rank that skips a `Bcast` or runs
+//! an extra `Allreduce` silently corrupts every later match. The ledger
+//! catches this at the *first* divergent entry: each rank posts an
+//! (op-kind, root) fingerprint under its collective sequence number, and
+//! the first post for a sequence number becomes the reference every other
+//! rank must match.
+
+use std::fmt;
+
+/// Which collective a rank entered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollectiveKind {
+    /// Dissemination barrier.
+    Barrier,
+    /// Binomial-tree broadcast.
+    Bcast,
+    /// Recursive-doubling allreduce (any payload/op flavor).
+    Allreduce,
+    /// Binomial-tree gather to a root.
+    Gatherv,
+    /// Binomial-tree scatter from a root.
+    Scatterv,
+    /// Ring allgather.
+    Allgatherv,
+    /// One ring-exchange step (Algorithm 3's reconstruction primitive).
+    RingShift,
+}
+
+impl fmt::Display for CollectiveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CollectiveKind::Barrier => "Barrier",
+            CollectiveKind::Bcast => "Bcast",
+            CollectiveKind::Allreduce => "Allreduce",
+            CollectiveKind::Gatherv => "Gatherv",
+            CollectiveKind::Scatterv => "Scatterv",
+            CollectiveKind::Allgatherv => "Allgatherv",
+            CollectiveKind::RingShift => "RingShift",
+        };
+        f.write_str(name)
+    }
+}
+
+/// What one rank claims its next collective is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// Operation kind.
+    pub kind: CollectiveKind,
+    /// Root rank for rooted collectives, `None` for symmetric ones.
+    pub root: Option<usize>,
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.root {
+            Some(r) => write!(f, "{}(root={})", self.kind, r),
+            None => write!(f, "{}", self.kind),
+        }
+    }
+}
+
+/// The first rank/op divergence found by the ledger.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CollectiveDivergence {
+    /// Collective sequence number at which the ranks disagree.
+    pub seq: u64,
+    /// Rank that posted the reference fingerprint.
+    pub first_rank: usize,
+    /// The reference fingerprint.
+    pub first: Fingerprint,
+    /// The rank that diverged.
+    pub rank: usize,
+    /// What the diverging rank tried to execute.
+    pub got: Fingerprint,
+}
+
+impl fmt::Display for CollectiveDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "collective lockstep violation at collective #{}: rank {} entered {} \
+             but rank {} had entered {} — the SPMD collective sequences diverged",
+            self.seq, self.rank, self.got, self.first_rank, self.first
+        )
+    }
+}
+
+/// One ledger slot: reference fingerprint, the rank that set it, and how
+/// many ranks posted a matching fingerprint so far (0 = unposted
+/// placeholder created by a rank racing ahead to a later slot).
+type Slot = (Fingerprint, usize, usize);
+
+/// Shared per-universe record of every rank's collective sequence.
+#[derive(Debug)]
+pub struct CollectiveLedger {
+    p: usize,
+    slots: Vec<Slot>,
+}
+
+impl CollectiveLedger {
+    /// An empty ledger for `p` ranks.
+    pub fn new(p: usize) -> Self {
+        CollectiveLedger {
+            p,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Rank `rank` announces it is entering collective number `seq` with
+    /// fingerprint `fp`. Returns the first divergence, if this post exposes
+    /// one.
+    pub fn post(
+        &mut self,
+        rank: usize,
+        seq: u64,
+        fp: Fingerprint,
+    ) -> Result<(), CollectiveDivergence> {
+        debug_assert!(rank < self.p, "rank out of range");
+        let seq_us = usize::try_from(seq).unwrap_or(usize::MAX);
+        if seq_us >= self.slots.len() {
+            // Ranks are not synchronized: one may reach collective #k before
+            // another posts #0. Placeholder slots (post count 0) are claimed
+            // by their first real poster.
+            self.slots.resize(seq_us + 1, (fp, rank, 0));
+        }
+        let slot = &mut self.slots[seq_us];
+        if slot.2 == 0 {
+            *slot = (fp, rank, 1);
+            return Ok(());
+        }
+        if slot.0 != fp {
+            return Err(CollectiveDivergence {
+                seq,
+                first_rank: slot.1,
+                first: slot.0,
+                rank,
+                got: fp,
+            });
+        }
+        slot.2 += 1;
+        Ok(())
+    }
+
+    /// How many ranks posted collective `seq` so far.
+    pub fn posts(&self, seq: u64) -> usize {
+        self.slots.get(seq as usize).map_or(0, |s| s.2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(kind: CollectiveKind, root: Option<usize>) -> Fingerprint {
+        Fingerprint { kind, root }
+    }
+
+    #[test]
+    fn agreeing_ranks_pass() {
+        let mut l = CollectiveLedger::new(3);
+        for rank in 0..3 {
+            l.post(rank, 0, fp(CollectiveKind::Allreduce, None))
+                .unwrap();
+            l.post(rank, 1, fp(CollectiveKind::Bcast, Some(2))).unwrap();
+        }
+        assert_eq!(l.posts(0), 3);
+        assert_eq!(l.posts(1), 3);
+    }
+
+    #[test]
+    fn kind_divergence_is_caught() {
+        let mut l = CollectiveLedger::new(2);
+        l.post(0, 0, fp(CollectiveKind::Allreduce, None)).unwrap();
+        let err = l.post(1, 0, fp(CollectiveKind::Barrier, None)).unwrap_err();
+        assert_eq!(err.seq, 0);
+        assert_eq!(err.first_rank, 0);
+        assert_eq!(err.rank, 1);
+        let msg = err.to_string();
+        assert!(msg.contains("rank 1 entered Barrier"), "{msg}");
+        assert!(msg.contains("rank 0 had entered Allreduce"), "{msg}");
+    }
+
+    #[test]
+    fn root_divergence_is_caught() {
+        let mut l = CollectiveLedger::new(2);
+        l.post(0, 0, fp(CollectiveKind::Bcast, Some(0))).unwrap();
+        let err = l
+            .post(1, 0, fp(CollectiveKind::Bcast, Some(1)))
+            .unwrap_err();
+        assert!(err.to_string().contains("Bcast(root=1)"), "{err}");
+    }
+
+    #[test]
+    fn out_of_order_posting_works() {
+        // rank 1 races ahead to collective #2 before rank 0 posts #0.
+        let mut l = CollectiveLedger::new(2);
+        l.post(1, 2, fp(CollectiveKind::Barrier, None)).unwrap();
+        l.post(0, 0, fp(CollectiveKind::Allreduce, None)).unwrap();
+        l.post(1, 0, fp(CollectiveKind::Allreduce, None)).unwrap();
+        l.post(0, 2, fp(CollectiveKind::Barrier, None)).unwrap();
+        assert_eq!(l.posts(0), 2);
+        assert_eq!(l.posts(2), 2);
+    }
+
+    #[test]
+    fn placeholder_slot_is_claimed_by_first_real_poster() {
+        let mut l = CollectiveLedger::new(2);
+        // rank 0 jumps to #1, creating a placeholder at #0 …
+        l.post(0, 1, fp(CollectiveKind::Barrier, None)).unwrap();
+        // … which rank 1 then claims with a different op: no divergence,
+        // the placeholder never counted as a post.
+        l.post(1, 0, fp(CollectiveKind::Allreduce, None)).unwrap();
+        let err = l
+            .post(0, 0, fp(CollectiveKind::Bcast, Some(0)))
+            .unwrap_err();
+        assert_eq!(err.first_rank, 1);
+    }
+}

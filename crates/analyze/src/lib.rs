@@ -1,0 +1,35 @@
+//! Communication-correctness analyses for message-passing programs.
+//!
+//! The simulated-MPI substrate (`shrinksvm-mpisim`) runs the paper's
+//! distributed solver at up to thousands of ranks, and the paper's whole
+//! claim is that shrinking plus gradient reconstruction stays *exact* under
+//! that communication pattern. This crate holds the machinery that proves a
+//! run was communication-correct — the role TSan/MUST play for real MPI
+//! programs:
+//!
+//! - [`vclock::VectorClock`] — per-rank logical clocks attached to every
+//!   message, checked for happens-before consistency at receive time.
+//! - [`ledger::CollectiveLedger`] — a per-universe ledger of collective
+//!   fingerprints that catches rank-divergent collective sequences (the
+//!   classic mismatched-`Bcast`/`Allreduce` bug) at the first divergent
+//!   operation.
+//! - [`waitfor::WaitForGraph`] — per-rank blocking state with cycle
+//!   diagnosis, so a communication deadlock is reported immediately with a
+//!   full per-rank wait report instead of a wall-clock timeout.
+//! - [`report::ValidationReport`] — finalize-time findings: unreceived
+//!   messages, never-matched buffered messages, logical-clock regressions,
+//!   LogGP cost-model violations and tag-discipline breaches.
+//!
+//! The crate is dependency-free and knows nothing about threads or
+//! channels: the substrate feeds it events and asks for verdicts, which
+//! keeps every analysis deterministic and unit-testable in isolation.
+
+pub mod ledger;
+pub mod report;
+pub mod vclock;
+pub mod waitfor;
+
+pub use ledger::{CollectiveDivergence, CollectiveKind, CollectiveLedger, Fingerprint};
+pub use report::{ValidationReport, Violation};
+pub use vclock::VectorClock;
+pub use waitfor::{DeadlockReport, RankState, WaitEdge, WaitForGraph};

@@ -1,0 +1,201 @@
+//! Finalize-time validation findings.
+
+use std::fmt;
+
+/// One communication-correctness violation observed during a run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// A user-facing point-to-point call used a tag inside the reserved
+    /// collective namespace.
+    TagOutOfRange {
+        /// Rank that issued the call.
+        rank: usize,
+        /// The offending tag.
+        tag: u64,
+        /// `"send"`, `"recv"` or `"irecv"`.
+        op: &'static str,
+    },
+    /// A received message's vector clock regressed: its source component
+    /// was not strictly greater than the last one seen from that source —
+    /// the channel reordered, duplicated or fabricated a message.
+    ClockRegression {
+        /// Receiving rank.
+        rank: usize,
+        /// Source rank.
+        src: usize,
+        /// Source clock component previously seen.
+        prev: u64,
+        /// Source clock component on the offending message.
+        got: u64,
+        /// Tag of the offending message.
+        tag: u64,
+    },
+    /// The receiver's simulated clock after accepting a message was below
+    /// the LogGP lower bound `depart + latency + bytes·G`.
+    LogGpViolation {
+        /// Receiving rank.
+        rank: usize,
+        /// Source rank.
+        src: usize,
+        /// Tag of the offending message.
+        tag: u64,
+        /// The minimum legal receive-side clock.
+        expect_min: f64,
+        /// The clock actually observed.
+        got: f64,
+    },
+    /// A message was sent but never received: it was still sitting in the
+    /// destination's channel when the rank finished.
+    UnreceivedMessage {
+        /// Sending rank.
+        src: usize,
+        /// Destination rank.
+        dst: usize,
+        /// Message tag.
+        tag: u64,
+        /// Payload size.
+        bytes: usize,
+    },
+    /// A message was pulled off a channel (while matching another tag) but
+    /// never matched by any receive before the rank finished.
+    UnmatchedPending {
+        /// Rank holding the orphaned message.
+        rank: usize,
+        /// Source rank.
+        src: usize,
+        /// Message tag.
+        tag: u64,
+        /// Payload size.
+        bytes: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::TagOutOfRange { rank, tag, op } => write!(
+                f,
+                "tag discipline: rank {rank} called {op} with tag {tag:#x}, \
+                 which is inside the reserved collective namespace"
+            ),
+            Violation::ClockRegression {
+                rank,
+                src,
+                prev,
+                got,
+                tag,
+            } => write!(
+                f,
+                "happens-before: rank {rank} received a message (tag {tag:#x}) from rank {src} \
+                 whose source clock {got} does not exceed the previously observed {prev}"
+            ),
+            Violation::LogGpViolation {
+                rank,
+                src,
+                tag,
+                expect_min,
+                got,
+            } => write!(
+                f,
+                "LogGP consistency: rank {rank} accepted a message (tag {tag:#x}) from rank {src} \
+                 at simulated time {got} < legal minimum {expect_min}"
+            ),
+            Violation::UnreceivedMessage {
+                src,
+                dst,
+                tag,
+                bytes,
+            } => write!(
+                f,
+                "message conservation: {bytes}-byte message from rank {src} to rank {dst} \
+                 with tag {tag:#x} was sent but never received"
+            ),
+            Violation::UnmatchedPending {
+                rank,
+                src,
+                tag,
+                bytes,
+            } => write!(
+                f,
+                "message conservation: rank {rank} buffered a {bytes}-byte message from rank {src} \
+                 with tag {tag:#x} that no receive ever matched"
+            ),
+        }
+    }
+}
+
+/// Everything the validator found over one universe run.
+#[derive(Clone, Debug, Default)]
+pub struct ValidationReport {
+    /// All violations, in the order ranks finalized.
+    pub violations: Vec<Violation>,
+}
+
+impl ValidationReport {
+    /// True when the run was communication-correct.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Append another rank's findings.
+    pub fn extend(&mut self, more: Vec<Violation>) {
+        self.violations.extend(more);
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return writeln!(f, "communication validation: clean");
+        }
+        writeln!(
+            f,
+            "communication validation failed with {} violation(s):",
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report_prints_clean() {
+        let r = ValidationReport::default();
+        assert!(r.is_clean());
+        assert!(r.to_string().contains("clean"));
+    }
+
+    #[test]
+    fn violations_render_src_dst_tag() {
+        let mut r = ValidationReport::default();
+        r.extend(vec![Violation::UnreceivedMessage {
+            src: 1,
+            dst: 2,
+            tag: 0x2a,
+            bytes: 16,
+        }]);
+        let s = r.to_string();
+        assert!(!r.is_clean());
+        assert!(s.contains("from rank 1 to rank 2"), "{s}");
+        assert!(s.contains("tag 0x2a"), "{s}");
+        assert!(s.contains("never received"), "{s}");
+    }
+
+    #[test]
+    fn tag_violation_names_op_and_rank() {
+        let v = Violation::TagOutOfRange {
+            rank: 3,
+            tag: 1 << 63,
+            op: "send",
+        };
+        let s = v.to_string();
+        assert!(s.contains("rank 3 called send"), "{s}");
+        assert!(s.contains("collective namespace"), "{s}");
+    }
+}

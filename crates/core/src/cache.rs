@@ -137,10 +137,20 @@ impl KernelCache {
 
     fn alloc_node(&mut self, key: usize, data: Arc<Vec<f64>>) -> usize {
         if let Some(idx) = self.free.pop() {
-            self.nodes[idx] = Node { key, prev: NIL, next: NIL, data };
+            self.nodes[idx] = Node {
+                key,
+                prev: NIL,
+                next: NIL,
+                data,
+            };
             idx
         } else {
-            self.nodes.push(Node { key, prev: NIL, next: NIL, data });
+            self.nodes.push(Node {
+                key,
+                prev: NIL,
+                next: NIL,
+                data,
+            });
             self.nodes.len() - 1
         }
     }
@@ -206,7 +216,14 @@ mod tests {
         assert_eq!(a[0], 7.0);
         let b = c.get_or_compute(7, || panic!("must not recompute"));
         assert_eq!(b[0], 7.0);
-        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, evictions: 0 });
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
     }
 
     #[test]
@@ -287,7 +304,11 @@ mod tests {
 
     #[test]
     fn hit_rate_math() {
-        let s = CacheStats { hits: 3, misses: 1, evictions: 0 };
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
         assert!((s.hit_rate() - 0.75).abs() < 1e-15);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
     }

@@ -97,7 +97,11 @@ pub fn grid_search(
             p.c = c;
             p.kernel = KernelKind::rbf_from_sigma_sq(s2);
             let cv = cross_validate(ds, &p, k, seed)?;
-            points.push(GridPoint { c, sigma_sq: s2, mean_accuracy: cv.mean() });
+            points.push(GridPoint {
+                c,
+                sigma_sq: s2,
+                mean_accuracy: cv.mean(),
+            });
         }
     }
     points.sort_by(|a, b| {
@@ -139,17 +143,33 @@ mod tests {
         // σ² = 0.25 suits XOR at unit scale; σ² = 400 is far too wide
         let pts = grid_search(&ds, &[1.0, 10.0], &[0.25, 400.0], &base, 3, 1).unwrap();
         assert_eq!(pts.len(), 4);
-        assert!(pts.windows(2).all(|w| w[0].mean_accuracy >= w[1].mean_accuracy));
+        assert!(pts
+            .windows(2)
+            .all(|w| w[0].mean_accuracy >= w[1].mean_accuracy));
         assert_eq!(pts[0].sigma_sq, 0.25, "narrow kernel must win on XOR");
         assert!(pts[0].mean_accuracy > 0.9);
     }
 
     #[test]
     fn cv_result_statistics() {
-        let r = CvResult { fold_accuracies: vec![0.8, 1.0, 0.9] };
+        let r = CvResult {
+            fold_accuracies: vec![0.8, 1.0, 0.9],
+        };
         assert!((r.mean() - 0.9).abs() < 1e-12);
         assert!((r.stddev() - 0.1).abs() < 1e-12);
-        assert_eq!(CvResult { fold_accuracies: vec![] }.mean(), 0.0);
-        assert_eq!(CvResult { fold_accuracies: vec![0.5] }.stddev(), 0.0);
+        assert_eq!(
+            CvResult {
+                fold_accuracies: vec![]
+            }
+            .mean(),
+            0.0
+        );
+        assert_eq!(
+            CvResult {
+                fold_accuracies: vec![0.5]
+            }
+            .stddev(),
+            0.0
+        );
     }
 }

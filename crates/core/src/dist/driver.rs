@@ -66,6 +66,7 @@ pub struct DistSolver<'a> {
     cfg: DistConfig,
     p: usize,
     cost: CostParams,
+    validate: bool,
 }
 
 impl<'a> DistSolver<'a> {
@@ -77,6 +78,7 @@ impl<'a> DistSolver<'a> {
             cfg: DistConfig::new(params),
             p: 1,
             cost: CostParams::fdr(),
+            validate: false,
         }
     }
 
@@ -99,10 +101,25 @@ impl<'a> DistSolver<'a> {
         self
     }
 
+    /// Run the solver under the substrate's full communication validation
+    /// ([`Universe::validated`]): vector-clock happens-before checks,
+    /// collective lockstep fingerprints, message conservation and tag
+    /// discipline. Training panics with the validation report if the
+    /// communication pattern is incorrect. Adds `O(p)` bookkeeping per
+    /// message, so it is off by default.
+    pub fn with_validation(mut self) -> Self {
+        self.validate = true;
+        self
+    }
+
     /// Run the training.
     pub fn train(self) -> Result<DistRunResult, CoreError> {
+        // allow-wall-clock: host-side metric (reported wall_time), not simulated time
         let start = Instant::now();
-        let universe = Universe::new(self.p).with_cost(self.cost);
+        let mut universe = Universe::new(self.p).with_cost(self.cost);
+        if self.validate {
+            universe = universe.validated();
+        }
         let ds = self.ds;
         let cfg = &self.cfg;
         let outcomes = universe.run(|comm| train_rank(comm, ds, cfg));
@@ -189,13 +206,10 @@ mod tests {
     #[test]
     fn recon_fraction_is_a_fraction() {
         let ds = gaussian::two_blobs(120, 3, 2.0, 33);
-        let run = DistSolver::new(
-            &ds,
-            quick_params().with_shrink(ShrinkPolicy::best()),
-        )
-        .with_processes(2)
-        .train()
-        .unwrap();
+        let run = DistSolver::new(&ds, quick_params().with_shrink(ShrinkPolicy::best()))
+            .with_processes(2)
+            .train()
+            .unwrap();
         let f = run.recon_fraction();
         assert!((0.0..1.0).contains(&f), "recon fraction {f}");
     }
@@ -203,7 +217,9 @@ mod tests {
     #[test]
     fn degenerate_input_errors_cleanly() {
         let ds = gaussian::two_blobs(100, 3, 5.0, 34);
-        let one_class = ds.select(&(0..100).filter(|i| i % 2 == 0).collect::<Vec<_>>()).unwrap();
+        let one_class = ds
+            .select(&(0..100).filter(|i| i % 2 == 0).collect::<Vec<_>>())
+            .unwrap();
         let err = DistSolver::new(&one_class, quick_params())
             .with_processes(2)
             .train();

@@ -35,7 +35,14 @@ pub struct PairSample {
 
 impl PairSample {
     /// Gather from local state.
-    pub fn from_parts(index: u64, y: f64, alpha: f64, gamma: f64, sq_norm: f64, row: RowView<'_>) -> Self {
+    pub fn from_parts(
+        index: u64,
+        y: f64,
+        alpha: f64,
+        gamma: f64,
+        sq_norm: f64,
+        row: RowView<'_>,
+    ) -> Self {
         PairSample {
             index,
             y,
@@ -49,7 +56,10 @@ impl PairSample {
 
     /// Borrow the row.
     pub fn row(&self) -> RowView<'_> {
-        RowView { indices: &self.cols, values: &self.vals }
+        RowView {
+            indices: &self.cols,
+            values: &self.vals,
+        }
     }
 
     /// Append the encoding to `out`.
@@ -86,7 +96,15 @@ impl PairSample {
         }
         let (cols, vals) = RowView::from_bytes(&bytes[*pos..*pos + nnz * 12])?;
         *pos += nnz * 12;
-        Some(PairSample { index, y, alpha, gamma, sq_norm, cols, vals })
+        Some(PairSample {
+            index,
+            y,
+            alpha,
+            gamma,
+            sq_norm,
+            cols,
+            vals,
+        })
     }
 
     /// Serialized size in bytes.
@@ -131,7 +149,10 @@ pub struct SvEntry {
 impl SvEntry {
     /// Borrow the row.
     pub fn row(&self) -> RowView<'_> {
-        RowView { indices: &self.cols, values: &self.vals }
+        RowView {
+            indices: &self.cols,
+            values: &self.vals,
+        }
     }
 }
 
@@ -172,7 +193,12 @@ pub fn decode_sv_block(bytes: &[u8]) -> Option<Vec<SvEntry>> {
         }
         let (cols, vals) = RowView::from_bytes(&bytes[pos..pos + nnz * 12])?;
         pos += nnz * 12;
-        out.push(SvEntry { coef, sq_norm, cols, vals });
+        out.push(SvEntry {
+            coef,
+            sq_norm,
+            cols,
+            vals,
+        });
     }
     if pos != bytes.len() {
         return None;
@@ -199,7 +225,13 @@ mod tests {
     #[test]
     fn pair_roundtrip() {
         let up = sample(7);
-        let low = PairSample { index: 9, y: -1.0, cols: vec![], vals: vec![], ..sample(9) };
+        let low = PairSample {
+            index: 9,
+            y: -1.0,
+            cols: vec![],
+            vals: vec![],
+            ..sample(9)
+        };
         let bytes = encode_pair(&up, &low);
         let (u2, l2) = decode_pair(&bytes).unwrap();
         assert_eq!(u2, up);
@@ -236,8 +268,18 @@ mod tests {
     #[test]
     fn sv_block_roundtrip() {
         let entries = vec![
-            SvEntry { coef: 1.5, sq_norm: 2.0, cols: vec![1, 5], vals: vec![0.5, -0.5] },
-            SvEntry { coef: -3.0, sq_norm: 0.0, cols: vec![], vals: vec![] },
+            SvEntry {
+                coef: 1.5,
+                sq_norm: 2.0,
+                cols: vec![1, 5],
+                vals: vec![0.5, -0.5],
+            },
+            SvEntry {
+                coef: -3.0,
+                sq_norm: 0.0,
+                cols: vec![],
+                vals: vec![],
+            },
         ];
         let bytes = encode_sv_block(&entries);
         let back = decode_sv_block(&bytes).unwrap();

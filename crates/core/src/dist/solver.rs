@@ -56,7 +56,10 @@ pub struct DistConfig {
 impl DistConfig {
     /// Config with default compute charges.
     pub fn new(params: SvmParams) -> Self {
-        DistConfig { params, charge: ComputeCharge::default() }
+        DistConfig {
+            params,
+            charge: ComputeCharge::default(),
+        }
     }
 }
 
@@ -208,10 +211,22 @@ impl<'a> RankState<'a> {
             let ci = self.c_of(li);
             let gidx = (self.lo + li) as u64;
             if in_up_set(y, a, ci) {
-                up = MinLoc::combine(up, MinLoc { value: g, index: gidx });
+                up = MinLoc::combine(
+                    up,
+                    MinLoc {
+                        value: g,
+                        index: gidx,
+                    },
+                );
             }
             if in_low_set(y, a, ci) {
-                low = MaxLoc::combine(low, MaxLoc { value: g, index: gidx });
+                low = MaxLoc::combine(
+                    low,
+                    MaxLoc {
+                        value: g,
+                        index: gidx,
+                    },
+                );
             }
         }
         (up, low)
@@ -288,10 +303,16 @@ impl<'a> RankState<'a> {
             #[allow(clippy::neg_cmp_op_on_partial_ord)]
             if !(up.value + 2.0 * phase_eps <= low.value) {
                 // covers empty scan sets too (±∞ candidates)
-                return Ok(PhaseEnd { converged: true, gap });
+                return Ok(PhaseEnd {
+                    converged: true,
+                    gap,
+                });
             }
             if self.iterations >= self.max_iter {
-                return Ok(PhaseEnd { converged: false, gap });
+                return Ok(PhaseEnd {
+                    converged: false,
+                    gap,
+                });
             }
 
             // Route the pair and solve the two-variable subproblem on every
@@ -310,7 +331,9 @@ impl<'a> RankState<'a> {
             if sol.is_null() {
                 stall += 1;
                 if stall > self.stall_limit {
-                    return Err(CoreError::Stalled { at_iteration: self.iterations });
+                    return Err(CoreError::Stalled {
+                        at_iteration: self.iterations,
+                    });
                 }
             } else {
                 stall = 0;
@@ -381,11 +404,13 @@ impl<'a> RankState<'a> {
                 let global_active = comm.allreduce_u64_sum(survivors);
                 self.shrink_countdown = Some(match self.subsequent {
                     SubsequentPolicy::ActiveSetSize => global_active.max(1),
-                    SubsequentPolicy::SameAsInitial => {
-                        self.initial_threshold.expect("shrink pass implies a threshold")
-                    }
+                    SubsequentPolicy::SameAsInitial => self
+                        .initial_threshold
+                        .expect("shrink pass implies a threshold"),
                 });
-                self.trace.active_curve.push((self.iterations, global_active));
+                self.trace
+                    .active_curve
+                    .push((self.iterations, global_active));
             } else if shrink_enabled {
                 if let Some(cd) = &mut self.shrink_countdown {
                     *cd = cd.saturating_sub(1);
@@ -443,14 +468,23 @@ impl<'a> RankState<'a> {
 
 /// Run the distributed trainer on this rank. Every rank of the universe
 /// must call this with the same `ds` and `cfg`.
-pub fn train_rank(comm: &mut Comm, ds: &Dataset, cfg: &DistConfig) -> Result<RankOutput, CoreError> {
+pub fn train_rank(
+    comm: &mut Comm,
+    ds: &Dataset,
+    cfg: &DistConfig,
+) -> Result<RankOutput, CoreError> {
     cfg.params.validate()?;
     if ds.len() < 2 {
-        return Err(CoreError::DegenerateProblem(format!("{} samples", ds.len())));
+        return Err(CoreError::DegenerateProblem(format!(
+            "{} samples",
+            ds.len()
+        )));
     }
     let (pos, neg) = ds.class_counts();
     if pos == 0 || neg == 0 {
-        return Err(CoreError::DegenerateProblem("all samples share one class".into()));
+        return Err(CoreError::DegenerateProblem(
+            "all samples share one class".into(),
+        ));
     }
 
     let eps = cfg.params.epsilon;

@@ -60,7 +60,9 @@ impl KernelKind {
         if ok {
             Ok(())
         } else {
-            Err(CoreError::BadParams(format!("invalid kernel parameters: {self:?}")))
+            Err(CoreError::BadParams(format!(
+                "invalid kernel parameters: {self:?}"
+            )))
         }
     }
 
@@ -74,9 +76,11 @@ impl KernelKind {
                 (-gamma * d2).exp()
             }
             KernelKind::Linear => ops::dot(a, b),
-            KernelKind::Poly { gamma, coef0, degree } => {
-                (gamma * ops::dot(a, b) + coef0).powi(degree as i32)
-            }
+            KernelKind::Poly {
+                gamma,
+                coef0,
+                degree,
+            } => (gamma * ops::dot(a, b) + coef0).powi(degree as i32),
             KernelKind::Sigmoid { gamma, coef0 } => (gamma * ops::dot(a, b) + coef0).tanh(),
         }
     }
@@ -133,8 +137,12 @@ impl<'a> KernelEval<'a> {
     /// `K(x_i, x_j)` between two bound rows.
     #[inline]
     pub fn k(&self, i: usize, j: usize) -> f64 {
-        self.kind
-            .eval(self.x.row(i), self.x.row(j), self.sq_norms[i], self.sq_norms[j])
+        self.kind.eval(
+            self.x.row(i),
+            self.x.row(j),
+            self.sq_norms[i],
+            self.sq_norms[j],
+        )
     }
 
     /// `K(x_i, v)` between a bound row and a foreign vector with known
@@ -162,7 +170,12 @@ mod tests {
 
     fn matrix() -> CsrMatrix {
         CsrMatrix::from_dense(
-            &[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0], vec![0.5, -0.5]],
+            &[
+                vec![1.0, 0.0],
+                vec![0.0, 1.0],
+                vec![1.0, 1.0],
+                vec![0.5, -0.5],
+            ],
             2,
         )
         .unwrap()
@@ -211,7 +224,11 @@ mod tests {
     fn poly_matches_manual() {
         let x = matrix();
         let ke = KernelEval::new(
-            KernelKind::Poly { gamma: 1.0, coef0: 1.0, degree: 2 },
+            KernelKind::Poly {
+                gamma: 1.0,
+                coef0: 1.0,
+                degree: 2,
+            },
             &x,
         );
         // (⟨x0,x2⟩ + 1)^2 = (1+1)^2 = 4
@@ -221,7 +238,13 @@ mod tests {
     #[test]
     fn sigmoid_is_tanh() {
         let x = matrix();
-        let ke = KernelEval::new(KernelKind::Sigmoid { gamma: 1.0, coef0: 0.0 }, &x);
+        let ke = KernelEval::new(
+            KernelKind::Sigmoid {
+                gamma: 1.0,
+                coef0: 0.0,
+            },
+            &x,
+        );
         assert!((ke.k(0, 2) - 1.0f64.tanh()).abs() < 1e-15);
     }
 

@@ -106,9 +106,23 @@ mod tests {
     #[test]
     fn confusion_counts_each_quadrant() {
         let m = axis_model();
-        let data = ds(&[(1.0, 1.0), (2.0, -1.0), (-1.0, -1.0), (-2.0, 1.0), (3.0, 1.0)]);
+        let data = ds(&[
+            (1.0, 1.0),
+            (2.0, -1.0),
+            (-1.0, -1.0),
+            (-2.0, 1.0),
+            (3.0, 1.0),
+        ]);
         let c = Confusion::evaluate(&m, &data);
-        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert_eq!(c.total(), 5);
         assert!((c.accuracy() - 0.6).abs() < 1e-15);
         assert!((c.precision() - 2.0 / 3.0).abs() < 1e-15);

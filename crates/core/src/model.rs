@@ -25,7 +25,12 @@ pub struct SvmModel {
 
 impl SvmModel {
     /// Assemble from raw parts (support vectors + coefficients + bias).
-    pub fn new(kernel: KernelKind, sv: CsrMatrix, coef: Vec<f64>, bias: f64) -> Result<Self, CoreError> {
+    pub fn new(
+        kernel: KernelKind,
+        sv: CsrMatrix,
+        coef: Vec<f64>,
+        bias: f64,
+    ) -> Result<Self, CoreError> {
         if sv.nrows() != coef.len() {
             return Err(CoreError::ModelFormat(format!(
                 "{} SVs but {} coefficients",
@@ -97,7 +102,10 @@ impl SvmModel {
         let x_sq = x.squared_norm();
         let mut acc = 0.0;
         for (j, &cj) in self.coef.iter().enumerate() {
-            acc += cj * self.kernel.eval(self.sv.row(j), x, self.sv_sq_norms[j], x_sq);
+            acc += cj
+                * self
+                    .kernel
+                    .eval(self.sv.row(j), x, self.sv_sq_norms[j], x_sq);
         }
         acc - self.bias
     }
@@ -120,11 +128,15 @@ impl SvmModel {
         match self.kernel {
             KernelKind::Rbf { gamma } => writeln!(w, "kernel rbf {gamma:e}")?,
             KernelKind::Linear => writeln!(w, "kernel linear")?,
-            KernelKind::Poly { gamma, coef0, degree } => {
-                writeln!(w, "kernel poly {gamma:e} {coef0:e} {degree}")?
+            KernelKind::Poly {
+                gamma,
+                coef0,
+                degree,
+            } => {
+                writeln!(w, "kernel poly {gamma:e} {coef0:e} {degree}")?;
             }
             KernelKind::Sigmoid { gamma, coef0 } => {
-                writeln!(w, "kernel sigmoid {gamma:e} {coef0:e}")?
+                writeln!(w, "kernel sigmoid {gamma:e} {coef0:e}")?;
             }
         }
         writeln!(w, "bias {:e}", self.bias)?;
@@ -161,7 +173,8 @@ impl SvmModel {
         let kline = next("kernel line")?;
         let ktoks: Vec<&str> = kline.split_whitespace().collect();
         let parse = |s: &str| -> Result<f64, CoreError> {
-            s.parse().map_err(|_| CoreError::ModelFormat(format!("bad float '{s}'")))
+            s.parse()
+                .map_err(|_| CoreError::ModelFormat(format!("bad float '{s}'")))
         };
         let kernel = match ktoks.as_slice() {
             ["kernel", "rbf", g] => KernelKind::Rbf { gamma: parse(g)? },
@@ -276,18 +289,9 @@ mod tests {
 
     #[test]
     fn roundtrip_through_text_format() {
-        let sv = CsrMatrix::from_dense(
-            &[vec![0.25, 0.0, -1.5], vec![0.0, 2.0, 0.0]],
-            3,
-        )
-        .unwrap();
-        let m = SvmModel::new(
-            KernelKind::Rbf { gamma: 0.125 },
-            sv,
-            vec![1.5, -0.75],
-            -0.3,
-        )
-        .unwrap();
+        let sv = CsrMatrix::from_dense(&[vec![0.25, 0.0, -1.5], vec![0.0, 2.0, 0.0]], 3).unwrap();
+        let m =
+            SvmModel::new(KernelKind::Rbf { gamma: 0.125 }, sv, vec![1.5, -0.75], -0.3).unwrap();
         let mut buf = Vec::new();
         m.write_to(&mut buf).unwrap();
         let back = SvmModel::read_from(&buf[..]).unwrap();
@@ -306,8 +310,15 @@ mod tests {
         for kind in [
             KernelKind::Linear,
             KernelKind::Rbf { gamma: 2.0 },
-            KernelKind::Poly { gamma: 0.5, coef0: 1.0, degree: 3 },
-            KernelKind::Sigmoid { gamma: 0.1, coef0: -0.2 },
+            KernelKind::Poly {
+                gamma: 0.5,
+                coef0: 1.0,
+                degree: 3,
+            },
+            KernelKind::Sigmoid {
+                gamma: 0.1,
+                coef0: -0.2,
+            },
         ] {
             let m = SvmModel::new(kind, sv.clone(), vec![1.0], 0.0).unwrap();
             let mut buf = Vec::new();

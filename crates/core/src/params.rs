@@ -88,7 +88,12 @@ impl SvmParams {
     /// Effective box constraint for a sample with label `y`.
     #[inline]
     pub fn c_for(&self, y: f64) -> f64 {
-        self.c * if y > 0.0 { self.class_weights.0 } else { self.class_weights.1 }
+        self.c
+            * if y > 0.0 {
+                self.class_weights.0
+            } else {
+                self.class_weights.1
+            }
     }
 
     /// Set the tolerance `ε`.
@@ -120,7 +125,10 @@ impl SvmParams {
     #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), CoreError> {
         if !(self.c > 0.0) {
-            return Err(CoreError::BadParams(format!("C must be positive, got {}", self.c)));
+            return Err(CoreError::BadParams(format!(
+                "C must be positive, got {}",
+                self.c
+            )));
         }
         if !(self.epsilon > 0.0) {
             return Err(CoreError::BadParams(format!(

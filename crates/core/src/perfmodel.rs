@@ -97,6 +97,7 @@ impl MachineModel {
             sink += ke.k(a, b);
         }
         let mut nnz_touched = 0usize;
+        // allow-wall-clock: calibrating real kernel throughput on the host
         let start = Instant::now();
         for &(a, b) in &pairs {
             sink += ke.k(a, b);
@@ -133,7 +134,9 @@ impl MachineModel {
     pub fn project(&self, trace: &Trace, p: usize, row_bytes: f64) -> Projection {
         assert!(p >= 1);
         let pf = p as f64;
-        let eval = self.charge.eval_cost(trace.mean_row_nnz.ceil() as usize * 2);
+        let eval = self
+            .charge
+            .eval_cost(trace.mean_row_nnz.ceil() as usize * 2);
         let iters = trace.iterations as f64;
 
         // γ updates: Σ_t ceil(A_t / p) · 2 evals ≤ (Σ A_t / p + iters) · 2.
@@ -201,7 +204,11 @@ pub struct Projection {
 impl Projection {
     /// Total modeled seconds.
     pub fn total(&self) -> f64 {
-        self.gamma_compute + self.alpha_compute + self.pair_comm + self.recon_compute + self.recon_comm
+        self.gamma_compute
+            + self.alpha_compute
+            + self.pair_comm
+            + self.recon_compute
+            + self.recon_comm
     }
 
     /// Fraction of total time spent in gradient reconstruction (Figure 8's
@@ -293,7 +300,10 @@ mod tests {
         let st1 = m.project(&small, 1, 400.0).total();
         let s64s = st1 / m.project(&small, 64, 400.0).total();
         let s4096s = st1 / m.project(&small, 4096, 400.0).total();
-        assert!(s4096s < s64s, "small problems must saturate: {s64s} vs {s4096s}");
+        assert!(
+            s4096s < s64s,
+            "small problems must saturate: {s64s} vs {s4096s}"
+        );
     }
 
     #[test]
@@ -333,7 +343,10 @@ mod tests {
         .unwrap();
         let m = MachineModel::calibrate(KernelKind::Rbf { gamma: 0.1 }, &x);
         assert!(m.charge.lambda_per_nnz > 0.0);
-        assert!(m.charge.lambda_per_nnz < 1e-5, "implausibly slow calibration");
+        assert!(
+            m.charge.lambda_per_nnz < 1e-5,
+            "implausibly slow calibration"
+        );
     }
 
     #[test]

@@ -244,8 +244,18 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "Original", "Single2", "Single500", "Single1000", "Single5pc", "Single10pc",
-                "Single50pc", "Multi2", "Multi500", "Multi1000", "Multi5pc", "Multi10pc",
+                "Original",
+                "Single2",
+                "Single500",
+                "Single1000",
+                "Single5pc",
+                "Single10pc",
+                "Single50pc",
+                "Multi2",
+                "Multi500",
+                "Multi1000",
+                "Multi5pc",
+                "Multi10pc",
                 "Multi50pc",
             ]
         );
@@ -260,8 +270,18 @@ mod tests {
             classes,
             vec![
                 NotApplicable,
-                Aggressive, Aggressive, Average, Aggressive, Average, Conservative,
-                Aggressive, Aggressive, Average, Aggressive, Average, Conservative,
+                Aggressive,
+                Aggressive,
+                Average,
+                Aggressive,
+                Average,
+                Conservative,
+                Aggressive,
+                Aggressive,
+                Average,
+                Aggressive,
+                Average,
+                Conservative,
             ]
         );
     }
@@ -285,8 +305,7 @@ mod tests {
         );
         // floors at 1
         assert_eq!(
-            ShrinkPolicy::new(Heuristic::NumSamples(0.05), ReconPolicy::Multi)
-                .initial_threshold(3),
+            ShrinkPolicy::new(Heuristic::NumSamples(0.05), ReconPolicy::Multi).initial_threshold(3),
             Some(1)
         );
     }
@@ -330,7 +349,10 @@ mod tests {
 
     #[test]
     fn parse_handles_case_aliases_and_garbage() {
-        assert_eq!(ShrinkPolicy::parse("original").unwrap(), ShrinkPolicy::none());
+        assert_eq!(
+            ShrinkPolicy::parse("original").unwrap(),
+            ShrinkPolicy::none()
+        );
         assert_eq!(ShrinkPolicy::parse("NONE").unwrap(), ShrinkPolicy::none());
         assert_eq!(
             ShrinkPolicy::parse("multi5pc").unwrap().recon,

@@ -51,7 +51,11 @@ pub struct SmoSolver<'a> {
 impl<'a> SmoSolver<'a> {
     /// A solver for `ds` with `params`.
     pub fn new(ds: &'a Dataset, params: SvmParams) -> Self {
-        SmoSolver { ds, params, pool: None }
+        SmoSolver {
+            ds,
+            params,
+            pool: None,
+        }
     }
 
     /// Attach a thread pool — the "libsvm-enhanced with OpenMP"
@@ -77,6 +81,7 @@ impl<'a> SmoSolver<'a> {
             ));
         }
 
+        // allow-wall-clock: host-side metric (reported solve time), not simulated time
         let start = Instant::now();
         let c_pos = self.params.c_for(1.0);
         let c_neg = self.params.c_for(-1.0);
@@ -102,7 +107,8 @@ impl<'a> SmoSolver<'a> {
 
         loop {
             // Working-set selection: the maximal violating pair.
-            let Some((i_up, g_up, mvp_low, g_low)) = select_pair_weighted(y, &alpha, &grad, c_pos, c_neg)
+            let Some((i_up, g_up, mvp_low, g_low)) =
+                select_pair_weighted(y, &alpha, &grad, c_pos, c_neg)
             else {
                 // one scan set went empty — optimal by convention
                 converged = true;
@@ -163,7 +169,9 @@ impl<'a> SmoSolver<'a> {
             if sol.is_null() {
                 stall += 1;
                 if stall > self.params.stall_limit {
-                    return Err(CoreError::Stalled { at_iteration: iterations });
+                    return Err(CoreError::Stalled {
+                        at_iteration: iterations,
+                    });
                 }
             } else {
                 stall = 0;
@@ -507,7 +515,11 @@ mod tests {
         let agree = (0..ds.len())
             .filter(|&i| mvp.model.predict(ds.x.row(i)) == so.model.predict(ds.x.row(i)))
             .count();
-        assert!(agree as f64 / ds.len() as f64 > 0.99, "{agree}/{}", ds.len());
+        assert!(
+            agree as f64 / ds.len() as f64 > 0.99,
+            "{agree}/{}",
+            ds.len()
+        );
         // second-order selection should not need wildly more iterations
         assert!(
             so.iterations <= mvp.iterations * 2,

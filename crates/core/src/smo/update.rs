@@ -132,7 +132,10 @@ mod tests {
             for (au, al) in [(0.0, 0.0), (0.3, 0.7), (0.0, 1.0), (0.9, 0.1)] {
                 let sol = solve_pair(y_up, y_low, au, al, -2.0, 1.5, 1.0, 1.0, 0.2, C, TAU);
                 let drift = y_up * sol.delta_up + y_low * sol.delta_low;
-                assert!(drift.abs() < 1e-12, "drift {drift} for y=({y_up},{y_low}) a=({au},{al})");
+                assert!(
+                    drift.abs() < 1e-12,
+                    "drift {drift} for y=({y_up},{y_low}) a=({au},{al})"
+                );
             }
         }
     }
@@ -144,8 +147,7 @@ mod tests {
             for &g_low in &grids {
                 for (au, al) in [(0.0, 0.0), (0.5, 0.5), (1.0, 0.0), (0.2, 0.9)] {
                     for (yu, yl) in [(1.0, -1.0), (1.0, 1.0), (-1.0, -1.0), (-1.0, 1.0)] {
-                        let sol =
-                            solve_pair(yu, yl, au, al, g_up, g_low, 1.0, 1.0, 0.3, C, TAU);
+                        let sol = solve_pair(yu, yl, au, al, g_up, g_low, 1.0, 1.0, 0.3, C, TAU);
                         assert!((0.0..=C).contains(&sol.alpha_up), "{sol:?}");
                         assert!((0.0..=C).contains(&sol.alpha_low), "{sol:?}");
                     }
@@ -202,9 +204,7 @@ mod tests {
     #[test]
     fn weighted_caps_bind_independently() {
         // c_up = 2, c_low = 0.5: a same-class transfer must respect both.
-        let sol = solve_pair_weighted(
-            1.0, 1.0, 1.5, 0.3, -9.0, 9.0, 1.0, 1.0, 0.0, 2.0, 0.5, TAU,
-        );
+        let sol = solve_pair_weighted(1.0, 1.0, 1.5, 0.3, -9.0, 9.0, 1.0, 1.0, 0.0, 2.0, 0.5, TAU);
         assert!(sol.alpha_up <= 2.0 + 1e-15);
         assert!(sol.alpha_low <= 0.5 + 1e-15);
         // conservation: sum preserved

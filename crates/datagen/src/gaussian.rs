@@ -4,12 +4,11 @@
 //! tests and examples the way Figure 1 of the paper illustrates a two-class
 //! cloud with few support vectors.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 use shrinksvm_sparse::{CsrBuilder, Dataset};
 
 /// Standard-normal draw via Box-Muller (keeps the dependency surface to
-/// `rand`'s uniform core).
+/// the uniform core of [`crate::rng`]).
 fn normal(rng: &mut SmallRng) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
@@ -60,7 +59,10 @@ pub fn xor(n: usize, spread: f64, seed: u64) -> Dataset {
         .map(|i| {
             let cx = if (i / 2) % 2 == 0 { 1.0 } else { -1.0 };
             let cy = if i % 2 == 0 { 1.0 } else { -1.0 };
-            let p = vec![cx + spread * normal(&mut rng), cy + spread * normal(&mut rng)];
+            let p = vec![
+                cx + spread * normal(&mut rng),
+                cy + spread * normal(&mut rng),
+            ];
             (p, cx * cy)
         })
         .collect();

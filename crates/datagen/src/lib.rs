@@ -24,6 +24,7 @@
 pub mod gaussian;
 pub mod paper;
 pub mod planted;
+pub mod rng;
 
 pub use paper::{PaperData, PaperDataset};
 pub use planted::{FeatureStyle, PlantedConfig};

@@ -12,8 +12,7 @@
 //! sparsity and size are all independent dials — exactly the properties the
 //! paper's shrinking behavior depends on.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 use shrinksvm_sparse::{CsrBuilder, Dataset};
 
 /// The distribution feature values are drawn from.
@@ -346,12 +345,7 @@ mod tests {
         let noisy = cfg.generate();
         cfg.label_noise = 0.0;
         let clean = cfg.generate();
-        let flips = noisy
-            .y
-            .iter()
-            .zip(&clean.y)
-            .filter(|(a, b)| a != b)
-            .count();
+        let flips = noisy.y.iter().zip(&clean.y).filter(|(a, b)| a != b).count();
         let frac = flips as f64 / 2000.0;
         assert!((0.15..0.25).contains(&frac), "flip fraction {frac}");
     }

@@ -1,0 +1,176 @@
+//! A small, dependency-free PRNG with the slice of the `rand` API the
+//! generators use (`gen_range`, `gen_bool`).
+//!
+//! The container this repo builds in has no registry access, so `rand`
+//! cannot be a dependency; generation only needs a fast, well-mixed,
+//! seedable stream, not cryptographic strength. The core is xoshiro256++
+//! seeded through SplitMix64 — the same construction `rand`'s `SmallRng`
+//! family uses — so statistical quality is equivalent even though exact
+//! streams differ from upstream `rand`.
+
+/// Seedable non-cryptographic generator (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Deterministically seed from a single `u64` (SplitMix64 expansion).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from a half-open range (`f64`, `u32`, `u64` or `usize`).
+    pub fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.gen_f64() < p
+    }
+}
+
+/// Types drawable uniformly from a half-open `Range` by [`SmallRng`].
+pub trait SampleRange: Sized {
+    /// Uniform draw from `range` (which must be non-empty).
+    fn sample(rng: &mut SmallRng, range: std::ops::Range<Self>) -> Self;
+}
+
+impl SampleRange for f64 {
+    fn sample(rng: &mut SmallRng, range: std::ops::Range<Self>) -> Self {
+        debug_assert!(range.start < range.end, "empty range");
+        range.start + (range.end - range.start) * rng.gen_f64()
+    }
+}
+
+/// Lemire-style unbiased bounded integer draw.
+fn bounded_u64(rng: &mut SmallRng, bound: u64) -> u64 {
+    debug_assert!(bound > 0, "empty range");
+    // Rejection sampling over the top bits: bias is at most 2^-64 per draw
+    // without it, but exactness costs almost nothing.
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let r = rng.next_u64();
+        let (hi, lo) = widening_mul(r, bound);
+        if lo >= threshold {
+            return hi;
+        }
+    }
+}
+
+fn widening_mul(a: u64, b: u64) -> (u64, u64) {
+    let wide = u128::from(a) * u128::from(b);
+    ((wide >> 64) as u64, wide as u64)
+}
+
+impl SampleRange for u64 {
+    fn sample(rng: &mut SmallRng, range: std::ops::Range<Self>) -> Self {
+        range.start + bounded_u64(rng, range.end - range.start)
+    }
+}
+
+impl SampleRange for u32 {
+    fn sample(rng: &mut SmallRng, range: std::ops::Range<Self>) -> Self {
+        range.start + bounded_u64(rng, u64::from(range.end - range.start)) as u32
+    }
+}
+
+impl SampleRange for usize {
+    fn sample(rng: &mut SmallRng, range: std::ops::Range<Self>) -> Self {
+        range.start + bounded_u64(rng, (range.end - range.start) as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_draws_stay_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_draws_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(-2.5..7.5f64);
+            assert!((-2.5..7.5).contains(&f));
+            let u = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&u));
+            let s = rng.gen_range(3usize..4);
+            assert_eq!(s, 3);
+        }
+    }
+
+    #[test]
+    fn bounded_draws_hit_every_value() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [0u32; 7];
+        for _ in 0..10_000 {
+            seen[rng.gen_range(0usize..7)] += 1;
+        }
+        // Each bucket expects ~1429 hits; all must be populated and roughly
+        // uniform (loose 4-sigma style bound).
+        for (i, &count) in seen.iter().enumerate() {
+            assert!(count > 1100 && count < 1800, "bucket {i}: {count}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "p=0.3 hit {hits}/10000");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

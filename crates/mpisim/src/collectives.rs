@@ -2,6 +2,8 @@
 //! algorithms an MPI implementation uses — so their `O(log p)` critical
 //! paths show up in the simulated clocks for free.
 
+use shrinksvm_analyze::{CollectiveKind, Fingerprint};
+
 use crate::comm::Comm;
 use crate::reduce::{MaxLoc, MinLoc};
 
@@ -17,11 +19,25 @@ fn coll_tag(seq: u64) -> u64 {
 }
 
 impl Comm {
+    /// Allocate this collective's tag and, under validation, post its
+    /// fingerprint to the lockstep ledger — which panics with a divergence
+    /// diagnosis if this rank's collective sequence no longer matches the
+    /// fleet's.
+    fn coll_enter(&mut self, kind: CollectiveKind, root: Option<usize>) -> u64 {
+        let seq = self.bump_coll_seq();
+        if self.monitor().validate {
+            let rank = self.rank();
+            self.monitor()
+                .post_collective(rank, seq, Fingerprint { kind, root });
+        }
+        coll_tag(seq)
+    }
+
     /// Dissemination barrier: `⌈log₂ p⌉` rounds of shifted exchanges.
     pub fn barrier(&mut self) {
         let p = self.size();
         let rank = self.rank();
-        let tag = coll_tag(self.bump_coll_seq());
+        let tag = self.coll_enter(CollectiveKind::Barrier, None);
         let mut dist = 1;
         let mut round = 0u64;
         while dist < p {
@@ -40,13 +56,17 @@ impl Comm {
     pub fn bcast(&mut self, root: usize, data: &[u8]) -> Vec<u8> {
         let p = self.size();
         let rank = self.rank();
-        let tag = coll_tag(self.bump_coll_seq());
+        let tag = self.coll_enter(CollectiveKind::Bcast, Some(root));
         self.note_bcast();
         if p == 1 {
             return data.to_vec();
         }
         let relative = (rank + p - root) % p;
-        let mut buf: Option<Vec<u8>> = if relative == 0 { Some(data.to_vec()) } else { None };
+        let mut buf: Option<Vec<u8>> = if relative == 0 {
+            Some(data.to_vec())
+        } else {
+            None
+        };
         // Receive phase: find the highest set bit at which we hang off the tree.
         let mut mask = 1usize;
         while mask < p {
@@ -79,12 +99,16 @@ impl Comm {
     {
         let p = self.size();
         let rank = self.rank();
-        let tag = coll_tag(self.bump_coll_seq());
+        let tag = self.coll_enter(CollectiveKind::Allreduce, None);
         self.note_allreduce();
         if p == 1 {
             return mine;
         }
-        let pof2 = if p.is_power_of_two() { p } else { p.next_power_of_two() >> 1 };
+        let pof2 = if p.is_power_of_two() {
+            p
+        } else {
+            p.next_power_of_two() >> 1
+        };
         let rem = p - pof2;
         let mut acc = mine;
 
@@ -189,7 +213,7 @@ impl Comm {
     pub fn gatherv(&mut self, root: usize, mine: &[u8]) -> Option<Vec<Vec<u8>>> {
         let p = self.size();
         let rank = self.rank();
-        let tag = coll_tag(self.bump_coll_seq());
+        let tag = self.coll_enter(CollectiveKind::Gatherv, Some(root));
         // Each message carries a set of (rank, payload) records.
         fn pack(records: &[(u32, Vec<u8>)]) -> Vec<u8> {
             let mut out = Vec::new();
@@ -240,7 +264,7 @@ impl Comm {
     pub fn scatterv(&mut self, root: usize, pieces: &[Vec<u8>]) -> Vec<u8> {
         let p = self.size();
         let rank = self.rank();
-        let tag = coll_tag(self.bump_coll_seq());
+        let tag = self.coll_enter(CollectiveKind::Scatterv, Some(root));
         if p == 1 {
             return pieces.first().cloned().unwrap_or_default();
         }
@@ -342,7 +366,7 @@ impl Comm {
     pub fn allgatherv(&mut self, mine: &[u8]) -> Vec<Vec<u8>> {
         let p = self.size();
         let rank = self.rank();
-        let tag = coll_tag(self.bump_coll_seq());
+        let tag = self.coll_enter(CollectiveKind::Allgatherv, None);
         let mut pieces: Vec<Vec<u8>> = vec![Vec::new(); p];
         pieces[rank] = mine.to_vec();
         if p == 1 {
@@ -367,7 +391,7 @@ impl Comm {
         if p == 1 {
             return mine.to_vec();
         }
-        let tag = coll_tag(self.bump_coll_seq());
+        let tag = self.coll_enter(CollectiveKind::RingShift, None);
         let rank = self.rank();
         let right = (rank + 1) % p;
         let left = (rank + p - 1) % p;
@@ -389,7 +413,11 @@ mod tests {
             for root in 0..p {
                 let out = Universe::new(p).run(move |c| {
                     let payload: Vec<u8> = vec![root as u8, 42, 7];
-                    let data = if c.rank() == root { payload.clone() } else { vec![] };
+                    let data = if c.rank() == root {
+                        payload.clone()
+                    } else {
+                        vec![]
+                    };
                     c.bcast(root, &data)
                 });
                 for o in &out {
@@ -444,8 +472,20 @@ mod tests {
             (c.allreduce_minloc(mine), c.allreduce_maxloc(maxmine))
         });
         for o in &out {
-            assert_eq!(o.value.0, MinLoc { value: 0.5, index: 5 });
-            assert_eq!(o.value.1, MaxLoc { value: 9.0, index: 4 });
+            assert_eq!(
+                o.value.0,
+                MinLoc {
+                    value: 0.5,
+                    index: 5
+                }
+            );
+            assert_eq!(
+                o.value.1,
+                MaxLoc {
+                    value: 9.0,
+                    index: 4
+                }
+            );
         }
     }
 
@@ -604,7 +644,11 @@ mod tests {
                     c.scatterv(root, &input)
                 });
                 for (r, o) in out.iter().enumerate() {
-                    assert_eq!(o.value, vec![r as u8; r % 4 + 1], "p={p} root={root} rank={r}");
+                    assert_eq!(
+                        o.value,
+                        vec![r as u8; r % 4 + 1],
+                        "p={p} root={root} rank={r}"
+                    );
                 }
             }
         }

@@ -2,16 +2,27 @@
 //! the simulated clock.
 
 use std::collections::VecDeque;
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
 use std::time::Duration;
+
+use shrinksvm_analyze::{VectorClock, Violation, WaitEdge};
 
 use crate::cost::CostParams;
 use crate::fabric::{Endpoints, Message};
+use crate::monitor::{RunMonitor, StallSnapshot};
 use crate::stats::CommStats;
 use crate::MAX_USER_TAG;
 
-/// How long a blocking receive waits for a matching message before the
-/// simulation declares itself deadlocked. Generous: legitimate waits are
-/// bounded by the slowest rank's compute burst.
+/// How often a blocked receive re-checks the deadlock detector. Two
+/// consecutive stalled observations one interval apart confirm a deadlock,
+/// so diagnosis latency is ~2–3 intervals — milliseconds, not minutes.
+const POLL: Duration = Duration::from_millis(5);
+
+/// Absolute fallback bound on a single blocking receive, for pathologies
+/// the wait-for graph cannot see (e.g. a peer spinning forever in compute).
+/// The graph-based detector fires in milliseconds on real communication
+/// deadlocks, so this bound should never be reached in practice.
 const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(300);
 
 /// A nonblocking-operation handle (`MPI_Request` analog).
@@ -45,10 +56,29 @@ pub struct Comm {
     cost: CostParams,
     stats: CommStats,
     pub(crate) coll_seq: u64,
+    monitor: Arc<RunMonitor>,
+    /// This rank's vector clock (maintained only under validation).
+    vc: VectorClock,
+    /// Highest source-clock component seen per source (FIFO monotonicity).
+    last_src_clock: Vec<u64>,
+}
+
+/// What a rank hands back to the universe after its closure returns, so
+/// finalize-time conservation checks can run once every rank is done.
+pub(crate) struct RankFinal {
+    pub rank: usize,
+    pub pending: Vec<VecDeque<Message>>,
+    pub incoming: Vec<Receiver<Message>>,
 }
 
 impl Comm {
-    pub(crate) fn new(rank: usize, size: usize, endpoints: Endpoints, cost: CostParams) -> Self {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        endpoints: Endpoints,
+        cost: CostParams,
+        monitor: Arc<RunMonitor>,
+    ) -> Self {
         let pending = (0..size).map(|_| VecDeque::new()).collect();
         Comm {
             rank,
@@ -59,6 +89,9 @@ impl Comm {
             cost,
             stats: CommStats::default(),
             coll_seq: 0,
+            monitor,
+            vc: VectorClock::new(size),
+            last_src_clock: vec![0; size],
         }
     }
 
@@ -90,6 +123,12 @@ impl Comm {
         self.stats
     }
 
+    /// This rank's vector clock (all zeros unless the universe was built
+    /// with [`crate::Universe::validated`]).
+    pub fn vector_clock(&self) -> &VectorClock {
+        &self.vc
+    }
+
     /// Charge `secs` of computation to this rank's simulated clock.
     #[inline]
     pub fn advance_compute(&mut self, secs: f64) {
@@ -103,7 +142,7 @@ impl Comm {
     /// Blocking-semantics send (buffered, so it never actually blocks —
     /// MPI's eager protocol).
     pub fn send(&mut self, dst: usize, tag: u64, payload: &[u8]) {
-        debug_assert!(tag < MAX_USER_TAG, "tag {tag} is in the collective namespace");
+        self.check_user_tag(tag, "send");
         self.send_internal(dst, tag, payload);
     }
 
@@ -112,18 +151,25 @@ impl Comm {
         self.clock += self.cost.send_overhead;
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += payload.len() as u64;
+        let vclock = if self.monitor.validate {
+            self.vc.tick(self.rank);
+            Some(self.vc.clone())
+        } else {
+            None
+        };
         self.endpoints.outgoing[dst]
             .send(Message {
                 tag,
                 payload: payload.to_vec(),
                 depart: self.clock,
+                vclock,
             })
             .unwrap_or_else(|_| panic!("rank {} vanished (channel closed)", dst));
     }
 
     /// Blocking receive of a message with `tag` from `src`.
     pub fn recv(&mut self, src: usize, tag: u64) -> Vec<u8> {
-        debug_assert!(tag < MAX_USER_TAG, "tag {tag} is in the collective namespace");
+        self.check_user_tag(tag, "recv");
         self.recv_internal(src, tag)
     }
 
@@ -131,32 +177,115 @@ impl Comm {
         assert!(src < self.size, "recv from rank {src} of {}", self.size);
         // Check messages already pulled off the channel.
         if let Some(pos) = self.pending[src].iter().position(|m| m.tag == tag) {
-            let msg = self.pending[src].remove(pos).unwrap();
-            return self.accept(msg);
+            let msg = self.pending[src].remove(pos).expect("position is in range");
+            return self.accept(src, msg);
         }
+        let mut published = false;
+        let mut snapshot: Option<StallSnapshot> = None;
+        let mut waited = Duration::ZERO;
         loop {
-            let msg = self.endpoints.incoming[src]
-                .recv_timeout(DEADLOCK_TIMEOUT)
-                .unwrap_or_else(|_| {
+            match self.endpoints.incoming[src].recv_timeout(POLL) {
+                Ok(msg) => {
+                    self.on_dequeue(src, &msg);
+                    if msg.tag == tag {
+                        if published {
+                            self.monitor.publish_running(self.rank);
+                        }
+                        return self.accept(src, msg);
+                    }
+                    self.pending[src].push_back(msg);
+                    // Progress was made but this rank is still blocked on
+                    // `tag`; the published edge stays accurate.
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if !published {
+                        self.monitor.publish_blocked(WaitEdge {
+                            waiter: self.rank,
+                            src,
+                            tag,
+                            collective: tag >= MAX_USER_TAG,
+                        });
+                        published = true;
+                    }
+                    match self.monitor.check_stalled(snapshot) {
+                        Ok(next) => snapshot = next,
+                        Err(report) => panic!("{report}"),
+                    }
+                    waited += POLL;
+                    if waited >= DEADLOCK_TIMEOUT {
+                        panic!(
+                            "rank {}: timeout after {:?} waiting for tag {tag:#x} from rank {src} \
+                             (no global deadlock detected — a peer may be stuck in compute)",
+                            self.rank, DEADLOCK_TIMEOUT
+                        );
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // The only sender for this channel is rank `src` itself,
+                    // so disconnection proves it finished (or panicked) with
+                    // nothing buffered: this receive can never complete.
+                    if !published {
+                        self.monitor.publish_blocked(WaitEdge {
+                            waiter: self.rank,
+                            src,
+                            tag,
+                            collective: tag >= MAX_USER_TAG,
+                        });
+                    }
                     panic!(
-                        "rank {}: deadlock/timeout waiting for tag {tag:#x} from rank {src}",
+                        "rank {}: receive of tag {tag:#x} from rank {src} can never complete: \
+                         rank {src} already finished and left no matching message",
                         self.rank
-                    )
-                });
-            if msg.tag == tag {
-                return self.accept(msg);
+                    );
+                }
             }
-            self.pending[src].push_back(msg);
+        }
+    }
+
+    /// Bookkeeping common to every channel dequeue (matched or buffered):
+    /// the progress counter feeds the deadlock detector's stall check, and
+    /// under validation the per-source clock components must be strictly
+    /// increasing in FIFO order.
+    fn on_dequeue(&mut self, src: usize, msg: &Message) {
+        self.monitor.note_progress();
+        if let Some(vc) = &msg.vclock {
+            let got = vc.get(src);
+            let prev = self.last_src_clock[src];
+            if got <= prev {
+                self.monitor.record(Violation::ClockRegression {
+                    rank: self.rank,
+                    src,
+                    prev,
+                    got,
+                    tag: msg.tag,
+                });
+            }
+            self.last_src_clock[src] = got.max(prev);
         }
     }
 
     /// Book a matched message: advance the clock per the cost model and
     /// return its payload.
-    fn accept(&mut self, msg: Message) -> Vec<u8> {
+    fn accept(&mut self, src: usize, msg: Message) -> Vec<u8> {
         let arrive = msg.depart + self.cost.wire_time(msg.payload.len());
         if arrive > self.clock {
             self.stats.comm_time += arrive - self.clock;
             self.clock = arrive;
+        }
+        if self.monitor.validate {
+            if self.clock + 1e-9 < arrive {
+                self.monitor.record(Violation::LogGpViolation {
+                    rank: self.rank,
+                    src,
+                    tag: msg.tag,
+                    expect_min: arrive,
+                    got: self.clock,
+                });
+            }
+            if let Some(vc) = &msg.vclock {
+                self.vc.merge(vc);
+            }
+            self.vc.tick(self.rank);
         }
         self.stats.msgs_recv += 1;
         self.stats.bytes_recv += msg.payload.len() as u64;
@@ -171,7 +300,7 @@ impl Comm {
 
     /// Post a nonblocking receive (`MPI_Irecv`).
     pub fn irecv(&mut self, src: usize, tag: u64) -> Request {
-        debug_assert!(tag < MAX_USER_TAG, "tag {tag} is in the collective namespace");
+        self.check_user_tag(tag, "irecv");
         Request::Recv { src, tag }
     }
 
@@ -193,15 +322,29 @@ impl Comm {
         self.recv(partner, tag)
     }
 
+    /// User tags must stay below [`MAX_USER_TAG`]. Under validation the
+    /// breach is recorded for the finalize report (so the diagnosis names
+    /// rank, op and tag); otherwise it is a debug assertion as before.
+    fn check_user_tag(&self, tag: u64, op: &'static str) {
+        if tag < MAX_USER_TAG {
+            return;
+        }
+        if self.monitor.validate {
+            self.monitor.record(Violation::TagOutOfRange {
+                rank: self.rank,
+                tag,
+                op,
+            });
+        } else {
+            debug_assert!(false, "tag {tag:#x} is in the collective namespace ({op})");
+        }
+    }
+
     // --------------------------------------------------------- typed sugar
 
     /// Send a slice of `f64`s.
     pub fn send_f64s(&mut self, dst: usize, tag: u64, data: &[f64]) {
-        let mut buf = Vec::with_capacity(data.len() * 8);
-        for v in data {
-            buf.extend_from_slice(&v.to_le_bytes());
-        }
-        self.send(dst, tag, &buf);
+        self.send(dst, tag, &encode_f64s(data));
     }
 
     /// Receive a slice of `f64`s.
@@ -216,6 +359,10 @@ impl Comm {
         s
     }
 
+    pub(crate) fn monitor(&self) -> &RunMonitor {
+        &self.monitor
+    }
+
     pub(crate) fn note_allreduce(&mut self) {
         self.stats.allreduces += 1;
     }
@@ -224,6 +371,17 @@ impl Comm {
     }
     pub(crate) fn note_barrier(&mut self) {
         self.stats.barriers += 1;
+    }
+
+    /// Tear the communicator apart for finalize-time conservation checks:
+    /// unmatched buffered messages and still-queued channel traffic are
+    /// examined by the universe after every rank has joined.
+    pub(crate) fn finalize(self) -> RankFinal {
+        RankFinal {
+            rank: self.rank,
+            pending: self.pending,
+            incoming: self.endpoints.incoming,
+        }
     }
 
     /// Force the simulated clock forward (used by tests; not part of the
@@ -236,10 +394,13 @@ impl Comm {
 
 /// Decode a little-endian f64 byte stream.
 pub fn decode_f64s(bytes: &[u8]) -> Vec<f64> {
-    assert!(bytes.len().is_multiple_of(8), "payload is not a whole number of f64s");
+    assert!(
+        bytes.len().is_multiple_of(8),
+        "payload is not a whole number of f64s"
+    );
     bytes
         .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
         .collect()
 }
 
@@ -347,7 +508,7 @@ mod tests {
             let r2 = c.isend(peer, 3, &[c.rank() as u8]);
             let reqs = vec![r1, r2];
             let done = c.waitall(reqs);
-            done[0].as_ref().unwrap()[0]
+            done[0].as_ref().expect("recv slot has a payload")[0]
         });
         assert_eq!(out[0].value, 1);
         assert_eq!(out[1].value, 0);
@@ -393,5 +554,23 @@ mod tests {
         assert_eq!(out[0].stats.bytes_sent, 150);
         assert_eq!(out[1].value.msgs_recv, 2);
         assert_eq!(out[1].value.bytes_recv, 150);
+    }
+
+    #[test]
+    fn vector_clocks_order_messages_under_validation() {
+        let out = Universe::new(2).validated().run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 1, &[1]);
+                c.send(1, 2, &[2]);
+            } else {
+                c.recv(0, 1);
+                c.recv(0, 2);
+            }
+            c.vector_clock().clone()
+        });
+        // rank 0: two send ticks; rank 1 merged both and ticked twice.
+        assert_eq!(out[0].value.get(0), 2);
+        assert_eq!(out[1].value.get(0), 2);
+        assert_eq!(out[1].value.get(1), 2);
     }
 }

@@ -1,6 +1,8 @@
 //! The channel fabric connecting ranks.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
+
+use shrinksvm_analyze::VectorClock;
 
 /// One in-flight message.
 #[derive(Debug)]
@@ -11,6 +13,8 @@ pub(crate) struct Message {
     pub payload: Vec<u8>,
     /// Sender's simulated clock at departure (after send overhead).
     pub depart: f64,
+    /// Sender's vector clock at departure; present only under validation.
+    pub vclock: Option<VectorClock>,
 }
 
 /// All channel endpoints belonging to one rank: a sender handle towards
@@ -62,6 +66,7 @@ mod tests {
                 tag: 7,
                 payload: vec![1, 2, 3],
                 depart: 0.5,
+                vclock: None,
             })
             .unwrap();
         let got = eps[2].incoming[0].recv().unwrap();
@@ -82,6 +87,7 @@ mod tests {
                 tag: 1,
                 payload: vec![],
                 depart: 0.0,
+                vclock: None,
             })
             .unwrap();
         assert!(eps[0].incoming[0].recv().is_ok());

@@ -35,10 +35,21 @@
 //! assert!(outcomes.iter().all(|o| o.value == 10.0));
 //! ```
 
+//! ## Correctness tooling
+//!
+//! A wait-for-graph deadlock detector is always on: a cyclic blocking
+//! pattern (or a receive from a rank that already finished) is diagnosed in
+//! milliseconds with a per-rank report naming ranks, sources and tags.
+//! [`Universe::validated`] additionally enables per-message vector clocks
+//! (happens-before checks), LogGP clock-consistency checks, a collective
+//! lockstep ledger, user-tag discipline, and finalize-time message
+//! conservation; [`Universe::run_report`] returns the [`ValidationReport`].
+
 pub mod collectives;
 pub mod comm;
 pub mod cost;
 pub mod fabric;
+mod monitor;
 pub mod reduce;
 pub mod stats;
 pub mod universe;
@@ -46,6 +57,7 @@ pub mod universe;
 pub use comm::{Comm, Request};
 pub use cost::CostParams;
 pub use reduce::{MaxLoc, MinLoc};
+pub use shrinksvm_analyze::{ValidationReport, Violation};
 pub use stats::CommStats;
 pub use universe::{RankOutcome, Universe};
 

@@ -1,0 +1,155 @@
+//! The per-universe run monitor: shared state behind the deadlock
+//! detector, the collective lockstep checker and the validation report.
+//!
+//! One `RunMonitor` is created per [`crate::Universe::run`] call and shared
+//! (via `Arc`) by every rank. The wait-for graph is always maintained — it
+//! replaces the old 300-second timeout as the deadlock oracle — while the
+//! happens-before/ledger machinery only engages when the universe was built
+//! with [`crate::Universe::validated`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use shrinksvm_analyze::{
+    CollectiveLedger, Fingerprint, RankState, ValidationReport, Violation, WaitEdge, WaitForGraph,
+};
+
+/// Lock a mutex, surviving poisoning (a diagnosing rank panics on purpose;
+/// that must not cascade into opaque `PoisonError` panics on its peers).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Snapshot a rank uses to decide whether the universe has stopped moving.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct StallSnapshot {
+    graph_version: u64,
+    progress: u64,
+}
+
+/// Shared monitor state for one universe run.
+pub(crate) struct RunMonitor {
+    /// Whether full validation (vector clocks, ledger, conservation) is on.
+    pub validate: bool,
+    graph: Mutex<WaitForGraph>,
+    /// Total messages dequeued from any channel; part of the stall check.
+    progress: AtomicU64,
+    /// The deadlock diagnosis, rendered once by whichever rank confirms it.
+    diagnosed: Mutex<Option<String>>,
+    /// Ranks that unwound with a panic (distinguished from clean finishes
+    /// in the deadlock report so the root cause is not masked).
+    panicked: Mutex<Vec<usize>>,
+    ledger: Mutex<CollectiveLedger>,
+    violations: Mutex<Vec<Violation>>,
+}
+
+impl RunMonitor {
+    pub(crate) fn new(p: usize, validate: bool) -> Self {
+        RunMonitor {
+            validate,
+            graph: Mutex::new(WaitForGraph::new(p)),
+            progress: AtomicU64::new(0),
+            diagnosed: Mutex::new(None),
+            panicked: Mutex::new(Vec::new()),
+            ledger: Mutex::new(CollectiveLedger::new(p)),
+            violations: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A message was dequeued somewhere (matched or buffered).
+    pub(crate) fn note_progress(&self) {
+        self.progress.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Rank `rank` is blocked in a receive.
+    pub(crate) fn publish_blocked(&self, edge: WaitEdge) {
+        lock(&self.graph).set(edge.waiter, RankState::Blocked(edge));
+    }
+
+    /// Rank `rank` matched its receive and is running again.
+    pub(crate) fn publish_running(&self, rank: usize) {
+        lock(&self.graph).set(rank, RankState::Running);
+    }
+
+    /// Rank `rank` returned from its closure (or unwound with a panic —
+    /// either way, no further message from it can ever arrive).
+    pub(crate) fn publish_finished(&self, rank: usize, by_panic: bool) {
+        if by_panic {
+            lock(&self.panicked).push(rank);
+        }
+        lock(&self.graph).set(rank, RankState::Finished);
+    }
+
+    /// Called by a blocked rank after each poll timeout. Returns the
+    /// rendered deadlock report once the universe is provably stuck.
+    ///
+    /// `last` is the caller's previous snapshot. Diagnosis requires two
+    /// consecutive observations, one poll interval apart, of the *same*
+    /// fully-blocked state with no message dequeued in between: any
+    /// deliverable in-flight message would have been picked up within one
+    /// poll by its (blocked, hence actively polling) receiver, changing the
+    /// progress counter and invalidating the snapshot.
+    pub(crate) fn check_stalled(
+        &self,
+        last: Option<StallSnapshot>,
+    ) -> Result<Option<StallSnapshot>, String> {
+        if let Some(report) = lock(&self.diagnosed).as_ref() {
+            return Err(report.clone());
+        }
+        let (all_blocked, graph_version) = {
+            let g = lock(&self.graph);
+            (g.all_blocked(), g.version())
+        };
+        if !all_blocked {
+            return Ok(None);
+        }
+        let snap = StallSnapshot {
+            graph_version,
+            progress: self.progress.load(Ordering::SeqCst),
+        };
+        if last != Some(snap) {
+            return Ok(Some(snap));
+        }
+        // Confirmed: render the diagnosis exactly once.
+        let mut diagnosed = lock(&self.diagnosed);
+        if let Some(report) = diagnosed.as_ref() {
+            return Err(report.clone());
+        }
+        let mut report = lock(&self.graph).deadlock_report().to_string();
+        let panicked = lock(&self.panicked);
+        for rank in panicked.iter() {
+            report.push_str(&format!(
+                "note: rank {rank} exited by panic before the deadlock; \
+                 its panic is the likely root cause\n"
+            ));
+        }
+        *diagnosed = Some(report.clone());
+        Err(report)
+    }
+
+    /// The first rank that unwound with a panic, if any did.
+    pub(crate) fn first_panicked(&self) -> Option<usize> {
+        lock(&self.panicked).first().copied()
+    }
+
+    /// Post a collective fingerprint; panics with the divergence diagnosis
+    /// if this rank's collective sequence has diverged from the fleet's.
+    pub(crate) fn post_collective(&self, rank: usize, seq: u64, fp: Fingerprint) {
+        let result = lock(&self.ledger).post(rank, seq, fp);
+        if let Err(divergence) = result {
+            panic!("{divergence}");
+        }
+    }
+
+    /// Record a validation violation.
+    pub(crate) fn record(&self, v: Violation) {
+        lock(&self.violations).push(v);
+    }
+
+    /// Drain everything recorded so far into a report (post-join).
+    pub(crate) fn take_report(&self) -> ValidationReport {
+        let mut report = ValidationReport::default();
+        report.extend(std::mem::take(&mut *lock(&self.violations)));
+        report
+    }
+}

@@ -96,50 +96,89 @@ mod tests {
 
     #[test]
     fn minloc_prefers_smaller_value() {
-        let a = MinLoc { value: 1.0, index: 9 };
-        let b = MinLoc { value: 2.0, index: 1 };
+        let a = MinLoc {
+            value: 1.0,
+            index: 9,
+        };
+        let b = MinLoc {
+            value: 2.0,
+            index: 1,
+        };
         assert_eq!(MinLoc::combine(a, b), a);
         assert_eq!(MinLoc::combine(b, a), a);
     }
 
     #[test]
     fn minloc_ties_break_on_index() {
-        let a = MinLoc { value: 1.0, index: 9 };
-        let b = MinLoc { value: 1.0, index: 3 };
+        let a = MinLoc {
+            value: 1.0,
+            index: 9,
+        };
+        let b = MinLoc {
+            value: 1.0,
+            index: 3,
+        };
         assert_eq!(MinLoc::combine(a, b), b);
         assert_eq!(MinLoc::combine(b, a), b);
     }
 
     #[test]
     fn minloc_identity_loses() {
-        let a = MinLoc { value: 1e300, index: 0 };
+        let a = MinLoc {
+            value: 1e300,
+            index: 0,
+        };
         assert_eq!(MinLoc::combine(MinLoc::identity(), a), a);
     }
 
     #[test]
     fn maxloc_mirrors() {
-        let a = MaxLoc { value: 5.0, index: 2 };
-        let b = MaxLoc { value: 3.0, index: 0 };
+        let a = MaxLoc {
+            value: 5.0,
+            index: 2,
+        };
+        let b = MaxLoc {
+            value: 3.0,
+            index: 0,
+        };
         assert_eq!(MaxLoc::combine(a, b), a);
-        let t1 = MaxLoc { value: 5.0, index: 7 };
+        let t1 = MaxLoc {
+            value: 5.0,
+            index: 7,
+        };
         assert_eq!(MaxLoc::combine(a, t1), a);
         assert_eq!(MaxLoc::combine(MaxLoc::identity(), b), b);
     }
 
     #[test]
     fn codecs_roundtrip() {
-        let m = MinLoc { value: -0.5, index: 123456789 };
+        let m = MinLoc {
+            value: -0.5,
+            index: 123456789,
+        };
         assert_eq!(MinLoc::decode(&m.encode()), m);
-        let m = MaxLoc { value: f64::MAX, index: 1 };
+        let m = MaxLoc {
+            value: f64::MAX,
+            index: 1,
+        };
         assert_eq!(MaxLoc::decode(&m.encode()), m);
     }
 
     #[test]
     fn combines_are_associative() {
         let xs = [
-            MinLoc { value: 3.0, index: 1 },
-            MinLoc { value: 1.0, index: 5 },
-            MinLoc { value: 1.0, index: 2 },
+            MinLoc {
+                value: 3.0,
+                index: 1,
+            },
+            MinLoc {
+                value: 1.0,
+                index: 5,
+            },
+            MinLoc {
+                value: 1.0,
+                index: 2,
+            },
         ];
         let l = MinLoc::combine(MinLoc::combine(xs[0], xs[1]), xs[2]);
         let r = MinLoc::combine(xs[0], MinLoc::combine(xs[1], xs[2]));

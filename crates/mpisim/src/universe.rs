@@ -1,8 +1,13 @@
 //! Launching a fleet of ranks.
 
-use crate::comm::Comm;
+use std::sync::Arc;
+
+use shrinksvm_analyze::{ValidationReport, Violation};
+
+use crate::comm::{Comm, RankFinal};
 use crate::cost::CostParams;
 use crate::fabric;
+use crate::monitor::RunMonitor;
 use crate::stats::CommStats;
 
 /// What one rank produced: the closure's return value plus the rank's final
@@ -19,10 +24,31 @@ pub struct RankOutcome<T> {
 
 /// A set of `p` simulated ranks sharing a cost model (`MPI_COMM_WORLD`
 /// analog). Construct once, [`Universe::run`] any number of programs.
+///
+/// A wait-for-graph deadlock detector is always active: a cyclic blocking
+/// pattern is diagnosed in milliseconds with a per-rank report instead of
+/// hanging. Full communication validation (vector clocks, collective
+/// lockstep ledger, message conservation, tag discipline) is opt-in via
+/// [`Universe::validated`] because it adds `O(p)` bookkeeping per message.
 #[derive(Clone, Debug)]
 pub struct Universe {
     p: usize,
     cost: CostParams,
+    validate: bool,
+}
+
+/// Publishes this rank's `Finished` state when the closure exits — normally
+/// or by unwinding — so blocked peers can be diagnosed instead of hanging.
+struct FinishGuard<'m> {
+    monitor: &'m RunMonitor,
+    rank: usize,
+}
+
+impl Drop for FinishGuard<'_> {
+    fn drop(&mut self) {
+        self.monitor
+            .publish_finished(self.rank, std::thread::panicking());
+    }
 }
 
 impl Universe {
@@ -32,12 +58,23 @@ impl Universe {
         Universe {
             p,
             cost: CostParams::zero(),
+            validate: false,
         }
     }
 
     /// Attach a network cost model.
     pub fn with_cost(mut self, cost: CostParams) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Enable full communication validation: per-message vector clocks with
+    /// happens-before checks, LogGP clock consistency, collective lockstep
+    /// fingerprints, tag discipline and finalize-time message conservation.
+    /// [`Universe::run`] then panics with the report if a run is dirty;
+    /// [`Universe::run_report`] returns it instead.
+    pub fn validated(mut self) -> Self {
+        self.validate = true;
         self
     }
 
@@ -48,8 +85,25 @@ impl Universe {
 
     /// Run `f` on every rank concurrently (one OS thread per rank) and
     /// return the outcomes in rank order. Panics propagate: if any rank
-    /// panics, the join panics here with that rank's payload.
+    /// panics, the join panics here with that rank's payload (preferring the
+    /// first rank that panicked over secondary casualties). Under
+    /// [`Universe::validated`], a dirty validation report also panics.
     pub fn run<T, F>(&self, f: F) -> Vec<RankOutcome<T>>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        let (outcomes, report) = self.run_report(f);
+        if !report.is_clean() {
+            panic!("{report}");
+        }
+        outcomes
+    }
+
+    /// Like [`Universe::run`], but hand back the [`ValidationReport`] instead
+    /// of panicking on violations. Without [`Universe::validated`] the report
+    /// is always clean.
+    pub fn run_report<T, F>(&self, f: F) -> (Vec<RankOutcome<T>>, ValidationReport)
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Send + Sync,
@@ -57,29 +111,72 @@ impl Universe {
         let endpoints = fabric::build(self.p);
         let cost = self.cost;
         let p = self.p;
+        let monitor = Arc::new(RunMonitor::new(p, self.validate));
         let mut outcomes: Vec<Option<RankOutcome<T>>> = (0..p).map(|_| None).collect();
+        let mut finals: Vec<RankFinal> = Vec::with_capacity(if self.validate { p } else { 0 });
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(p);
             for (rank, eps) in endpoints.into_iter().enumerate() {
                 let f = &f;
+                let monitor = Arc::clone(&monitor);
+                let validate = self.validate;
                 handles.push(s.spawn(move || {
-                    let mut comm = Comm::new(rank, p, eps, cost);
+                    let mut comm = Comm::new(rank, p, eps, cost, Arc::clone(&monitor));
+                    let _guard = FinishGuard {
+                        monitor: &monitor,
+                        rank,
+                    };
                     let value = f(&mut comm);
-                    RankOutcome {
+                    let outcome = RankOutcome {
                         value,
                         clock: comm.clock(),
                         stats: comm.stats(),
-                    }
+                    };
+                    // Under validation the channel endpoints outlive the
+                    // rank so the universe can audit leftovers post-join.
+                    let fin = if validate {
+                        Some(comm.finalize())
+                    } else {
+                        None
+                    };
+                    (outcome, fin)
                 }));
             }
+            let mut joined: Vec<Option<Box<dyn std::any::Any + Send>>> = Vec::with_capacity(p);
             for (rank, h) in handles.into_iter().enumerate() {
                 match h.join() {
-                    Ok(outcome) => outcomes[rank] = Some(outcome),
-                    Err(payload) => std::panic::resume_unwind(payload),
+                    Ok((outcome, fin)) => {
+                        outcomes[rank] = Some(outcome);
+                        if let Some(fin) = fin {
+                            finals.push(fin);
+                        }
+                        joined.push(None);
+                    }
+                    Err(payload) => joined.push(Some(payload)),
                 }
             }
+            // Prefer the payload of the rank that panicked *first* — peers
+            // that died reacting to it are secondary casualties.
+            let preferred = monitor
+                .first_panicked()
+                .filter(|&r| matches!(joined.get(r), Some(Some(_))));
+            if let Some(r) = preferred {
+                let payload = joined[r].take().expect("checked above");
+                std::panic::resume_unwind(payload);
+            }
+            if let Some(payload) = joined.into_iter().flatten().next() {
+                std::panic::resume_unwind(payload);
+            }
         });
-        outcomes.into_iter().map(|o| o.expect("rank completed")).collect()
+        let mut report = monitor.take_report();
+        for fin in finals {
+            audit_rank(&mut report, fin);
+        }
+        let outcomes = outcomes
+            .into_iter()
+            .map(|o| o.expect("rank completed"))
+            .collect();
+        (outcomes, report)
     }
 
     /// Convenience: run and return the maximum simulated clock across ranks
@@ -93,6 +190,34 @@ impl Universe {
         let makespan = outcomes.iter().map(|o| o.clock).fold(0.0f64, f64::max);
         (outcomes.remove(0).value, makespan)
     }
+}
+
+/// Message-conservation audit of one finished rank: anything still queued on
+/// its channels was sent but never received; anything still in its pending
+/// buffers was received off a channel but never matched.
+fn audit_rank(report: &mut ValidationReport, fin: RankFinal) {
+    let mut extra = Vec::new();
+    for (src, queue) in fin.pending.into_iter().enumerate() {
+        for msg in queue {
+            extra.push(Violation::UnmatchedPending {
+                rank: fin.rank,
+                src,
+                tag: msg.tag,
+                bytes: msg.payload.len(),
+            });
+        }
+    }
+    for (src, rx) in fin.incoming.into_iter().enumerate() {
+        while let Ok(msg) = rx.try_recv() {
+            extra.push(Violation::UnreceivedMessage {
+                src,
+                dst: fin.rank,
+                tag: msg.tag,
+                bytes: msg.payload.len(),
+            });
+        }
+    }
+    report.extend(extra);
 }
 
 #[cfg(test)]
@@ -144,11 +269,61 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "root cause panic")]
+    fn first_panic_wins_over_secondary_casualties() {
+        // rank 1 panics; rank 0 blocks on it and dies secondarily. The
+        // surfaced payload must be rank 1's, despite rank 0 joining first.
+        Universe::new(2).run(|c| {
+            if c.rank() == 1 {
+                panic!("root cause panic");
+            }
+            c.recv(1, 7);
+        });
+    }
+
+    #[test]
     fn universe_is_reusable() {
         let u = Universe::new(3);
         for _ in 0..3 {
             let out = u.run(|c| c.allreduce_u64_sum(1));
             assert!(out.iter().all(|o| o.value == 3));
         }
+    }
+
+    #[test]
+    fn validated_clean_run_is_clean() {
+        let (out, report) = Universe::new(4).validated().run_report(|c| {
+            let peer = c.rank() ^ 1;
+            let got = c.sendrecv(peer, 3, &[c.rank() as u8]);
+            c.barrier();
+            got[0]
+        });
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(out[0].value, 1);
+    }
+
+    #[test]
+    fn validated_run_reports_unreceived_message() {
+        let (_, report) = Universe::new(2).validated().run_report(|c| {
+            if c.rank() == 0 {
+                c.isend(1, 42, &[0u8; 24]);
+            }
+            // rank 1 never posts the matching receive
+        });
+        let s = report.to_string();
+        assert!(!report.is_clean());
+        assert!(s.contains("from rank 0 to rank 1"), "{s}");
+        assert!(s.contains("tag 0x2a"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "communication deadlock diagnosed")]
+    fn cyclic_deadlock_is_diagnosed() {
+        Universe::new(2).run(|c| {
+            // Both ranks receive before sending: classic head-on deadlock.
+            let peer = 1 - c.rank();
+            let _ = c.recv(peer, 1);
+            c.send(peer, 1, &[]);
+        });
     }
 }

@@ -1,0 +1,197 @@
+//! Deliberately-buggy MPI programs, each asserting the *exact* diagnosis the
+//! correctness layer produces — and that it arrives in well under a second,
+//! not after a timeout.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use shrinksvm_mpisim::Universe;
+
+/// Run `f`, expect a panic, and return (panic message, elapsed wall time).
+fn diagnose<F: FnOnce() + Send>(f: F) -> (String, Duration) {
+    let start = Instant::now();
+    let payload = catch_unwind(AssertUnwindSafe(f)).expect_err("program must be diagnosed");
+    let elapsed = start.elapsed();
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .expect("panic payload is a string");
+    (msg, elapsed)
+}
+
+#[test]
+fn cyclic_recv_deadlock_is_diagnosed_fast_with_full_report() {
+    // Classic head-on deadlock: both ranks receive before sending.
+    let (msg, elapsed) = diagnose(|| {
+        Universe::new(2).run(|c| {
+            let peer = 1 - c.rank();
+            let _ = c.recv(peer, 7);
+            c.send(peer, 7, &[1]);
+        });
+    });
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "diagnosis took {elapsed:?}, must not ride the timeout path"
+    );
+    assert!(msg.contains("communication deadlock diagnosed"), "{msg}");
+    assert!(msg.contains("wait-for cycle"), "{msg}");
+    // Every blocked rank is named with the operation it is stuck in and
+    // the tag it is matching.
+    assert!(
+        msg.contains("rank 0 blocked in recv(src=1, tag=7)"),
+        "{msg}"
+    );
+    assert!(
+        msg.contains("rank 1 blocked in recv(src=0, tag=7)"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn three_rank_ring_deadlock_names_the_cycle() {
+    let (msg, elapsed) = diagnose(|| {
+        Universe::new(3).run(|c| {
+            // Each rank waits on its left neighbor; nobody ever sends.
+            let left = (c.rank() + 2) % 3;
+            let _ = c.recv(left, 5);
+        });
+    });
+    assert!(elapsed < Duration::from_secs(1), "{elapsed:?}");
+    assert!(msg.contains("wait-for cycle"), "{msg}");
+    for r in 0..3 {
+        assert!(msg.contains(&format!("rank {r} blocked in recv")), "{msg}");
+    }
+}
+
+#[test]
+fn recv_from_finished_rank_is_diagnosed_not_hung() {
+    let (msg, elapsed) = diagnose(|| {
+        Universe::new(2).run(|c| {
+            if c.rank() == 1 {
+                // rank 0 finishes immediately; this receive can never match
+                let _ = c.recv(0, 9);
+            }
+        });
+    });
+    assert!(elapsed < Duration::from_secs(1), "{elapsed:?}");
+    assert!(msg.contains("can never complete"), "{msg}");
+    assert!(msg.contains("rank 0 already finished"), "{msg}");
+}
+
+#[test]
+fn rank_divergent_collective_order_is_diagnosed() {
+    // SPMD violation: rank 0 broadcasts while every other rank hits a
+    // barrier. The lockstep ledger must name both operations and ranks.
+    let (msg, elapsed) = diagnose(|| {
+        Universe::new(2).validated().run(|c| {
+            if c.rank() == 0 {
+                c.bcast(0, &[1]);
+            } else {
+                c.barrier();
+            }
+        });
+    });
+    assert!(elapsed < Duration::from_secs(1), "{elapsed:?}");
+    assert!(
+        msg.contains("collective lockstep violation at collective #0"),
+        "{msg}"
+    );
+    // One rank's op is the reference, the other diverged; both ops named.
+    assert!(msg.contains("Bcast(root=0)"), "{msg}");
+    assert!(msg.contains("Barrier"), "{msg}");
+    assert!(msg.contains("SPMD collective sequences diverged"), "{msg}");
+}
+
+#[test]
+fn mismatched_bcast_roots_are_diagnosed() {
+    let (msg, _) = diagnose(|| {
+        Universe::new(2).validated().run(|c| {
+            let root = c.rank(); // every rank claims itself as root
+            c.bcast(root, &[1]);
+        });
+    });
+    assert!(msg.contains("collective lockstep violation"), "{msg}");
+    assert!(msg.contains("Bcast(root=0)"), "{msg}");
+    assert!(msg.contains("Bcast(root=1)"), "{msg}");
+}
+
+#[test]
+fn leaked_isend_is_reported_with_src_dst_tag() {
+    // rank 0 isends a message rank 1 never receives; conservation check
+    // must name source, destination, tag and size.
+    let (_, report) = Universe::new(2).validated().run_report(|c| {
+        if c.rank() == 0 {
+            c.isend(1, 0x2a, &[0u8; 16]);
+        }
+    });
+    assert!(!report.is_clean());
+    let s = report.to_string();
+    assert!(s.contains("sent but never received"), "{s}");
+    assert!(s.contains("from rank 0 to rank 1"), "{s}");
+    assert!(s.contains("tag 0x2a"), "{s}");
+    assert!(s.contains("16-byte"), "{s}");
+}
+
+#[test]
+fn leaked_isend_panics_in_plain_run() {
+    // Universe::run (as opposed to run_report) escalates a dirty report.
+    let (msg, _) = diagnose(|| {
+        Universe::new(2).validated().run(|c| {
+            if c.rank() == 0 {
+                c.isend(1, 3, &[9]);
+            }
+        });
+    });
+    assert!(msg.contains("communication validation failed"), "{msg}");
+    assert!(msg.contains("never received"), "{msg}");
+}
+
+#[test]
+fn user_tag_in_collective_namespace_is_reported() {
+    let bad_tag = 1u64 << 40; // above MAX_USER_TAG
+    let (_, report) = Universe::new(2).validated().run_report(move |c| {
+        if c.rank() == 0 {
+            c.send(1, bad_tag, &[1]);
+        } else {
+            let _ = c.recv(0, bad_tag);
+        }
+    });
+    let s = report.to_string();
+    assert!(!report.is_clean());
+    assert!(s.contains("tag discipline"), "{s}");
+    assert!(s.contains("rank 0 called send"), "{s}");
+    assert!(s.contains("rank 1 called recv"), "{s}");
+}
+
+#[test]
+fn unmatched_buffered_message_is_reported() {
+    // rank 1 pulls the tag-2 message off the channel while looking for
+    // tag 1, then finishes without ever matching it.
+    let (_, report) = Universe::new(2).validated().run_report(|c| {
+        if c.rank() == 0 {
+            c.send(1, 2, &[1, 2]);
+            c.send(1, 1, &[3]);
+        } else {
+            let _ = c.recv(0, 1);
+        }
+    });
+    let s = report.to_string();
+    assert!(!report.is_clean());
+    assert!(s.contains("rank 1 buffered"), "{s}");
+    assert!(s.contains("no receive ever matched"), "{s}");
+}
+
+#[test]
+fn correct_program_stays_clean_under_full_validation() {
+    let (out, report) = Universe::new(4).validated().run_report(|c| {
+        let sum = c.allreduce_f64_sum(1.0);
+        c.barrier();
+        let data = c.bcast(2, &[5]);
+        let peer = c.rank() ^ 1;
+        let echoed = c.sendrecv(peer, 11, &[c.rank() as u8]);
+        (sum, data, echoed)
+    });
+    assert!(report.is_clean(), "{report}");
+    assert!(out.iter().all(|o| o.value.0 == 4.0));
+}

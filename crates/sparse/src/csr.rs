@@ -94,7 +94,9 @@ impl CsrMatrix {
         }
         for w in self.indptr.windows(2) {
             if w[1] < w[0] {
-                return Err(SparseError::Malformed("indptr must be non-decreasing".into()));
+                return Err(SparseError::Malformed(
+                    "indptr must be non-decreasing".into(),
+                ));
             }
         }
         for row in 0..self.nrows() {
@@ -182,7 +184,9 @@ impl CsrMatrix {
     /// Squared Euclidean norm of every row. The RBF kernel consumes these to
     /// turn distance computations into a single dot product.
     pub fn row_squared_norms(&self) -> Vec<f64> {
-        (0..self.nrows()).map(|i| self.row(i).squared_norm()).collect()
+        (0..self.nrows())
+            .map(|i| self.row(i).squared_norm())
+            .collect()
     }
 
     /// Average stored entries per row (the paper's `m`, Table I).
@@ -206,7 +210,9 @@ impl CsrMatrix {
 
     /// Materialize into a dense row-major `Vec<Vec<f64>>` (tests/debug only).
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
-        (0..self.nrows()).map(|i| self.row(i).to_dense(self.ncols)).collect()
+        (0..self.nrows())
+            .map(|i| self.row(i).to_dense(self.ncols))
+            .collect()
     }
 
     /// Approximate heap footprint in bytes.

@@ -199,13 +199,12 @@ mod tests {
             v
         };
         assert_eq!(key(&s1), key(&ds)); // same multiset
-        let order = |d: &Dataset| -> Vec<i64> {
-            (0..d.len()).map(|i| d.x.row(i).get(0) as i64).collect()
-        };
+        let order =
+            |d: &Dataset| -> Vec<i64> { (0..d.len()).map(|i| d.x.row(i).get(0) as i64).collect() };
         assert_eq!(order(&s1), order(&s2)); // deterministic
         assert_ne!(order(&s1), order(&s3)); // seed matters
         assert_ne!(order(&s1), order(&ds)); // actually shuffles
-        // labels move with their rows
+                                            // labels move with their rows
         for i in 0..s1.len() {
             let v = s1.x.row(i).get(0) as i64;
             assert_eq!(s1.y[i], if v % 2 == 0 { 1.0 } else { -1.0 });

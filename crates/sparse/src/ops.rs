@@ -92,10 +92,16 @@ mod tests {
     const B_VAL: &[f64] = &[4.0, 9.0, -1.0];
 
     fn a() -> RowView<'static> {
-        RowView { indices: A_IDX, values: A_VAL }
+        RowView {
+            indices: A_IDX,
+            values: A_VAL,
+        }
     }
     fn b() -> RowView<'static> {
-        RowView { indices: B_IDX, values: B_VAL }
+        RowView {
+            indices: B_IDX,
+            values: B_VAL,
+        }
     }
 
     #[test]
@@ -107,7 +113,10 @@ mod tests {
 
     #[test]
     fn dot_disjoint_is_zero() {
-        let c = RowView { indices: &[1, 4], values: &[7.0, 7.0] };
+        let c = RowView {
+            indices: &[1, 4],
+            values: &[7.0, 7.0],
+        };
         assert_eq!(dot(a(), c), 0.0);
     }
 
@@ -150,8 +159,14 @@ mod tests {
     #[test]
     fn distance_never_negative() {
         // engineered rounding: nearly identical vectors
-        let v1 = RowView { indices: &[0], values: &[1.000_000_000_000_1] };
-        let v2 = RowView { indices: &[0], values: &[1.0] };
+        let v1 = RowView {
+            indices: &[0],
+            values: &[1.000_000_000_000_1],
+        };
+        let v2 = RowView {
+            indices: &[0],
+            values: &[1.0],
+        };
         assert!(squared_distance_direct(v1, v2) >= 0.0);
     }
 

@@ -33,7 +33,10 @@ impl<'a> RowView<'a> {
     /// Iterate `(column, value)` pairs in increasing column order.
     #[inline]
     pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + 'a {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Value at `col`, or 0.0 when the entry is not stored.

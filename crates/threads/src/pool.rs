@@ -31,7 +31,9 @@ impl ThreadPool {
 
     /// A pool sized to the machine (`available_parallelism`).
     pub fn with_available_parallelism() -> Self {
-        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         ThreadPool::new(n)
     }
 
@@ -89,6 +91,8 @@ impl ThreadPool {
                         let f = &f;
                         let counter = &counter;
                         s.spawn(move || loop {
+                            // relaxed: fetch_add is a total-order RMW on this one
+                            // counter; the scope join publishes f's effects
                             let lo = counter.fetch_add(chunk, Ordering::Relaxed);
                             if lo >= end {
                                 break;
@@ -139,7 +143,13 @@ impl ThreadPool {
     /// fresh accumulator from `init`, and the per-worker results are combined
     /// left-to-right (worker order) with `combine` — deterministic for
     /// commutative *or* merely associative operations.
-    pub fn parallel_reduce<T, I, F, C>(&self, range: Range<usize>, init: I, fold: F, combine: C) -> T
+    pub fn parallel_reduce<T, I, F, C>(
+        &self,
+        range: Range<usize>,
+        init: I,
+        fold: F,
+        combine: C,
+    ) -> T
     where
         T: Send,
         I: Fn() -> T + Sync,
@@ -194,6 +204,32 @@ mod tests {
                     hits[i].fetch_add(1, Ordering::Relaxed);
                 });
                 assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_schedule_exactly_once_under_contention() {
+        // Hammer the work-stealing counter: far more threads than cores,
+        // chunk size 1 (every index is a separate claim), and an offset
+        // range. Every index must be visited exactly once — the contended
+        // fetch_add must neither skip nor duplicate work.
+        let n = 10_000;
+        let offset = 1_000;
+        for chunk in [1, 2, 7] {
+            let pool = ThreadPool::new(32).with_schedule(Schedule::Dynamic { chunk });
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            pool.parallel_for(offset..offset + n, |i| {
+                hits[i - offset].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                let c = h.load(Ordering::Relaxed);
+                assert_eq!(
+                    c,
+                    1,
+                    "chunk={chunk}: index {} visited {c} times",
+                    i + offset
+                );
             }
         }
     }

@@ -1,8 +1,7 @@
 //! Loop scheduling policies, mirroring OpenMP's `schedule(static|dynamic)`.
 
 /// How a `parallel for` divides its iteration space among workers.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Schedule {
     /// Contiguous blocks, one per worker — best cache locality; the default,
     /// as in OpenMP.
@@ -16,7 +15,6 @@ pub enum Schedule {
         chunk: usize,
     },
 }
-
 
 impl Schedule {
     /// Dynamic scheduling with a sane default chunk.

@@ -13,25 +13,31 @@ pub struct PoolStats {
 
 impl PoolStats {
     pub(crate) fn record_region(&self, items: usize, sequential: bool) {
+        // relaxed: independent event counters; nothing orders against them
         self.regions.fetch_add(1, Ordering::Relaxed);
+        // relaxed: see above
         self.items.fetch_add(items as u64, Ordering::Relaxed);
         if sequential {
+            // relaxed: see above
             self.sequential_fallbacks.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Parallel regions entered (`parallel_for` / `parallel_reduce` calls).
     pub fn regions(&self) -> u64 {
+        // relaxed: monotonic counter probe; approximate reads are fine
         self.regions.load(Ordering::Relaxed)
     }
 
     /// Total loop iterations dispatched.
     pub fn items(&self) -> u64 {
+        // relaxed: monotonic counter probe; approximate reads are fine
         self.items.load(Ordering::Relaxed)
     }
 
     /// Regions executed inline because there was ≤ 1 worker or ≤ 1 item.
     pub fn sequential_fallbacks(&self) -> u64 {
+        // relaxed: monotonic counter probe; approximate reads are fine
         self.sequential_fallbacks.load(Ordering::Relaxed)
     }
 }

@@ -22,7 +22,12 @@ fn main() {
     println!("\n(C, σ²) grid, 10-fold CV accuracy:");
     let points = grid_search(&train, &cs, &sigma_sqs, &base, 10, 42).expect("grid search");
     for p in &points {
-        println!("  C={:<5} σ²={:<6} -> {:.2}%", p.c, p.sigma_sq, p.mean_accuracy * 100.0);
+        println!(
+            "  C={:<5} σ²={:<6} -> {:.2}%",
+            p.c,
+            p.sigma_sq,
+            p.mean_accuracy * 100.0
+        );
     }
     let best = &points[0];
     println!("\nselected: C={} σ²={}", best.c, best.sigma_sq);
@@ -30,7 +35,11 @@ fn main() {
     // Confirm the selected point with a fresh CV and per-fold spread.
     let chosen = SvmParams::new(best.c, KernelKind::rbf_from_sigma_sq(best.sigma_sq));
     let cv = cross_validate(&train, &chosen, 10, 7).expect("cv");
-    println!("re-validated: {:.2}% ± {:.2}%", cv.mean() * 100.0, cv.stddev() * 100.0);
+    println!(
+        "re-validated: {:.2}% ± {:.2}%",
+        cv.mean() * 100.0,
+        cv.stddev() * 100.0
+    );
 
     // Final model on the full training split, evaluated on held-out data.
     let out = SmoSolver::new(&train, chosen).train().expect("final fit");

@@ -14,8 +14,8 @@ fn main() {
     let test = data.test.as_ref().expect("a9a has a test split");
     println!("dataset: {} — {}", data.name, data.train.summary());
 
-    let base = SvmParams::new(data.c, KernelKind::rbf_from_sigma_sq(data.sigma_sq))
-        .with_epsilon(1e-3);
+    let base =
+        SvmParams::new(data.c, KernelKind::rbf_from_sigma_sq(data.sigma_sq)).with_epsilon(1e-3);
 
     println!(
         "\n{:>12} {:>13} {:>8} {:>9} {:>7} {:>9}",

@@ -27,9 +27,12 @@ fn main() {
     let (train, test) = loaded.split_at(400);
 
     // 3. Train with shrinking enabled and persist the model.
-    let params = SvmParams::new(10.0, KernelKind::rbf_from_sigma_sq(0.5))
-        .with_shrink(ShrinkPolicy::best());
-    let run = DistSolver::new(&train, params).with_processes(2).train().expect("train");
+    let params =
+        SvmParams::new(10.0, KernelKind::rbf_from_sigma_sq(0.5)).with_shrink(ShrinkPolicy::best());
+    let run = DistSolver::new(&train, params)
+        .with_processes(2)
+        .train()
+        .expect("train");
     run.model.save(&model_path).expect("save model");
     println!(
         "trained: {} SVs, bias {:+.4}; saved to {}",
@@ -46,7 +49,10 @@ fn main() {
 
     // The reloaded model is byte-for-byte equivalent to the trained one.
     for i in 0..test.len() {
-        assert_eq!(model.predict(test.x.row(i)), run.model.predict(test.x.row(i)));
+        assert_eq!(
+            model.predict(test.x.row(i)),
+            run.model.predict(test.x.row(i))
+        );
     }
     println!("reloaded predictions identical ✓");
 

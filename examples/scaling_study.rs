@@ -19,19 +19,25 @@ fn main() {
     let data = PaperDataset::Higgs.generate(scale);
     println!("dataset: {} — {}", data.name, data.train.summary());
 
-    let params = SvmParams::new(data.c, KernelKind::rbf_from_sigma_sq(data.sigma_sq))
-        .with_epsilon(1e-3);
+    let params =
+        SvmParams::new(data.c, KernelKind::rbf_from_sigma_sq(data.sigma_sq)).with_epsilon(1e-3);
 
     // Really execute at 1..8 ranks; the trajectory is identical, so the
     // simulated makespans are directly comparable.
     println!("\nreal threaded execution (simulated cluster clock):");
-    println!("{:>6} {:>10} {:>12} {:>10}", "procs", "iters", "sim time", "speedup");
+    println!(
+        "{:>6} {:>10} {:>12} {:>10}",
+        "procs", "iters", "sim time", "speedup"
+    );
     let mut t1 = 0.0;
     for p in [1usize, 2, 4, 8] {
-        let run = DistSolver::new(&data.train, params.clone().with_shrink(ShrinkPolicy::best()))
-            .with_processes(p)
-            .train()
-            .expect("training");
+        let run = DistSolver::new(
+            &data.train,
+            params.clone().with_shrink(ShrinkPolicy::best()),
+        )
+        .with_processes(p)
+        .train()
+        .expect("training");
         if p == 1 {
             t1 = run.makespan;
         }
@@ -52,7 +58,10 @@ fn main() {
     let model = MachineModel::default();
     let row_bytes = 44.0 + 12.0 * data.train.x.mean_row_nnz();
     println!("\nmodel projection to cluster scale (same trace, Table-I cost model):");
-    println!("{:>6} {:>12} {:>10} {:>8}", "procs", "time", "speedup", "recon%");
+    println!(
+        "{:>6} {:>12} {:>10} {:>8}",
+        "procs", "time", "speedup", "recon%"
+    );
     let t1p = model.project(&cap.trace, 1, row_bytes).total();
     for p in [64usize, 256, 1024, 4096] {
         let proj = model.project(&cap.trace, p, row_bytes);

@@ -93,7 +93,10 @@ fn main() {
     );
     if verbose {
         let c = Confusion::evaluate(&model, &ds);
-        println!("confusion: tp={} fp={} tn={} fn={}", c.tp, c.fp, c.tn, c.fn_);
+        println!(
+            "confusion: tp={} fp={} tn={} fn={}",
+            c.tp, c.fp, c.tn, c.fn_
+        );
         println!(
             "precision = {:.4}  recall = {:.4}  f1 = {:.4}",
             c.precision(),

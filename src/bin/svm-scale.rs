@@ -37,7 +37,10 @@ fn save_factors(path: &str, scaler: &Scaler) -> std::io::Result<()> {
 fn load_factors(path: &str) -> Result<Scaler, String> {
     let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
     let mut lines = std::io::BufReader::new(file).lines();
-    let header = lines.next().ok_or("empty factor file")?.map_err(|e| e.to_string())?;
+    let header = lines
+        .next()
+        .ok_or("empty factor file")?
+        .map_err(|e| e.to_string())?;
     let toks: Vec<&str> = header.split_whitespace().collect();
     if toks.len() != 3 || toks[0] != "shrinksvm-scale" || toks[1] != "v1" {
         return Err(format!("bad header '{header}'"));
@@ -73,7 +76,12 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "-u" => upper = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "-u" => {
+                upper = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "-s" => save = Some(args.next().unwrap_or_else(|| usage())),
             "-r" => restore = Some(args.next().unwrap_or_else(|| usage())),
             "-h" | "--help" => usage(),

@@ -135,9 +135,16 @@ fn main() {
         .unwrap_or(default_gamma);
     let kernel = match o.kernel_t {
         0 => KernelKind::Linear,
-        1 => KernelKind::Poly { gamma, coef0: o.coef0, degree: o.degree },
+        1 => KernelKind::Poly {
+            gamma,
+            coef0: o.coef0,
+            degree: o.degree,
+        },
         2 => KernelKind::Rbf { gamma },
-        3 => KernelKind::Sigmoid { gamma, coef0: o.coef0 },
+        3 => KernelKind::Sigmoid {
+            gamma,
+            coef0: o.coef0,
+        },
         _ => usage(),
     };
     let mut params = SvmParams::new(o.c, kernel)
@@ -151,7 +158,9 @@ fn main() {
         Some(name) => match ShrinkPolicy::parse(name) {
             Some(p) => Some(p),
             None => {
-                eprintln!("svm-train: unknown heuristic '{name}' (use Table II names, e.g. Multi5pc)");
+                eprintln!(
+                    "svm-train: unknown heuristic '{name}' (use Table II names, e.g. Multi5pc)"
+                );
                 exit(2);
             }
         },
@@ -193,7 +202,11 @@ fn main() {
             "optimization finished: {iterations} iterations, {} SVs, bias {:+.6}{} ({:.2}s)",
             model.n_sv(),
             model.bias(),
-            if converged { "" } else { " [iteration cap hit]" },
+            if converged {
+                ""
+            } else {
+                " [iteration cap hit]"
+            },
             start.elapsed().as_secs_f64()
         );
     }

@@ -47,9 +47,19 @@ fn scale_train_predict_pipeline() {
     let test_scaled = dir.join("test.scaled");
     let out = run(
         env!("CARGO_BIN_EXE_svm-scale"),
-        &["-u", "1", "-s", factors.to_str().unwrap(), train.to_str().unwrap()],
+        &[
+            "-u",
+            "1",
+            "-s",
+            factors.to_str().unwrap(),
+            train.to_str().unwrap(),
+        ],
     );
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     std::fs::write(&train_scaled, &out.stdout).unwrap();
     let out = run(
         env!("CARGO_BIN_EXE_svm-scale"),
@@ -63,12 +73,25 @@ fn scale_train_predict_pipeline() {
     let out = run(
         env!("CARGO_BIN_EXE_svm-train"),
         &[
-            "-t", "2", "-g", "2", "-c", "10", "-H", "Multi5pc", "-P", "3",
+            "-t",
+            "2",
+            "-g",
+            "2",
+            "-c",
+            "10",
+            "-H",
+            "Multi5pc",
+            "-P",
+            "3",
             train_scaled.to_str().unwrap(),
             model.to_str().unwrap(),
         ],
     );
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists());
 
     // predict
@@ -81,7 +104,11 @@ fn scale_train_predict_pipeline() {
             preds.to_str().unwrap(),
         ],
     );
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Accuracy ="), "{stdout}");
     // pull the percentage out and require a sane classifier
@@ -109,21 +136,47 @@ fn train_sequential_and_multicore_paths() {
     // sequential with 2nd-order WSS (the default path)
     let out = run(
         env!("CARGO_BIN_EXE_svm-train"),
-        &["-t", "2", "-g", "1", "-q", train.to_str().unwrap(), model.to_str().unwrap()],
+        &[
+            "-t",
+            "2",
+            "-g",
+            "1",
+            "-q",
+            train.to_str().unwrap(),
+            model.to_str().unwrap(),
+        ],
     );
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // multicore
     let out = run(
         env!("CARGO_BIN_EXE_svm-train"),
-        &["-T", "2", "-q", train.to_str().unwrap(), model.to_str().unwrap()],
+        &[
+            "-T",
+            "2",
+            "-q",
+            train.to_str().unwrap(),
+            model.to_str().unwrap(),
+        ],
     );
     assert!(out.status.success());
 
     // weighted classes
     let out = run(
         env!("CARGO_BIN_EXE_svm-train"),
-        &["-w+", "4", "-w-", "1", "-q", train.to_str().unwrap(), model.to_str().unwrap()],
+        &[
+            "-w+",
+            "4",
+            "-w-",
+            "1",
+            "-q",
+            train.to_str().unwrap(),
+            model.to_str().unwrap(),
+        ],
     );
     assert!(out.status.success());
     std::fs::remove_dir_all(&dir).ok();

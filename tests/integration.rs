@@ -28,16 +28,22 @@ fn full_pipeline_through_files() {
     Scaler::fit_transform_all(&mut [&mut train, &mut test], 1.0);
 
     // distributed training with shrinking
-    let params = SvmParams::new(10.0, KernelKind::rbf_from_sigma_sq(2.0))
-        .with_shrink(ShrinkPolicy::best());
-    let run = DistSolver::new(&train, params).with_processes(3).train().unwrap();
+    let params =
+        SvmParams::new(10.0, KernelKind::rbf_from_sigma_sq(2.0)).with_shrink(ShrinkPolicy::best());
+    let run = DistSolver::new(&train, params)
+        .with_processes(3)
+        .train()
+        .unwrap();
     assert!(run.converged);
 
     // model persistence round trip preserves predictions
     run.model.save(&model_path).unwrap();
     let back = SvmModel::load(&model_path).unwrap();
     for i in 0..test.len() {
-        assert_eq!(back.predict(test.x.row(i)), run.model.predict(test.x.row(i)));
+        assert_eq!(
+            back.predict(test.x.row(i)),
+            run.model.predict(test.x.row(i))
+        );
     }
     let acc = accuracy(&back, &test);
     assert!(acc > 0.9, "accuracy {acc}");

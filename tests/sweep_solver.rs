@@ -1,0 +1,159 @@
+//! Randomized-sweep tests on the optimizer itself: dual feasibility,
+//! optimality at termination, shrinking exactness and process-count
+//! invariance on seeded random problems. Deterministic (fixed seeds) so
+//! the suite runs offline and reproducibly.
+
+use shrinksvm::core::dist::DistSolver;
+use shrinksvm::core::kernel::{KernelEval, KernelKind};
+use shrinksvm::core::params::SvmParams;
+use shrinksvm::core::shrink::{Heuristic, ReconPolicy, ShrinkPolicy};
+use shrinksvm::core::smo::update::solve_pair;
+use shrinksvm::core::smo::SmoSolver;
+use shrinksvm::datagen::rng::SmallRng;
+use shrinksvm::sparse::{CsrMatrix, Dataset};
+
+/// A random small two-class dataset (guaranteed both classes, with enough
+/// signal in column 0 that problems aren't pure noise).
+fn dataset(rng: &mut SmallRng) -> Dataset {
+    let n = rng.gen_range(4usize..40);
+    let dim = rng.gen_range(1usize..5);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = if i % 2 == 0 { 1.0 } else { -1.0 };
+        let mut row: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        row[0] += label;
+        rows.push(row);
+        y.push(label);
+    }
+    Dataset::new(CsrMatrix::from_dense(&rows, dim).unwrap(), y).unwrap()
+}
+
+#[test]
+fn pair_solve_feasibility() {
+    let c = 1.0;
+    for seed in 0..200u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let y_up = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        let y_low = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        let a_up = rng.gen_range(0.0..1.0);
+        let a_low = rng.gen_range(0.0..1.0);
+        let g_up = rng.gen_range(-10.0..10.0);
+        let g_low = rng.gen_range(-10.0..10.0);
+        let k_ul = rng.gen_range(-1.0..1.0);
+        let sol = solve_pair(
+            y_up, y_low, a_up, a_low, g_up, g_low, 1.0, 1.0, k_ul, c, 1e-12,
+        );
+        assert!((0.0..=c).contains(&sol.alpha_up), "seed={seed}: {sol:?}");
+        assert!((0.0..=c).contains(&sol.alpha_low), "seed={seed}: {sol:?}");
+        // equality constraint preserved
+        let drift = y_up * sol.delta_up + y_low * sol.delta_low;
+        assert!(drift.abs() < 1e-9, "seed={seed}: Σαy drift {drift}");
+    }
+}
+
+#[test]
+fn training_satisfies_kkt_style_invariants() {
+    for seed in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(1000 + seed);
+        let ds = dataset(&mut rng);
+        let c = 10f64.powi(rng.gen_range(0u32..3) as i32 - 1); // 0.1, 1, 10
+        let params = SvmParams::new(c, KernelKind::Rbf { gamma: 0.5 })
+            .with_epsilon(1e-3)
+            .with_max_iter(50_000);
+        let out = SmoSolver::new(&ds, params).train().unwrap();
+        assert!(out.converged, "seed={seed}");
+        // Σ coef = Σ α y = 0; |coef| ≤ C
+        let sum: f64 = out.model.coefficients().iter().sum();
+        assert!(sum.abs() < 1e-7 * (1.0 + c), "seed={seed}: Σαy = {sum}");
+        for &co in out.model.coefficients() {
+            assert!(co.abs() <= c + 1e-9, "seed={seed}");
+        }
+        // final optimality gap within tolerance
+        assert!(out.final_gap <= 2.0 * 1e-3 + 1e-12, "seed={seed}");
+    }
+}
+
+#[test]
+fn dual_objective_never_higher_with_more_iterations() {
+    for seed in 0..12u64 {
+        let mut rng = SmallRng::seed_from_u64(2000 + seed);
+        let ds = dataset(&mut rng);
+        let ke = KernelEval::new(KernelKind::Rbf { gamma: 0.5 }, &ds.x);
+        let obj_at = |iters: u64| {
+            let params = SvmParams::new(1.0, KernelKind::Rbf { gamma: 0.5 }).with_max_iter(iters);
+            let out = SmoSolver::new(&ds, params).train().unwrap();
+            let mut alpha = vec![0.0; ds.len()];
+            for (k, &idx) in out.model.training_indices().iter().enumerate() {
+                alpha[idx] = out.model.coefficients()[k] * ds.y[idx];
+            }
+            shrinksvm::core::smo::dual_objective(&ke, &ds.y, &alpha)
+        };
+        let o3 = obj_at(3);
+        let o30 = obj_at(30);
+        let o300 = obj_at(300);
+        assert!(o30 <= o3 + 1e-9, "seed={seed}: {o3} -> {o30}");
+        assert!(o300 <= o30 + 1e-9, "seed={seed}: {o30} -> {o300}");
+    }
+}
+
+#[test]
+fn shrinking_never_changes_the_answer() {
+    for seed in 0..12u64 {
+        let mut rng = SmallRng::seed_from_u64(3000 + seed);
+        let ds = dataset(&mut rng);
+        let procs = rng.gen_range(1usize..5);
+        let base = SvmParams::new(1.0, KernelKind::Rbf { gamma: 0.5 })
+            .with_epsilon(1e-3)
+            .with_max_iter(50_000);
+        let plain = DistSolver::new(&ds, base.clone())
+            .with_processes(procs)
+            .train()
+            .unwrap();
+        let shrunk = DistSolver::new(
+            &ds,
+            base.with_shrink(ShrinkPolicy::new(Heuristic::Random(2), ReconPolicy::Multi)),
+        )
+        .with_processes(procs)
+        .train()
+        .unwrap();
+        assert!(plain.converged && shrunk.converged, "seed={seed}");
+        // both satisfy the optimality gap on the full set
+        assert!(shrunk.trace.final_gap <= 2e-3 + 1e-12, "seed={seed}");
+        // identical predictions on the training samples
+        for i in 0..ds.len() {
+            assert_eq!(
+                plain.model.predict(ds.x.row(i)),
+                shrunk.model.predict(ds.x.row(i)),
+                "seed={seed}: sample {i} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn process_count_is_invisible() {
+    for seed in 0..12u64 {
+        let mut rng = SmallRng::seed_from_u64(4000 + seed);
+        let ds = dataset(&mut rng);
+        let pa = rng.gen_range(1usize..6);
+        let pb = rng.gen_range(1usize..6);
+        let params = SvmParams::new(1.0, KernelKind::Rbf { gamma: 0.5 })
+            .with_epsilon(1e-3)
+            .with_max_iter(50_000);
+        let a = DistSolver::new(&ds, params.clone())
+            .with_processes(pa)
+            .train()
+            .unwrap();
+        let b = DistSolver::new(&ds, params)
+            .with_processes(pb)
+            .train()
+            .unwrap();
+        assert_eq!(a.iterations, b.iterations, "seed={seed} pa={pa} pb={pb}");
+        assert_eq!(
+            a.model.coefficients(),
+            b.model.coefficients(),
+            "seed={seed}"
+        );
+    }
+}

@@ -1,0 +1,458 @@
+//! Repo-specific lint rules, run as `cargo xtask lint`.
+//!
+//! Three rules, all text-based (no rustc plumbing, no dependencies):
+//!
+//! 1. **wall-clock** — simulated code paths (`crates/mpisim`, `crates/core`)
+//!    must not read the host clock (`Instant::now` / `SystemTime::now`):
+//!    simulated time comes from the LogGP cost model, and a host-clock read
+//!    silently measures the simulator instead of the simulated machine.
+//!    Legitimate wall-time sites (host-side metrics) carry a justification
+//!    comment containing `allow-wall-clock:` on the same or previous line.
+//!
+//! 2. **unwrap ratchet** — library code must not grow new `.unwrap()` /
+//!    `.expect(` sites outside `#[cfg(test)]`. Existing sites are frozen in
+//!    `xtask/lint_allow_unwrap.txt` (path → count); the count may only go
+//!    down, and the file must be updated when it does, so the debt burns
+//!    down monotonically. Regenerate with `cargo xtask lint --update-allowlist`.
+//!
+//! 3. **relaxed ordering** — every `Ordering::Relaxed` outside test code
+//!    needs a `// relaxed:` justification within the two preceding lines
+//!    (or on the same line) explaining why no stronger ordering is needed.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line, or 0 for file-level findings.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{} [{}]: {}", self.file, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{} [{}]: {}",
+                self.file, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// Crates whose `src/` trees count as *simulated* code paths (rule 1).
+const SIMULATED_PATHS: &[&str] = &["crates/mpisim/src", "crates/core/src"];
+
+/// Roots whose `.rs` files are library code for rules 2 and 3. `xtask`
+/// itself and the CLI binaries under `src/bin` are tools, not libraries.
+const LIBRARY_ROOTS: &[&str] = &[
+    "crates/analyze/src",
+    "crates/core/src",
+    "crates/datagen/src",
+    "crates/mpisim/src",
+    "crates/sparse/src",
+    "crates/threads/src",
+    "src/lib.rs",
+];
+
+/// Where the unwrap ratchet lives, relative to the repo root.
+pub const ALLOWLIST_PATH: &str = "xtask/lint_allow_unwrap.txt";
+
+// ------------------------------------------------------------------ helpers
+
+/// Strip `//` comments from one line (naive: does not parse string
+/// literals, which is fine for counting well-formed call sites).
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(idx) => &line[..idx],
+        None => line,
+    }
+}
+
+/// Return a per-line mask, `true` where the line belongs to a
+/// `#[cfg(test)]` item (module or function) including its attribute line.
+/// Brace counting on code (comment-stripped) text; good enough for
+/// idiomatic rustfmt'd sources.
+fn test_code_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if code_part(lines[i]).contains("#[cfg(test)]") {
+            let start = i;
+            // Scan forward to the item's first `{`, then to its match.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                for ch in code_part(lines[j]).chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            let end = j.min(lines.len() - 1);
+            for m in &mut mask[start..=end] {
+                *m = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+// ------------------------------------------------------------------ rule 1
+
+/// Rule 1: host-clock reads in simulated code paths.
+pub fn check_wall_clock(rel_path: &str, content: &str) -> Vec<Finding> {
+    if !SIMULATED_PATHS.iter().any(|p| rel_path.starts_with(p)) {
+        return Vec::new();
+    }
+    let lines: Vec<&str> = content.lines().collect();
+    let mut findings = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let code = code_part(line);
+        if !(code.contains("Instant::now") || code.contains("SystemTime::now")) {
+            continue;
+        }
+        let justified = line.contains("allow-wall-clock:")
+            || (idx > 0 && lines[idx - 1].contains("allow-wall-clock:"));
+        if !justified {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: idx + 1,
+                rule: "wall-clock",
+                message: "host-clock read in a simulated code path; use the simulated \
+                          clock, or justify with a `// allow-wall-clock: ...` comment"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+// ------------------------------------------------------------------ rule 2
+
+/// Count `.unwrap()` / `.expect(` call sites outside test code.
+pub fn count_unwraps(content: &str) -> usize {
+    let lines: Vec<&str> = content.lines().collect();
+    let mask = test_code_mask(&lines);
+    lines
+        .iter()
+        .zip(&mask)
+        .filter(|(_, in_test)| !**in_test)
+        .map(|(line, _)| {
+            let code = code_part(line);
+            code.matches(".unwrap()").count() + code.matches(".expect(").count()
+        })
+        .sum()
+}
+
+/// Parse the ratchet allowlist: `path count` per line, `#` comments.
+pub fn parse_allowlist(text: &str) -> BTreeMap<String, usize> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if let (Some(path), Some(count)) = (parts.next(), parts.next()) {
+            if let Ok(n) = count.parse::<usize>() {
+                map.insert(path.to_string(), n);
+            }
+        }
+    }
+    map
+}
+
+/// Rule 2: compare actual per-file unwrap counts against the ratchet.
+/// `counts` maps repo-relative path → non-test unwrap/expect sites.
+pub fn check_unwrap_ratchet(
+    counts: &BTreeMap<String, usize>,
+    allow: &BTreeMap<String, usize>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (path, &actual) in counts {
+        let allowed = allow.get(path).copied().unwrap_or(0);
+        if actual > allowed {
+            findings.push(Finding {
+                file: path.clone(),
+                line: 0,
+                rule: "unwrap-ratchet",
+                message: format!(
+                    "{actual} unwrap/expect site(s) outside tests, allowlist permits \
+                     {allowed}; return a Result or justify and re-freeze with \
+                     `cargo xtask lint --update-allowlist`"
+                ),
+            });
+        } else if actual < allowed {
+            findings.push(Finding {
+                file: path.clone(),
+                line: 0,
+                rule: "unwrap-ratchet",
+                message: format!(
+                    "debt went down ({allowed} -> {actual}) — lock it in: run \
+                     `cargo xtask lint --update-allowlist`"
+                ),
+            });
+        }
+    }
+    for path in allow.keys() {
+        if !counts.contains_key(path) {
+            findings.push(Finding {
+                file: path.clone(),
+                line: 0,
+                rule: "unwrap-ratchet",
+                message: "allowlisted file no longer exists (or has no sites); run \
+                          `cargo xtask lint --update-allowlist`"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// Render the allowlist file content from actual counts.
+pub fn render_allowlist(counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(
+        "# unwrap/expect ratchet: per-file count of non-test .unwrap()/.expect( sites.\n\
+         # Counts may only decrease. Regenerate: cargo xtask lint --update-allowlist\n",
+    );
+    for (path, count) in counts {
+        if *count > 0 {
+            out.push_str(&format!("{path} {count}\n"));
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------------------ rule 3
+
+/// Rule 3: unjustified `Ordering::Relaxed` outside test code.
+pub fn check_relaxed(rel_path: &str, content: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = content.lines().collect();
+    let mask = test_code_mask(&lines);
+    let mut findings = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if mask[idx] || !code_part(line).contains("Ordering::Relaxed") {
+            continue;
+        }
+        let justified = line.contains("// relaxed:")
+            || lines[idx.saturating_sub(2)..idx]
+                .iter()
+                .any(|l| l.trim_start().starts_with("// relaxed:"));
+        if !justified {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: idx + 1,
+                rule: "relaxed-ordering",
+                message: "Ordering::Relaxed without a `// relaxed:` justification \
+                          within the two preceding lines"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+// ------------------------------------------------------------------ driver
+
+/// Recursively collect `.rs` files under `root` (absolute), returned as
+/// (repo-relative path, content), sorted for deterministic output.
+fn collect_rs(repo: &Path, root: &Path, out: &mut Vec<(String, String)>) {
+    if root.is_file() {
+        if root.extension().is_some_and(|e| e == "rs") {
+            if let Ok(content) = fs::read_to_string(root) {
+                let rel = root
+                    .strip_prefix(repo)
+                    .unwrap_or(root)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                out.push((rel, content));
+            }
+        }
+        return;
+    }
+    let Ok(entries) = fs::read_dir(root) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        collect_rs(repo, &p, out);
+    }
+}
+
+/// Run every rule over the repo. When `update_allowlist` is set, rewrite
+/// the ratchet file from the observed counts instead of reporting drift.
+pub fn run_lint(repo: &Path, update_allowlist: bool) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+
+    // Rule 1 over the simulated trees.
+    let mut sim_files = Vec::new();
+    for root in SIMULATED_PATHS {
+        collect_rs(repo, &repo.join(root), &mut sim_files);
+    }
+    for (rel, content) in &sim_files {
+        findings.extend(check_wall_clock(rel, content));
+    }
+
+    // Rules 2 and 3 over the library trees.
+    let mut lib_files = Vec::new();
+    for root in LIBRARY_ROOTS {
+        collect_rs(repo, &repo.join(root), &mut lib_files);
+    }
+    let mut counts = BTreeMap::new();
+    for (rel, content) in &lib_files {
+        let n = count_unwraps(content);
+        if n > 0 {
+            counts.insert(rel.clone(), n);
+        }
+        findings.extend(check_relaxed(rel, content));
+    }
+    let allow_file = repo.join(ALLOWLIST_PATH);
+    if update_allowlist {
+        fs::write(&allow_file, render_allowlist(&counts))?;
+    } else {
+        let allow = parse_allowlist(&fs::read_to_string(&allow_file).unwrap_or_default());
+        findings.extend(check_unwrap_ratchet(&counts, &allow));
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_flagged_in_simulated_paths_only() {
+        let src = "fn f() {\n    let t = Instant::now();\n}\n";
+        let hits = check_wall_clock("crates/mpisim/src/comm.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 2);
+        assert!(check_wall_clock("crates/sparse/src/io.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_justification_suppresses() {
+        let src = "// allow-wall-clock: host-side metric, not simulated time\n\
+                   let t = Instant::now();\n";
+        assert!(check_wall_clock("crates/core/src/x.rs", src).is_empty());
+        let same_line = "let t = Instant::now(); // allow-wall-clock: metric\n";
+        assert!(check_wall_clock("crates/core/src/x.rs", same_line).is_empty());
+    }
+
+    #[test]
+    fn system_time_counts_as_wall_clock() {
+        let src = "let t = SystemTime::now();\n";
+        assert_eq!(check_wall_clock("crates/core/src/x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn unwraps_in_test_modules_are_not_counted() {
+        let src = "fn lib() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { y.unwrap(); z.expect(\"msg\"); }\n\
+                   }\n";
+        assert_eq!(count_unwraps(src), 1);
+    }
+
+    #[test]
+    fn unwraps_in_comments_are_not_counted() {
+        let src = "// call .unwrap() here? no.\nlet a = b.expect(\"boom\");\n";
+        assert_eq!(count_unwraps(src), 1);
+    }
+
+    #[test]
+    fn ratchet_flags_growth_and_shrink() {
+        let mut counts = BTreeMap::new();
+        counts.insert("a.rs".to_string(), 3);
+        counts.insert("b.rs".to_string(), 1);
+        let allow = parse_allowlist("# frozen\na.rs 2\nb.rs 1\nc.rs 4\n");
+        let findings = check_unwrap_ratchet(&counts, &allow);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings
+            .iter()
+            .any(|f| f.file == "a.rs" && f.message.contains("3")));
+        assert!(findings.iter().any(|f| f.file == "c.rs"));
+    }
+
+    #[test]
+    fn ratchet_passes_at_exact_counts() {
+        let mut counts = BTreeMap::new();
+        counts.insert("a.rs".to_string(), 2);
+        let allow = parse_allowlist("a.rs 2\n");
+        assert!(check_unwrap_ratchet(&counts, &allow).is_empty());
+    }
+
+    #[test]
+    fn render_roundtrips_through_parse() {
+        let mut counts = BTreeMap::new();
+        counts.insert("a.rs".to_string(), 2);
+        counts.insert("zero.rs".to_string(), 0);
+        let text = render_allowlist(&counts);
+        let parsed = parse_allowlist(&text);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed["a.rs"], 2);
+    }
+
+    #[test]
+    fn relaxed_without_justification_is_flagged() {
+        let src = "fn f(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed);\n}\n";
+        let hits = check_relaxed("crates/threads/src/x.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn relaxed_justified_nearby_passes() {
+        let above = "// relaxed: independent counter, no ordering needed\n\
+                     c.fetch_add(1, Ordering::Relaxed);\n";
+        assert!(check_relaxed("x.rs", above).is_empty());
+        let inline = "c.load(Ordering::Relaxed) // relaxed: monotonic probe\n";
+        assert!(check_relaxed("x.rs", inline).is_empty());
+        let too_far = "// relaxed: way up here\n\nlet _ = 0;\n\
+                       c.fetch_add(1, Ordering::Relaxed);\n";
+        assert_eq!(check_relaxed("x.rs", too_far).len(), 1);
+    }
+
+    #[test]
+    fn relaxed_in_test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(c: &AtomicU64) {\n        \
+                   c.load(Ordering::Relaxed);\n    }\n}\n";
+        assert!(check_relaxed("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_mask_covers_attribute_through_closing_brace() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() {}\n}\nfn c() {}\n";
+        let lines: Vec<&str> = src.lines().collect();
+        let mask = test_code_mask(&lines);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+}

@@ -1,0 +1,46 @@
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn repo_root() -> PathBuf {
+    // xtask lives at <repo>/xtask, so the repo root is one level up from
+    // this crate's manifest.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .expect("xtask sits inside the repo")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let update = args.iter().any(|a| a == "--update-allowlist");
+            match xtask::run_lint(&repo_root(), update) {
+                Ok(findings) if findings.is_empty() => {
+                    if update {
+                        println!("lint: allowlist regenerated ({})", xtask::ALLOWLIST_PATH);
+                    } else {
+                        println!("lint: clean");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Ok(findings) => {
+                    for f in &findings {
+                        eprintln!("{f}");
+                    }
+                    eprintln!("lint: {} finding(s)", findings.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("lint: io error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint [--update-allowlist]");
+            ExitCode::FAILURE
+        }
+    }
+}
