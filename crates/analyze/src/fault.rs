@@ -1,0 +1,242 @@
+//! Fault-injection ledger entries.
+//!
+//! When the substrate runs under an installed fault plan, every injected
+//! fault (and every recovery action the transport took) is recorded as a
+//! [`FaultEvent`] and surfaced through the
+//! [`crate::report::ValidationReport`], so a chaos run leaves a complete,
+//! deterministic audit trail: what was injected, where, when (in simulated
+//! time), and what the transport did about it.
+//!
+//! Fault events are *not* violations — an injected fault that the
+//! transport survived is the expected outcome of a chaos run — so they do
+//! not affect [`crate::report::ValidationReport::is_clean`].
+
+use std::fmt;
+
+/// One injected fault (or transport recovery action) observed during a run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// A message copy was dropped in flight; the transport retransmitted.
+    MessageDropped {
+        /// Receiving rank.
+        rank: usize,
+        /// Sending rank.
+        src: usize,
+        /// Message tag.
+        tag: u64,
+        /// Zero-based transmission attempt that was lost.
+        attempt: u32,
+        /// Sender's simulated departure time of the original copy.
+        sim_time: f64,
+    },
+    /// A message copy arrived with a checksum mismatch (injected payload
+    /// corruption); the transport discarded it and retransmitted.
+    MessageCorrupted {
+        /// Receiving rank.
+        rank: usize,
+        /// Sending rank.
+        src: usize,
+        /// Message tag.
+        tag: u64,
+        /// Zero-based transmission attempt that was corrupted.
+        attempt: u32,
+        /// Sender's simulated departure time of the original copy.
+        sim_time: f64,
+    },
+    /// A message was delayed in flight by `secs` simulated seconds.
+    MessageDelayed {
+        /// Receiving rank.
+        rank: usize,
+        /// Sending rank.
+        src: usize,
+        /// Message tag.
+        tag: u64,
+        /// Extra in-flight seconds injected.
+        secs: f64,
+        /// Sender's simulated departure time.
+        sim_time: f64,
+    },
+    /// Every transmission attempt of a message was lost: the retry budget
+    /// is exhausted and the message is permanently gone. The transport
+    /// fails fast with a named diagnosis when it records this.
+    MessageLost {
+        /// Receiving rank.
+        rank: usize,
+        /// Sending rank.
+        src: usize,
+        /// Message tag.
+        tag: u64,
+        /// Total transmission attempts made (original + retries).
+        attempts: u32,
+        /// Sender's simulated departure time of the original copy.
+        sim_time: f64,
+    },
+    /// A rank was killed by an injected crash.
+    RankCrashed {
+        /// The crashed rank.
+        rank: usize,
+        /// The rank's simulated clock at death.
+        sim_time: f64,
+    },
+    /// A rank entered an injected slowdown window (recorded once per rule).
+    RankSlowed {
+        /// The slowed rank.
+        rank: usize,
+        /// Compute-time multiplier in force.
+        factor: f64,
+        /// The rank's simulated clock when the slowdown first applied.
+        sim_time: f64,
+    },
+}
+
+impl FaultEvent {
+    /// Deterministic ordering key, so ledgers render byte-identically
+    /// regardless of thread interleaving: events sort by simulated time,
+    /// then by the involved ranks, tag and attempt, then by kind.
+    pub fn sort_key(&self) -> (u64, usize, usize, u64, u32, u8) {
+        // Simulated times are nonnegative finite, so the raw bit pattern
+        // orders them correctly.
+        match *self {
+            FaultEvent::MessageDropped {
+                rank,
+                src,
+                tag,
+                attempt,
+                sim_time,
+            } => (sim_time.to_bits(), rank, src, tag, attempt, 0),
+            FaultEvent::MessageCorrupted {
+                rank,
+                src,
+                tag,
+                attempt,
+                sim_time,
+            } => (sim_time.to_bits(), rank, src, tag, attempt, 1),
+            FaultEvent::MessageDelayed {
+                rank,
+                src,
+                tag,
+                sim_time,
+                ..
+            } => (sim_time.to_bits(), rank, src, tag, 0, 2),
+            FaultEvent::MessageLost {
+                rank,
+                src,
+                tag,
+                attempts,
+                sim_time,
+            } => (sim_time.to_bits(), rank, src, tag, attempts, 3),
+            FaultEvent::RankCrashed { rank, sim_time } => (sim_time.to_bits(), rank, 0, 0, 0, 4),
+            FaultEvent::RankSlowed { rank, sim_time, .. } => (sim_time.to_bits(), rank, 0, 0, 0, 5),
+        }
+    }
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEvent::MessageDropped {
+                rank,
+                src,
+                tag,
+                attempt,
+                sim_time,
+            } => write!(
+                f,
+                "t={sim_time:.6}s drop: copy {attempt} of tag {tag:#x} from rank {src} \
+                 to rank {rank} lost in flight; retransmitted"
+            ),
+            FaultEvent::MessageCorrupted {
+                rank,
+                src,
+                tag,
+                attempt,
+                sim_time,
+            } => write!(
+                f,
+                "t={sim_time:.6}s corrupt: copy {attempt} of tag {tag:#x} from rank {src} \
+                 to rank {rank} failed its checksum; retransmitted"
+            ),
+            FaultEvent::MessageDelayed {
+                rank,
+                src,
+                tag,
+                secs,
+                sim_time,
+            } => write!(
+                f,
+                "t={sim_time:.6}s delay: tag {tag:#x} from rank {src} to rank {rank} \
+                 held {secs:.6}s in flight"
+            ),
+            FaultEvent::MessageLost {
+                rank,
+                src,
+                tag,
+                attempts,
+                sim_time,
+            } => write!(
+                f,
+                "t={sim_time:.6}s loss: tag {tag:#x} from rank {src} to rank {rank} \
+                 permanently lost after {attempts} transmission attempt(s)"
+            ),
+            FaultEvent::RankCrashed { rank, sim_time } => {
+                write!(f, "t={sim_time:.6}s crash: rank {rank} killed")
+            }
+            FaultEvent::RankSlowed {
+                rank,
+                factor,
+                sim_time,
+            } => write!(
+                f,
+                "t={sim_time:.6}s slowdown: rank {rank} compute charged at {factor}x"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_rank_src_tag() {
+        let e = FaultEvent::MessageDropped {
+            rank: 2,
+            src: 1,
+            tag: 0x2a,
+            attempt: 0,
+            sim_time: 1.5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("from rank 1"), "{s}");
+        assert!(s.contains("to rank 2"), "{s}");
+        assert!(s.contains("tag 0x2a"), "{s}");
+    }
+
+    #[test]
+    fn sort_key_orders_by_time_first() {
+        let early = FaultEvent::RankCrashed {
+            rank: 9,
+            sim_time: 0.5,
+        };
+        let late = FaultEvent::MessageDropped {
+            rank: 0,
+            src: 0,
+            tag: 0,
+            attempt: 0,
+            sim_time: 2.0,
+        };
+        assert!(early.sort_key() < late.sort_key());
+    }
+
+    #[test]
+    fn loss_event_names_attempt_budget() {
+        let e = FaultEvent::MessageLost {
+            rank: 1,
+            src: 0,
+            tag: 7,
+            attempts: 5,
+            sim_time: 0.0,
+        };
+        assert!(e.to_string().contains("5 transmission attempt(s)"));
+    }
+}

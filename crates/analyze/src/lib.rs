@@ -19,16 +19,22 @@
 //! - [`report::ValidationReport`] — finalize-time findings: unreceived
 //!   messages, never-matched buffered messages, logical-clock regressions,
 //!   LogGP cost-model violations and tag-discipline breaches.
+//! - [`fault::FaultEvent`] — the fault-injection ledger: when the
+//!   substrate runs under a fault plan, every injected fault and every
+//!   transport recovery action is recorded here and rendered with the
+//!   report, deterministically ordered.
 //!
 //! The crate is dependency-free and knows nothing about threads or
 //! channels: the substrate feeds it events and asks for verdicts, which
 //! keeps every analysis deterministic and unit-testable in isolation.
 
+pub mod fault;
 pub mod ledger;
 pub mod report;
 pub mod vclock;
 pub mod waitfor;
 
+pub use fault::FaultEvent;
 pub use ledger::{CollectiveDivergence, CollectiveKind, CollectiveLedger, Fingerprint};
 pub use report::{ValidationReport, Violation};
 pub use vclock::VectorClock;

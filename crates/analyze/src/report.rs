@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::fault::FaultEvent;
+
 /// One communication-correctness violation observed during a run.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Violation {
@@ -129,10 +131,16 @@ impl fmt::Display for Violation {
 pub struct ValidationReport {
     /// All violations, in the order ranks finalized.
     pub violations: Vec<Violation>,
+    /// Fault-injection ledger: every injected fault and transport recovery
+    /// action, when a fault plan was installed. Not violations — a
+    /// survived fault is a chaos run's expected outcome — so they do not
+    /// affect [`ValidationReport::is_clean`].
+    pub faults: Vec<FaultEvent>,
 }
 
 impl ValidationReport {
-    /// True when the run was communication-correct.
+    /// True when the run was communication-correct. Injected faults the
+    /// transport survived do not make a run dirty.
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
     }
@@ -141,20 +149,45 @@ impl ValidationReport {
     pub fn extend(&mut self, more: Vec<Violation>) {
         self.violations.extend(more);
     }
+
+    /// Append fault-ledger entries.
+    pub fn extend_faults(&mut self, more: Vec<FaultEvent>) {
+        self.faults.extend(more);
+    }
+
+    /// Sort findings into a deterministic order, so two runs with the same
+    /// seed render byte-identical reports regardless of how the OS
+    /// scheduled the rank threads. Violations sort by their rendered text,
+    /// fault events by simulated time then rank/src/tag/kind.
+    pub fn normalize(&mut self) {
+        self.violations.sort_by_key(|v| v.to_string());
+        self.faults.sort_by_key(FaultEvent::sort_key);
+    }
 }
 
 impl fmt::Display for ValidationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_clean() {
-            return writeln!(f, "communication validation: clean");
+            writeln!(f, "communication validation: clean")?;
+        } else {
+            writeln!(
+                f,
+                "communication validation failed with {} violation(s):",
+                self.violations.len()
+            )?;
+            for v in &self.violations {
+                writeln!(f, "  - {v}")?;
+            }
         }
-        writeln!(
-            f,
-            "communication validation failed with {} violation(s):",
-            self.violations.len()
-        )?;
-        for v in &self.violations {
-            writeln!(f, "  - {v}")?;
+        if !self.faults.is_empty() {
+            writeln!(
+                f,
+                "fault-injection ledger ({} event(s)):",
+                self.faults.len()
+            )?;
+            for e in &self.faults {
+                writeln!(f, "  - {e}")?;
+            }
         }
         Ok(())
     }

@@ -1,0 +1,529 @@
+//! Checkpoint/restart state for the distributed trainer.
+//!
+//! Every rank periodically snapshots its solver state (multipliers,
+//! gradients, active flags, iteration counter) into a shared
+//! [`CheckpointStore`]. A generation is **promoted** to "last consistent
+//! checkpoint" only once *all* ranks have posted a snapshot for the same
+//! `(iteration, stage)` key — the solver is lockstep, so every rank
+//! reaches each key at the same point of the trajectory, and a crash
+//! mid-generation simply leaves that generation unpromoted. On rank death
+//! the driver restarts from the last promoted checkpoint (same rank
+//! count) or re-partitions the state across the survivors (degraded
+//! continuation): snapshots carry *global* sample indices, so restoring
+//! under a different partition is a plain overlapping copy.
+//!
+//! The store is in-memory; [`CheckpointPolicy::disk_path`] additionally
+//! mirrors every promoted checkpoint to a versioned-header text file that
+//! [`Checkpoint::read_from`] can load back.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use crate::error::CoreError;
+
+/// When and how the driver checkpoints and recovers.
+#[derive(Clone, Debug)]
+pub struct CheckpointPolicy {
+    /// Snapshot every this many SMO iterations (also at iteration 0, so a
+    /// recoverable baseline always exists).
+    pub every_iters: u64,
+    /// On rank death, continue with one rank fewer (re-partitioning the
+    /// dead rank's samples across survivors) instead of restarting at the
+    /// original rank count.
+    pub allow_degraded: bool,
+    /// Give up after this many recoveries.
+    pub max_recoveries: u32,
+    /// Mirror every promoted checkpoint to this file (versioned text
+    /// format), best-effort: a write failure is recorded on the store,
+    /// not fatal to training.
+    pub disk_path: Option<PathBuf>,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            every_iters: 64,
+            allow_degraded: false,
+            max_recoveries: 4,
+            disk_path: None,
+        }
+    }
+}
+
+impl CheckpointPolicy {
+    /// A policy snapshotting every `every_iters` iterations.
+    pub fn every(every_iters: u64) -> Self {
+        assert!(every_iters > 0, "checkpoint cadence must be positive");
+        CheckpointPolicy {
+            every_iters,
+            ..CheckpointPolicy::default()
+        }
+    }
+
+    /// Allow degraded continuation on rank death.
+    pub fn degraded(mut self) -> Self {
+        self.allow_degraded = true;
+        self
+    }
+
+    /// Set the recovery budget.
+    pub fn with_max_recoveries(mut self, n: u32) -> Self {
+        self.max_recoveries = n;
+        self
+    }
+
+    /// Mirror promoted checkpoints to a file.
+    pub fn with_disk(mut self, path: impl Into<PathBuf>) -> Self {
+        self.disk_path = Some(path.into());
+        self
+    }
+}
+
+/// The handle each rank carries into training: the shared store plus the
+/// snapshot cadence.
+#[derive(Clone, Debug)]
+pub struct CheckpointCtx {
+    /// Shared store all ranks post into.
+    pub store: Arc<CheckpointStore>,
+    /// Snapshot every this many iterations.
+    pub every_iters: u64,
+}
+
+/// One rank's solver state at a checkpoint generation, in *global* sample
+/// indices (`lo` = first owned sample).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankSnapshot {
+    /// Posting rank.
+    pub rank: usize,
+    /// First global sample index owned by the rank.
+    pub lo: usize,
+    /// `α` for owned samples.
+    pub alpha: Vec<f64>,
+    /// `γ` for owned samples.
+    pub grad: Vec<f64>,
+    /// Active flags for owned samples.
+    pub active: Vec<bool>,
+    /// Iterations until the next shrink pass (globally lockstep).
+    pub shrink_countdown: Option<u64>,
+}
+
+/// A consistent, promoted checkpoint: every rank's snapshot at one
+/// `(iteration, stage)` point of the lockstep trajectory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// SMO iteration the snapshot was taken at.
+    pub iterations: u64,
+    /// Phase-machine stage (0 = first optimization phase; 1 = inside the
+    /// post-reconstruction phase of Algorithm 4 / the reconstruction loop
+    /// of Algorithm 5).
+    pub stage: u32,
+    /// Last allreduced `(β_up, β_low)`.
+    pub last_betas: (f64, f64),
+    /// Global sample count (restore sanity check).
+    pub n: usize,
+    /// Per-rank snapshots, in rank order.
+    pub ranks: Vec<RankSnapshot>,
+}
+
+impl Checkpoint {
+    /// Serialize to the versioned text format. Floats use `{:e}`, which
+    /// round-trips `f64` exactly.
+    pub fn write_to<W: Write>(&self, writer: W) -> Result<(), CoreError> {
+        let mut w = BufWriter::new(writer);
+        writeln!(w, "shrinksvm-checkpoint v1")?;
+        writeln!(w, "iterations {} stage {}", self.iterations, self.stage)?;
+        writeln!(w, "betas {:e} {:e}", self.last_betas.0, self.last_betas.1)?;
+        writeln!(w, "n {} ranks {}", self.n, self.ranks.len())?;
+        for s in &self.ranks {
+            let cd = s
+                .shrink_countdown
+                .map_or("none".to_string(), |c| c.to_string());
+            writeln!(
+                w,
+                "rank {} lo {} len {} countdown {cd}",
+                s.rank,
+                s.lo,
+                s.alpha.len()
+            )?;
+            write!(w, "alpha")?;
+            for a in &s.alpha {
+                write!(w, " {a:e}")?;
+            }
+            writeln!(w)?;
+            write!(w, "grad")?;
+            for g in &s.grad {
+                write!(w, " {g:e}")?;
+            }
+            writeln!(w)?;
+            write!(w, "active ")?;
+            for &f in &s.active {
+                write!(w, "{}", u8::from(f))?;
+            }
+            writeln!(w)?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Parse the text format produced by [`Checkpoint::write_to`].
+    pub fn read_from<R: Read>(reader: R) -> Result<Self, CoreError> {
+        let bad = |m: String| CoreError::CheckpointFormat(m);
+        let mut lines = BufReader::new(reader).lines();
+        let mut next = |what: &str| -> Result<String, CoreError> {
+            lines
+                .next()
+                .ok_or_else(|| CoreError::CheckpointFormat(format!("missing {what}")))?
+                .map_err(CoreError::Io)
+        };
+        let header = next("header")?;
+        if header.trim() != "shrinksvm-checkpoint v1" {
+            return Err(bad(format!("bad header '{header}'")));
+        }
+        let pu = |s: &str| -> Result<u64, CoreError> {
+            s.parse::<u64>()
+                .map_err(|_| CoreError::CheckpointFormat(format!("bad integer '{s}'")))
+        };
+        let pf = |s: &str| -> Result<f64, CoreError> {
+            s.parse::<f64>()
+                .map_err(|_| CoreError::CheckpointFormat(format!("bad float '{s}'")))
+        };
+        let iline = next("iterations line")?;
+        let (iterations, stage) = match iline.split_whitespace().collect::<Vec<_>>().as_slice() {
+            ["iterations", i, "stage", s] => (pu(i)?, pu(s)? as u32),
+            _ => return Err(bad(format!("bad iterations line '{iline}'"))),
+        };
+        let bline = next("betas line")?;
+        let last_betas = match bline.split_whitespace().collect::<Vec<_>>().as_slice() {
+            ["betas", a, b] => (pf(a)?, pf(b)?),
+            _ => return Err(bad(format!("bad betas line '{bline}'"))),
+        };
+        let nline = next("n line")?;
+        let (n, nranks) = match nline.split_whitespace().collect::<Vec<_>>().as_slice() {
+            ["n", n, "ranks", r] => (pu(n)? as usize, pu(r)? as usize),
+            _ => return Err(bad(format!("bad n line '{nline}'"))),
+        };
+        // Cap preallocations by what the declared sample count implies —
+        // a garbled count cannot force a huge allocation.
+        let mut ranks = Vec::with_capacity(nranks.min(n.max(1)));
+        for _ in 0..nranks {
+            let rline = next("rank line")?;
+            let (rank, lo, len, cd) = match rline.split_whitespace().collect::<Vec<_>>().as_slice()
+            {
+                ["rank", r, "lo", lo, "len", len, "countdown", cd] => (
+                    pu(r)? as usize,
+                    pu(lo)? as usize,
+                    pu(len)? as usize,
+                    if *cd == "none" { None } else { Some(pu(cd)?) },
+                ),
+                _ => return Err(bad(format!("bad rank line '{rline}'"))),
+            };
+            if lo + len > n {
+                return Err(bad(format!(
+                    "rank {rank} claims samples {lo}..{} of {n}",
+                    lo + len
+                )));
+            }
+            let floats = |line: String, label: &str| -> Result<Vec<f64>, CoreError> {
+                let mut toks = line.split_whitespace();
+                if toks.next() != Some(label) {
+                    return Err(CoreError::CheckpointFormat(format!(
+                        "expected '{label}' line, got '{line}'"
+                    )));
+                }
+                let vals = toks.map(pf).collect::<Result<Vec<f64>, _>>()?;
+                if vals.len() != len {
+                    return Err(CoreError::CheckpointFormat(format!(
+                        "{label}: {} values for a {len}-sample rank",
+                        vals.len()
+                    )));
+                }
+                Ok(vals)
+            };
+            let alpha = floats(next("alpha line")?, "alpha")?;
+            let grad = floats(next("grad line")?, "grad")?;
+            let aline = next("active line")?;
+            let flags = aline
+                .strip_prefix("active ")
+                .ok_or_else(|| bad(format!("bad active line '{aline}'")))?;
+            let active = flags
+                .trim()
+                .chars()
+                .map(|c| match c {
+                    '0' => Ok(false),
+                    '1' => Ok(true),
+                    _ => Err(bad(format!("bad active flag '{c}'"))),
+                })
+                .collect::<Result<Vec<bool>, _>>()?;
+            if active.len() != len {
+                return Err(bad(format!(
+                    "active: {} flags for a {len}-sample rank",
+                    active.len()
+                )));
+            }
+            ranks.push(RankSnapshot {
+                rank,
+                lo,
+                alpha,
+                grad,
+                active,
+                shrink_countdown: cd,
+            });
+        }
+        Ok(Checkpoint {
+            iterations,
+            stage,
+            last_betas,
+            n,
+            ranks,
+        })
+    }
+}
+
+/// Survive a poisoned lock: a crashing rank (an *injected* panic) must not
+/// cascade into opaque `PoisonError` panics on the survivors.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[derive(Debug)]
+struct Pending {
+    last_betas: (f64, f64),
+    n: usize,
+    ranks: Vec<Option<RankSnapshot>>,
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    p: usize,
+    staging: BTreeMap<(u64, u32), Pending>,
+    last: Option<Arc<Checkpoint>>,
+    disk_path: Option<PathBuf>,
+    disk_error: Option<String>,
+}
+
+/// The shared checkpoint store: ranks post snapshots, the driver reads the
+/// last consistent checkpoint back out after a crash.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    inner: Mutex<StoreInner>,
+}
+
+impl CheckpointStore {
+    /// An empty store expecting snapshots from `p` ranks.
+    pub fn new(p: usize, disk_path: Option<PathBuf>) -> Self {
+        CheckpointStore {
+            inner: Mutex::new(StoreInner {
+                p,
+                staging: BTreeMap::new(),
+                last: None,
+                disk_path,
+                disk_error: None,
+            }),
+        }
+    }
+
+    /// Post one rank's snapshot for generation `(iterations, stage)`. The
+    /// generation is promoted to "last consistent checkpoint" once all `p`
+    /// ranks have posted it. Posts at or below an already-promoted key are
+    /// ignored (they are re-posts from a resumed run).
+    pub fn post(
+        &self,
+        iterations: u64,
+        stage: u32,
+        last_betas: (f64, f64),
+        n: usize,
+        snap: RankSnapshot,
+    ) {
+        let mut inner = lock(&self.inner);
+        let key = (iterations, stage);
+        if let Some(last) = &inner.last {
+            if key <= (last.iterations, last.stage) {
+                return;
+            }
+        }
+        let p = inner.p;
+        let pending = inner.staging.entry(key).or_insert_with(|| Pending {
+            last_betas,
+            n,
+            ranks: (0..p).map(|_| None).collect(),
+        });
+        let slot = snap.rank;
+        if slot < pending.ranks.len() {
+            pending.ranks[slot] = Some(snap);
+        }
+        if !pending.ranks.iter().all(Option::is_some) {
+            return;
+        }
+        if let Some(pending) = inner.staging.remove(&key) {
+            let ck = Arc::new(Checkpoint {
+                iterations,
+                stage,
+                last_betas: pending.last_betas,
+                n: pending.n,
+                ranks: pending.ranks.into_iter().flatten().collect(),
+            });
+            // Everything staged at or below the promoted key is obsolete.
+            inner.staging.retain(|k, _| *k > key);
+            if let Some(path) = inner.disk_path.clone() {
+                if let Err(e) = write_checkpoint_file(&path, &ck) {
+                    inner.disk_error = Some(e.to_string());
+                }
+            }
+            inner.last = Some(ck);
+        }
+    }
+
+    /// The last consistent (fully-posted) checkpoint, if any.
+    pub fn last(&self) -> Option<Arc<Checkpoint>> {
+        lock(&self.inner).last.clone()
+    }
+
+    /// Drop all partial generations and retarget the store at `p` ranks
+    /// (the driver calls this between recovery attempts; the promoted
+    /// checkpoint survives — its snapshots are in global indices).
+    pub fn reset_ranks(&self, p: usize) {
+        let mut inner = lock(&self.inner);
+        inner.staging.clear();
+        inner.p = p;
+    }
+
+    /// The first disk-mirroring failure, if any (mirroring is
+    /// best-effort).
+    pub fn disk_error(&self) -> Option<String> {
+        lock(&self.inner).disk_error.clone()
+    }
+}
+
+fn write_checkpoint_file(path: &PathBuf, ck: &Checkpoint) -> Result<(), CoreError> {
+    ck.write_to(std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(rank: usize, lo: usize, vals: &[f64]) -> RankSnapshot {
+        RankSnapshot {
+            rank,
+            lo,
+            alpha: vals.to_vec(),
+            grad: vals.iter().map(|v| -v).collect(),
+            active: vals.iter().map(|v| *v > 0.0).collect(),
+            shrink_countdown: Some(3),
+        }
+    }
+
+    #[test]
+    fn promotion_requires_all_ranks() {
+        let store = CheckpointStore::new(2, None);
+        store.post(4, 0, (0.1, 0.9), 4, snap(0, 0, &[1.0, 2.0]));
+        assert!(
+            store.last().is_none(),
+            "half-posted generation must not promote"
+        );
+        store.post(4, 0, (0.1, 0.9), 4, snap(1, 2, &[3.0, 4.0]));
+        let ck = store.last().expect("fully-posted generation promotes");
+        assert_eq!(ck.iterations, 4);
+        assert_eq!(ck.ranks.len(), 2);
+        assert_eq!(ck.ranks[1].alpha, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn stale_reposts_are_ignored_and_generations_advance() {
+        let store = CheckpointStore::new(1, None);
+        store.post(4, 0, (0.0, 0.0), 2, snap(0, 0, &[1.0, 1.0]));
+        store.post(4, 0, (9.9, 9.9), 2, snap(0, 0, &[9.0, 9.0])); // re-post after resume
+        assert_eq!(store.last().expect("promoted").last_betas, (0.0, 0.0));
+        store.post(8, 0, (0.5, 0.5), 2, snap(0, 0, &[2.0, 2.0]));
+        assert_eq!(store.last().expect("promoted").iterations, 8);
+        // a later *stage* at the same iteration also advances
+        store.post(8, 1, (0.25, 0.25), 2, snap(0, 0, &[3.0, 3.0]));
+        assert_eq!(store.last().expect("promoted").stage, 1);
+    }
+
+    #[test]
+    fn reset_ranks_keeps_last_checkpoint() {
+        let store = CheckpointStore::new(2, None);
+        store.post(0, 0, (0.0, 0.0), 4, snap(0, 0, &[1.0, 2.0]));
+        store.post(0, 0, (0.0, 0.0), 4, snap(1, 2, &[3.0, 4.0]));
+        store.post(4, 0, (0.0, 0.0), 4, snap(0, 0, &[5.0, 6.0])); // partial
+        store.reset_ranks(1);
+        let ck = store.last().expect("promoted checkpoint survives reset");
+        assert_eq!(ck.iterations, 0);
+        // the partial generation is gone: a single post at the new p promotes
+        store.post(4, 0, (0.0, 0.0), 4, snap(0, 0, &[7.0, 8.0, 9.0, 10.0]));
+        assert_eq!(store.last().expect("promoted").iterations, 4);
+    }
+
+    #[test]
+    fn checkpoint_text_roundtrips_exactly() {
+        let ck = Checkpoint {
+            iterations: 128,
+            stage: 1,
+            last_betas: (-0.125, f64::INFINITY),
+            n: 5,
+            ranks: vec![
+                snap(0, 0, &[0.5, 0.0, 1e-17]),
+                RankSnapshot {
+                    rank: 1,
+                    lo: 3,
+                    alpha: vec![2.0, 0.0],
+                    grad: vec![-1.0, 1.0],
+                    active: vec![true, false],
+                    shrink_countdown: None,
+                },
+            ],
+        };
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        let back = Checkpoint::read_from(&buf[..]).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn read_rejects_truncated_and_garbled_input() {
+        assert!(Checkpoint::read_from(&b""[..]).is_err());
+        assert!(Checkpoint::read_from(&b"shrinksvm-checkpoint v0\n"[..]).is_err());
+        let ck = Checkpoint {
+            iterations: 2,
+            stage: 0,
+            last_betas: (0.0, 0.0),
+            n: 2,
+            ranks: vec![snap(0, 0, &[1.0, 2.0])],
+        };
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // every content-truncating prefix must fail cleanly (typed error,
+        // no panic); dropping only the final newline still parses
+        for cut in 0..text.len() - 1 {
+            let r = Checkpoint::read_from(&text.as_bytes()[..cut]);
+            assert!(
+                r.is_err(),
+                "prefix of {cut} bytes unexpectedly parsed as a full checkpoint"
+            );
+        }
+        // out-of-range rank claims are rejected
+        let evil = text.replace("lo 0 len 2", "lo 7 len 2");
+        assert!(matches!(
+            Checkpoint::read_from(evil.as_bytes()),
+            Err(CoreError::CheckpointFormat(_))
+        ));
+    }
+
+    #[test]
+    fn disk_mirror_writes_promoted_checkpoints() {
+        let dir = std::env::temp_dir().join("shrinksvm-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.ckpt");
+        let store = CheckpointStore::new(1, Some(path.clone()));
+        store.post(16, 0, (0.0, 1.0), 3, snap(0, 0, &[1.0, 2.0, 3.0]));
+        assert!(store.disk_error().is_none());
+        let back = Checkpoint::read_from(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(back.iterations, 16);
+        assert_eq!(back.ranks[0].alpha, vec![1.0, 2.0, 3.0]);
+        std::fs::remove_file(&path).ok();
+    }
+}

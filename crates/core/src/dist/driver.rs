@@ -1,10 +1,12 @@
 //! Launching a distributed training run and merging the per-rank outcomes.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use shrinksvm_mpisim::{CommStats, CostParams, Universe};
+use shrinksvm_mpisim::{CommStats, CostParams, FaultPlan, Universe, ValidationReport};
 use shrinksvm_sparse::Dataset;
 
+use crate::dist::checkpoint::{CheckpointCtx, CheckpointPolicy, CheckpointStore};
 use crate::dist::solver::{train_rank, DistConfig};
 use crate::error::CoreError;
 use crate::model::SvmModel;
@@ -30,8 +32,21 @@ pub struct DistRunResult {
     pub recon_time: f64,
     /// Real wall-clock time of the whole simulated run.
     pub wall_time: Duration,
-    /// Per-rank communication statistics.
+    /// Per-rank communication statistics (of the final, successful
+    /// attempt).
     pub rank_stats: Vec<CommStats>,
+    /// Injected faults survived: transport faults absorbed by
+    /// retransmission or delay, plus rank crashes recovered from.
+    pub faults_survived: u64,
+    /// Simulated seconds discarded by crash-aborted attempts. The total
+    /// modeled cost of the run is `makespan + recovery_cost`.
+    pub recovery_cost: f64,
+    /// Crash-recovery restarts performed.
+    pub recoveries: u32,
+    /// Validation report of the final attempt (violations plus the
+    /// fault-injection ledger; empty without
+    /// [`DistSolver::with_validation`]).
+    pub report: ValidationReport,
 }
 
 impl DistRunResult {
@@ -67,6 +82,9 @@ pub struct DistSolver<'a> {
     p: usize,
     cost: CostParams,
     validate: bool,
+    faults: Option<FaultPlan>,
+    checkpoint: Option<CheckpointPolicy>,
+    liveness: Option<Duration>,
 }
 
 impl<'a> DistSolver<'a> {
@@ -79,6 +97,9 @@ impl<'a> DistSolver<'a> {
             p: 1,
             cost: CostParams::fdr(),
             validate: false,
+            faults: None,
+            checkpoint: None,
+            liveness: None,
         }
     }
 
@@ -112,51 +133,145 @@ impl<'a> DistSolver<'a> {
         self
     }
 
-    /// Run the training.
+    /// Install a seeded [`FaultPlan`] — injected message drops,
+    /// corruptions and delays, rank crashes and slowdowns, all keyed on
+    /// simulated time. Transport faults are absorbed by the substrate's
+    /// retransmission; crashes are recoverable when
+    /// [`DistSolver::with_checkpointing`] is also set.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Enable periodic checkpointing and crash recovery: every rank
+    /// snapshots its solver state on the policy's cadence, and on an
+    /// injected rank death training restarts from the last consistent
+    /// checkpoint — at the same rank count, or (with
+    /// [`CheckpointPolicy::allow_degraded`]) re-partitioned across one
+    /// rank fewer.
+    pub fn with_checkpointing(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Override the substrate's liveness timeout (how long a blocked
+    /// receive waits before declaring the peer dead).
+    pub fn with_liveness_timeout(mut self, timeout: Duration) -> Self {
+        self.liveness = Some(timeout);
+        self
+    }
+
+    /// Run the training. With a fault plan installed, transport faults are
+    /// absorbed in-flight; an injected rank crash aborts the attempt and —
+    /// if checkpointing is enabled and the recovery budget allows — the
+    /// driver disarms the fired crash rule, restores the last consistent
+    /// checkpoint and retrains (optionally degraded to one rank fewer).
     pub fn train(self) -> Result<DistRunResult, CoreError> {
         // allow-wall-clock: host-side metric (reported wall_time), not simulated time
         let start = Instant::now();
-        let mut universe = Universe::new(self.p).with_cost(self.cost);
-        if self.validate {
-            universe = universe.validated();
-        }
         let ds = self.ds;
-        let cfg = &self.cfg;
-        let outcomes = universe.run(|comm| train_rank(comm, ds, cfg));
+        let mut p = self.p;
+        let mut faults = self.faults;
+        let store = self
+            .checkpoint
+            .as_ref()
+            .map(|pol| Arc::new(CheckpointStore::new(p, pol.disk_path.clone())));
+        let mut recoveries = 0u32;
+        let mut recovery_cost = 0.0f64;
+        loop {
+            let mut universe = Universe::new(p).with_cost(self.cost);
+            if self.validate {
+                universe = universe.validated();
+            }
+            if let Some(lv) = self.liveness {
+                universe = universe.with_liveness_timeout(lv);
+            }
+            if let Some(plan) = &faults {
+                universe = universe.with_faults(plan.clone());
+            }
+            let mut cfg = self.cfg.clone();
+            if let (Some(store), Some(pol)) = (&store, &self.checkpoint) {
+                cfg.checkpoint = Some(CheckpointCtx {
+                    store: Arc::clone(store),
+                    every_iters: pol.every_iters,
+                });
+                cfg.resume = store.last();
+            }
+            let (outcomes, report) = match universe.run_try(|comm| train_rank(comm, ds, &cfg)) {
+                Ok(result) => result,
+                Err(notice) => {
+                    // the aborted attempt's simulated time is sunk cost
+                    recovery_cost += notice.sim_time;
+                    let budget = self.checkpoint.as_ref().map_or(0, |pol| pol.max_recoveries);
+                    if recoveries >= budget {
+                        return Err(CoreError::RankLost {
+                            rank: notice.rank,
+                            sim_time: notice.sim_time,
+                        });
+                    }
+                    recoveries += 1;
+                    if let Some(plan) = &mut faults {
+                        // the fault already fired; re-injecting it on the
+                        // retry would loop forever
+                        plan.disarm_rank_rule(notice.rule);
+                    }
+                    let degraded = self
+                        .checkpoint
+                        .as_ref()
+                        .is_some_and(|pol| pol.allow_degraded);
+                    if degraded && p > 1 {
+                        p -= 1;
+                    }
+                    if let Some(store) = &store {
+                        store.reset_ranks(p);
+                    }
+                    continue;
+                }
+            };
+            if self.validate && !report.is_clean() {
+                panic!("{report}");
+            }
 
-        // Error paths are driven by globally-agreed values, so either every
-        // rank succeeded or every rank failed identically; report rank 0's.
-        let mut values = Vec::with_capacity(outcomes.len());
-        let mut rank_stats = Vec::with_capacity(outcomes.len());
-        let mut makespan = 0.0f64;
-        let mut recon_time = 0.0f64;
-        for o in outcomes {
-            makespan = makespan.max(o.clock);
-            rank_stats.push(o.stats);
-            values.push(o.value?);
+            // Error paths are driven by globally-agreed values, so either
+            // every rank succeeded or every rank failed identically; report
+            // rank 0's.
+            let mut values = Vec::with_capacity(outcomes.len());
+            let mut rank_stats = Vec::with_capacity(outcomes.len());
+            let mut makespan = 0.0f64;
+            let mut recon_time = 0.0f64;
+            for o in outcomes {
+                makespan = makespan.max(o.clock);
+                rank_stats.push(o.stats);
+                values.push(o.value?);
+            }
+            for v in &values {
+                recon_time = recon_time.max(v.recon_sim_time);
+            }
+            let transport_faults: u64 = rank_stats.iter().map(CommStats::transport_faults).sum();
+            let first = &values[0];
+            let traces: Vec<_> = values.iter().map(|v| v.trace.clone()).collect();
+            let trace = merge_rank_traces(
+                &traces,
+                ds.len() as u64,
+                ds.x.mean_row_nnz(),
+                first.converged,
+                first.final_gap,
+            );
+            return Ok(DistRunResult {
+                model: first.model.clone(),
+                iterations: first.iterations,
+                converged: first.converged,
+                trace,
+                makespan,
+                recon_time,
+                wall_time: start.elapsed(),
+                rank_stats,
+                faults_survived: recoveries as u64 + transport_faults,
+                recovery_cost,
+                recoveries,
+                report,
+            });
         }
-        for v in &values {
-            recon_time = recon_time.max(v.recon_sim_time);
-        }
-        let first = &values[0];
-        let traces: Vec<_> = values.iter().map(|v| v.trace.clone()).collect();
-        let trace = merge_rank_traces(
-            &traces,
-            ds.len() as u64,
-            ds.x.mean_row_nnz(),
-            first.converged,
-            first.final_gap,
-        );
-        Ok(DistRunResult {
-            model: first.model.clone(),
-            iterations: first.iterations,
-            converged: first.converged,
-            trace,
-            makespan,
-            recon_time,
-            wall_time: start.elapsed(),
-            rank_stats,
-        })
     }
 }
 

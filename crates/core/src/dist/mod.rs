@@ -7,14 +7,18 @@
 //!   Algorithm 4 (single reconstruction) and Algorithm 5 (multiple
 //!   reconstruction), selected by the [`crate::shrink::ShrinkPolicy`],
 //! * [`recon`] — distributed gradient reconstruction (Algorithm 3),
+//! * [`checkpoint`] — consistent checkpoint store for crash recovery,
 //! * [`driver`] — [`DistSolver`]: launches a `mpisim` universe, runs the
-//!   per-rank program on every rank and merges the outcomes.
+//!   per-rank program on every rank, merges the outcomes, and recovers
+//!   from injected rank crashes via the checkpoint store.
 
+pub mod checkpoint;
 pub mod driver;
 pub mod msg;
 pub mod partition;
 pub mod recon;
 pub mod solver;
 
+pub use checkpoint::{Checkpoint, CheckpointPolicy, CheckpointStore, RankSnapshot};
 pub use driver::{DistRunResult, DistSolver};
 pub use solver::{train_rank, DistConfig, RankOutput};

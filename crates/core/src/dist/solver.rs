@@ -24,9 +24,12 @@
 //! one still terminates at a `2ε`-optimal solution of the same dual —
 //! the paper's "accuracy remains intact" claim.
 
+use std::sync::Arc;
+
 use shrinksvm_mpisim::{Comm, MaxLoc, MinLoc};
 use shrinksvm_sparse::Dataset;
 
+use crate::dist::checkpoint::{Checkpoint, CheckpointCtx, RankSnapshot};
 use crate::dist::msg::{decode_pair, encode_pair, PairSample};
 use crate::dist::partition::Partition;
 use crate::dist::recon;
@@ -51,14 +54,20 @@ pub struct DistConfig {
     pub params: SvmParams,
     /// Compute charges applied to the simulated clocks.
     pub charge: ComputeCharge,
+    /// Periodic checkpointing (shared store + cadence); `None` disables.
+    pub checkpoint: Option<CheckpointCtx>,
+    /// Consistent checkpoint to resume from instead of a cold start.
+    pub resume: Option<Arc<Checkpoint>>,
 }
 
 impl DistConfig {
-    /// Config with default compute charges.
+    /// Config with default compute charges and no checkpointing.
     pub fn new(params: SvmParams) -> Self {
         DistConfig {
             params,
             charge: ComputeCharge::default(),
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -116,6 +125,13 @@ pub(crate) struct RankState<'a> {
     stall_limit: u64,
     /// Last allreduced `(β_up, β_low)`.
     last_betas: (f64, f64),
+    /// This rank's id (for checkpoint snapshots).
+    rank: usize,
+    /// Phase-machine stage for checkpoint keys: 0 = first optimization
+    /// phase; 1 = past the (first) reconstruction.
+    stage: u32,
+    /// Checkpoint handle, if the driver enabled checkpointing.
+    ckpt: Option<CheckpointCtx>,
 }
 
 impl<'a> RankState<'a> {
@@ -130,7 +146,7 @@ impl<'a> RankState<'a> {
         let sq: Vec<f64> = range.clone().map(|i| ds.x.row(i).squared_norm()).collect();
         let policy: ShrinkPolicy = cfg.params.shrink;
         let initial_threshold = policy.initial_threshold(ds.len());
-        RankState {
+        let mut st = RankState {
             ds,
             kind: cfg.params.kernel,
             c_pos: cfg.params.c_for(1.0),
@@ -152,7 +168,67 @@ impl<'a> RankState<'a> {
             max_iter: cfg.params.max_iter,
             stall_limit: cfg.params.stall_limit,
             last_betas: (f64::INFINITY, f64::NEG_INFINITY),
+            rank: comm.rank(),
+            stage: 0,
+            ckpt: cfg.checkpoint.clone(),
+        };
+        if let Some(ck) = &cfg.resume {
+            st.restore(ck);
         }
+        st
+    }
+
+    /// Overwrite the cold-start state with a consistent checkpoint.
+    /// Snapshots carry global indices, so this works under a different
+    /// partition too (degraded continuation): each rank copies whatever
+    /// slices of the old snapshots overlap its new range.
+    fn restore(&mut self, ck: &Checkpoint) {
+        debug_assert_eq!(ck.n, self.ds.len(), "checkpoint is for another dataset");
+        let my_lo = self.lo;
+        let my_hi = self.lo + self.local_n();
+        for s in &ck.ranks {
+            let start = my_lo.max(s.lo);
+            let end = my_hi.min(s.lo + s.alpha.len());
+            for g in start..end {
+                let (li, si) = (g - my_lo, g - s.lo);
+                self.alpha[li] = s.alpha[si];
+                self.grad[li] = s.grad[si];
+                self.active[li] = s.active[si];
+            }
+        }
+        // lockstep: the countdown is identical on every rank at a
+        // consistent generation, so any snapshot's copy will do
+        if let Some(first) = ck.ranks.first() {
+            self.shrink_countdown = first.shrink_countdown;
+        }
+        self.iterations = ck.iterations;
+        self.stage = ck.stage;
+        self.last_betas = ck.last_betas;
+    }
+
+    /// Post a snapshot when the cadence hits this iteration. Called right
+    /// after the β allreduce, where every rank holds identical
+    /// `(iterations, stage)` — so the posted keys line up across ranks and
+    /// the store can promote a consistent generation.
+    fn maybe_checkpoint(&self) {
+        let Some(ctx) = &self.ckpt else { return };
+        if !self.iterations.is_multiple_of(ctx.every_iters) {
+            return;
+        }
+        ctx.store.post(
+            self.iterations,
+            self.stage,
+            self.last_betas,
+            self.ds.len(),
+            RankSnapshot {
+                rank: self.rank,
+                lo: self.lo,
+                alpha: self.alpha.clone(),
+                grad: self.grad.clone(),
+                active: self.active.clone(),
+                shrink_countdown: self.shrink_countdown,
+            },
+        );
     }
 
     /// Samples owned by this rank.
@@ -297,6 +373,7 @@ impl<'a> RankState<'a> {
             let up = comm.allreduce_minloc(cand_up);
             let low = comm.allreduce_maxloc(cand_low);
             self.last_betas = (up.value, low.value);
+            self.maybe_checkpoint();
             let gap = low.value - up.value;
             // negated form on purpose: ±∞ candidates (empty scan sets) and
             // NaN must all terminate the phase
@@ -505,30 +582,46 @@ pub fn train_rank(
             }
             ReconPolicy::Single => {
                 // Algorithm 4: converge active set, reconstruct once,
-                // δ_c ← ∞, converge exactly.
-                let first = st.run_phase(comm, eps, true)?;
-                if !first.converged {
-                    first
-                } else {
-                    recon::reconstruct(&mut st, comm);
+                // δ_c ← ∞, converge exactly. A resume at stage 1 is past
+                // the reconstruction and re-enters the exact phase
+                // directly.
+                if st.stage >= 1 {
                     st.run_phase(comm, eps, false)?
+                } else {
+                    let first = st.run_phase(comm, eps, true)?;
+                    if !first.converged {
+                        first
+                    } else {
+                        recon::reconstruct(&mut st, comm);
+                        st.stage = 1;
+                        st.run_phase(comm, eps, false)?
+                    }
                 }
             }
             ReconPolicy::Multi => {
                 // Algorithm 5: 20ε phase, reconstruct, then 2ε/reconstruct
-                // rounds until optimality survives a reconstruction.
-                let coarse = st.run_phase(comm, 10.0 * eps, true)?;
-                if !coarse.converged {
-                    coarse
+                // rounds until optimality survives a reconstruction. A
+                // resume at stage 1 re-enters the reconstruction loop;
+                // reconstruction recomputes γ from the (restored) α, so
+                // re-running it after a restore is safe.
+                let coarse = if st.stage == 0 {
+                    Some(st.run_phase(comm, 10.0 * eps, true)?)
                 } else {
-                    loop {
-                        recon::reconstruct(&mut st, comm);
-                        let before = st.iterations;
-                        let end = st.run_phase(comm, eps, true)?;
-                        if !end.converged || st.iterations == before {
-                            // either out of budget, or the reconstructed
-                            // problem was already optimal — done.
-                            break end;
+                    None
+                };
+                match coarse {
+                    Some(c) if !c.converged => c,
+                    _ => {
+                        st.stage = 1;
+                        loop {
+                            recon::reconstruct(&mut st, comm);
+                            let before = st.iterations;
+                            let end = st.run_phase(comm, eps, true)?;
+                            if !end.converged || st.iterations == before {
+                                // either out of budget, or the reconstructed
+                                // problem was already optimal — done.
+                                break end;
+                            }
                         }
                     }
                 }

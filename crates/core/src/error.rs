@@ -19,6 +19,16 @@ pub enum CoreError {
     Sparse(shrinksvm_sparse::SparseError),
     /// Model (de)serialization failure.
     ModelFormat(String),
+    /// Checkpoint (de)serialization failure.
+    CheckpointFormat(String),
+    /// A rank died (injected crash) and the recovery budget — or the lack
+    /// of a checkpoint policy — left no way to continue.
+    RankLost {
+        /// Rank that died.
+        rank: usize,
+        /// Simulated time of death.
+        sim_time: f64,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -33,6 +43,11 @@ impl fmt::Display for CoreError {
             }
             CoreError::Sparse(e) => write!(f, "sparse layer: {e}"),
             CoreError::ModelFormat(m) => write!(f, "model format: {m}"),
+            CoreError::CheckpointFormat(m) => write!(f, "checkpoint format: {m}"),
+            CoreError::RankLost { rank, sim_time } => write!(
+                f,
+                "rank {rank} lost at simulated time {sim_time:.6}s with no recovery path"
+            ),
             CoreError::Io(e) => write!(f, "i/o: {e}"),
         }
     }

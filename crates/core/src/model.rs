@@ -208,7 +208,10 @@ impl SvmModel {
             _ => return Err(CoreError::ModelFormat(format!("bad nsv line '{nline}'"))),
         };
         let mut b = CsrBuilder::new(ncols);
-        let mut coef = Vec::with_capacity(nsv);
+        // `nsv` is untrusted input: preallocate only a sane amount and let
+        // the vector grow if a (valid) giant model really has more rows —
+        // a garbled count must not force a huge allocation up front.
+        let mut coef = Vec::with_capacity(nsv.min(1 << 20));
         let mut idx = Vec::new();
         let mut val = Vec::new();
         for k in 0..nsv {
@@ -334,6 +337,65 @@ mod tests {
         assert!(SvmModel::read_from("shrinksvm-model v1\nkernel warp 1\n".as_bytes()).is_err());
         let truncated = "shrinksvm-model v1\nkernel linear\nbias 0\nnsv 2 ncols 1\n1 1:1\n";
         assert!(SvmModel::read_from(truncated.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn read_survives_every_truncation_without_panicking() {
+        let sv = CsrMatrix::from_dense(&[vec![0.25, 0.0, -1.5], vec![0.0, 2.0, 0.0]], 3).unwrap();
+        let m =
+            SvmModel::new(KernelKind::Rbf { gamma: 0.125 }, sv, vec![1.5, -0.75], -0.3).unwrap();
+        let mut buf = Vec::new();
+        m.write_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let body_start = text.find("nsv").expect("nsv line present");
+        for cut in 0..text.len() {
+            // must never panic; header/metadata truncations must error
+            let r = SvmModel::read_from(&text.as_bytes()[..cut]);
+            if cut <= body_start {
+                assert!(r.is_err(), "{cut}-byte prefix parsed as a model");
+            }
+        }
+    }
+
+    #[test]
+    fn read_caps_preallocation_for_hostile_counts() {
+        // claims an absurd SV count with no rows: must fail with a typed
+        // error quickly instead of preallocating by the header's say-so
+        let evil = "shrinksvm-model v1\nkernel linear\nbias 0\nnsv 99999999999 ncols 2\n";
+        assert!(matches!(
+            SvmModel::read_from(evil.as_bytes()),
+            Err(CoreError::ModelFormat(_))
+        ));
+    }
+
+    #[test]
+    fn save_load_save_is_byte_identical() {
+        let sv = CsrMatrix::from_dense(
+            &[
+                vec![0.25, 0.0, -1.5e-7],
+                vec![0.0, 2.0, 0.0],
+                vec![1e300, -1e-300, 3.5],
+            ],
+            3,
+        )
+        .unwrap();
+        let m = SvmModel::new(
+            KernelKind::Poly {
+                gamma: 0.5,
+                coef0: -1.25,
+                degree: 4,
+            },
+            sv,
+            vec![1.5, -0.75, 1e-17],
+            -0.3,
+        )
+        .unwrap();
+        let mut first = Vec::new();
+        m.write_to(&mut first).unwrap();
+        let back = SvmModel::read_from(&first[..]).unwrap();
+        let mut second = Vec::new();
+        back.write_to(&mut second).unwrap();
+        assert_eq!(first, second, "save→load→save must be byte-identical");
     }
 
     #[test]

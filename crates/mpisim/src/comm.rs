@@ -6,10 +6,11 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::Duration;
 
-use shrinksvm_analyze::{VectorClock, Violation, WaitEdge};
+use shrinksvm_analyze::{FaultEvent, VectorClock, Violation, WaitEdge};
 
 use crate::cost::CostParams;
 use crate::fabric::{Endpoints, Message};
+use crate::fault::{checksum, corrupt_copy, CrashNotice, Fate, FaultPlan};
 use crate::monitor::{RunMonitor, StallSnapshot};
 use crate::stats::CommStats;
 use crate::MAX_USER_TAG;
@@ -18,12 +19,6 @@ use crate::MAX_USER_TAG;
 /// consecutive stalled observations one interval apart confirm a deadlock,
 /// so diagnosis latency is ~2–3 intervals — milliseconds, not minutes.
 const POLL: Duration = Duration::from_millis(5);
-
-/// Absolute fallback bound on a single blocking receive, for pathologies
-/// the wait-for graph cannot see (e.g. a peer spinning forever in compute).
-/// The graph-based detector fires in milliseconds on real communication
-/// deadlocks, so this bound should never be reached in practice.
-const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(300);
 
 /// A nonblocking-operation handle (`MPI_Request` analog).
 ///
@@ -61,6 +56,23 @@ pub struct Comm {
     vc: VectorClock,
     /// Highest source-clock component seen per source (FIFO monotonicity).
     last_src_clock: Vec<u64>,
+    /// Absolute fallback bound on a single blocking receive, for
+    /// pathologies the wait-for graph cannot see (e.g. a peer spinning
+    /// forever in compute). Configurable via
+    /// [`crate::Universe::with_liveness_timeout`] / the
+    /// `SHRINKSVM_LIVENESS_TIMEOUT_SECS` environment variable.
+    liveness: Duration,
+    /// The installed fault plan, if any.
+    faults: Option<Arc<FaultPlan>>,
+    /// Per-`(link rule, source)` injection counters backing each rule's
+    /// per-link `count` budget (deterministic: this receiver consumes each
+    /// link's traffic in FIFO order).
+    fault_hits: Vec<u64>,
+    /// Per-destination send sequence numbers — the deterministic key that
+    /// fault rules are coined on.
+    send_seq: Vec<u64>,
+    /// Which slowdown rules were already recorded in the fault ledger.
+    slow_recorded: Vec<bool>,
 }
 
 /// What a rank hands back to the universe after its closure returns, so
@@ -78,8 +90,12 @@ impl Comm {
         endpoints: Endpoints,
         cost: CostParams,
         monitor: Arc<RunMonitor>,
+        liveness: Duration,
+        faults: Option<Arc<FaultPlan>>,
     ) -> Self {
         let pending = (0..size).map(|_| VecDeque::new()).collect();
+        let fault_hits = faults.as_ref().map_or(0, |plan| plan.n_link_rules() * size);
+        let slow_recorded = faults.as_ref().map_or(0, |plan| plan.n_rank_rules());
         Comm {
             rank,
             size,
@@ -92,6 +108,11 @@ impl Comm {
             monitor,
             vc: VectorClock::new(size),
             last_src_clock: vec![0; size],
+            liveness,
+            faults,
+            fault_hits: vec![0; fault_hits],
+            send_seq: vec![0; size],
+            slow_recorded: vec![false; slow_recorded],
         }
     }
 
@@ -129,12 +150,52 @@ impl Comm {
         &self.vc
     }
 
-    /// Charge `secs` of computation to this rank's simulated clock.
+    /// Charge `secs` of computation to this rank's simulated clock. Under
+    /// an installed fault plan, active slowdown rules inflate the charge
+    /// and due crash rules kill the rank.
     #[inline]
     pub fn advance_compute(&mut self, secs: f64) {
         debug_assert!(secs >= 0.0, "compute time cannot be negative");
+        let mut secs = secs;
+        if let Some(plan) = &self.faults {
+            if let Some((idx, factor)) = plan.slow_factor(self.rank, self.clock) {
+                if !self.slow_recorded[idx] {
+                    self.slow_recorded[idx] = true;
+                    self.monitor.record_fault(FaultEvent::RankSlowed {
+                        rank: self.rank,
+                        factor,
+                        sim_time: self.clock,
+                    });
+                }
+                let extra = secs * (factor - 1.0);
+                self.stats.slowdown_time += extra;
+                secs += extra;
+            }
+        }
         self.clock += secs;
         self.stats.compute_time += secs;
+        self.maybe_crash();
+    }
+
+    /// Kill this rank if an armed crash rule is due at its current
+    /// simulated clock. The panic payload is a [`CrashNotice`], which the
+    /// universe recognizes and surfaces as a recoverable error through
+    /// [`crate::Universe::run_try`].
+    fn maybe_crash(&mut self) {
+        let Some(plan) = &self.faults else {
+            return;
+        };
+        if let Some((rule, _)) = plan.crash_due(self.rank, self.clock) {
+            self.monitor.record_fault(FaultEvent::RankCrashed {
+                rank: self.rank,
+                sim_time: self.clock,
+            });
+            std::panic::panic_any(CrashNotice {
+                rank: self.rank,
+                sim_time: self.clock,
+                rule,
+            });
+        }
     }
 
     // ---------------------------------------------------------------- p2p
@@ -149,6 +210,7 @@ impl Comm {
     pub(crate) fn send_internal(&mut self, dst: usize, tag: u64, payload: &[u8]) {
         assert!(dst < self.size, "send to rank {dst} of {}", self.size);
         self.clock += self.cost.send_overhead;
+        self.maybe_crash();
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += payload.len() as u64;
         let vclock = if self.monitor.validate {
@@ -157,12 +219,17 @@ impl Comm {
         } else {
             None
         };
+        let link_seq = self.send_seq[dst];
+        self.send_seq[dst] += 1;
         self.endpoints.outgoing[dst]
             .send(Message {
                 tag,
                 payload: payload.to_vec(),
                 depart: self.clock,
                 vclock,
+                checksum: checksum(payload),
+                link_seq,
+                penalty: 0.0,
             })
             .unwrap_or_else(|_| panic!("rank {} vanished (channel closed)", dst));
     }
@@ -187,6 +254,7 @@ impl Comm {
             match self.endpoints.incoming[src].recv_timeout(POLL) {
                 Ok(msg) => {
                     self.on_dequeue(src, &msg);
+                    let msg = self.resolve_transport(src, msg);
                     if msg.tag == tag {
                         if published {
                             self.monitor.publish_running(self.rank);
@@ -212,11 +280,12 @@ impl Comm {
                         Err(report) => panic!("{report}"),
                     }
                     waited += POLL;
-                    if waited >= DEADLOCK_TIMEOUT {
+                    if waited >= self.liveness {
                         panic!(
-                            "rank {}: timeout after {:?} waiting for tag {tag:#x} from rank {src} \
-                             (no global deadlock detected — a peer may be stuck in compute)",
-                            self.rank, DEADLOCK_TIMEOUT
+                            "rank {}: liveness timeout after {:?} waiting for tag {tag:#x} from \
+                             rank {src} (no global deadlock detected — a peer may be stuck in \
+                             compute)",
+                            self.rank, self.liveness
                         );
                     }
                 }
@@ -264,10 +333,142 @@ impl Comm {
         }
     }
 
-    /// Book a matched message: advance the clock per the cost model and
-    /// return its payload.
+    /// Run one dequeued message through the fault plan's link rules,
+    /// emulating an ARQ transport: a dropped or corrupted copy is
+    /// "retransmitted" by charging exponential backoff into the message's
+    /// in-flight penalty and re-coining its fate for the next attempt, up
+    /// to the plan's retry budget. Deterministic because each link's
+    /// traffic is consumed in FIFO order by exactly one receiver, and each
+    /// attempt's fate is a pure function of
+    /// `(seed, rule, src, dst, link_seq, attempt)`.
+    ///
+    /// Envelope integrity is always verified, fault plan or not: a
+    /// checksum mismatch on a delivered copy is a transport bug.
+    fn resolve_transport(&mut self, src: usize, mut msg: Message) -> Message {
+        let Some(plan) = self.faults.clone() else {
+            assert_eq!(
+                checksum(&msg.payload),
+                msg.checksum,
+                "rank {}: transport bug — checksum mismatch on tag {:#x} from rank {src} \
+                 without fault injection",
+                self.rank,
+                msg.tag
+            );
+            return msg;
+        };
+        let budget = 1 + plan.max_retries();
+        let backoff_base = plan.retry_backoff();
+        let mut attempt: u32 = 0;
+        loop {
+            let fate = plan.fate(
+                src,
+                self.rank,
+                msg.depart,
+                msg.link_seq,
+                attempt,
+                &mut self.fault_hits,
+                self.size,
+            );
+            match fate {
+                Fate::Deliver => {
+                    assert_eq!(
+                        checksum(&msg.payload),
+                        msg.checksum,
+                        "rank {}: transport bug — checksum mismatch on delivered copy of \
+                         tag {:#x} from rank {src}",
+                        self.rank,
+                        msg.tag
+                    );
+                    return msg;
+                }
+                Fate::Delayed(secs) => {
+                    msg.penalty += secs;
+                    self.stats.delays_seen += 1;
+                    self.monitor.record_fault(FaultEvent::MessageDelayed {
+                        rank: self.rank,
+                        src,
+                        tag: msg.tag,
+                        secs,
+                        sim_time: msg.depart,
+                    });
+                    // A held copy still arrives intact; keep coining the
+                    // remaining rules on the next attempt number so a delay
+                    // does not shadow a later drop of the same copy.
+                }
+                Fate::Lost => {
+                    self.stats.drops_seen += 1;
+                    self.monitor.record_fault(FaultEvent::MessageDropped {
+                        rank: self.rank,
+                        src,
+                        tag: msg.tag,
+                        attempt,
+                        sim_time: msg.depart,
+                    });
+                    self.retransmit_or_die(&mut msg, src, attempt, budget, backoff_base);
+                }
+                Fate::Corrupted => {
+                    // Corrupt an actual copy and prove the checksum catches
+                    // it — the detection path is exercised, not assumed.
+                    let bad = corrupt_copy(&msg.payload, msg.link_seq.wrapping_add(attempt.into()));
+                    assert_ne!(
+                        checksum(&bad),
+                        msg.checksum,
+                        "rank {}: injected corruption on tag {:#x} from rank {src} was not \
+                         detectable by the envelope checksum",
+                        self.rank,
+                        msg.tag
+                    );
+                    self.stats.corruptions_seen += 1;
+                    self.monitor.record_fault(FaultEvent::MessageCorrupted {
+                        rank: self.rank,
+                        src,
+                        tag: msg.tag,
+                        attempt,
+                        sim_time: msg.depart,
+                    });
+                    self.retransmit_or_die(&mut msg, src, attempt, budget, backoff_base);
+                }
+            }
+            attempt += 1;
+        }
+    }
+
+    /// Charge the backoff for retransmitting after attempt `attempt`
+    /// failed, or fail fast with a named diagnosis once the retry budget
+    /// is exhausted.
+    fn retransmit_or_die(
+        &mut self,
+        msg: &mut Message,
+        src: usize,
+        attempt: u32,
+        budget: u32,
+        backoff_base: f64,
+    ) {
+        let attempts = attempt + 1;
+        if attempts >= budget {
+            self.monitor.record_fault(FaultEvent::MessageLost {
+                rank: self.rank,
+                src,
+                tag: msg.tag,
+                attempts,
+                sim_time: msg.depart,
+            });
+            panic!(
+                "rank {}: message with tag {:#x} from rank {src} permanently lost after \
+                 {attempts} transmission attempt(s) — retry budget exhausted",
+                self.rank, msg.tag
+            );
+        }
+        let backoff = backoff_base * f64::powi(2.0, attempt as i32);
+        msg.penalty += backoff;
+        self.stats.retries += 1;
+        self.stats.retry_time += backoff;
+    }
+
+    /// Book a matched message: advance the clock per the cost model (plus
+    /// any injected in-flight penalty) and return its payload.
     fn accept(&mut self, src: usize, msg: Message) -> Vec<u8> {
-        let arrive = msg.depart + self.cost.wire_time(msg.payload.len());
+        let arrive = msg.depart + self.cost.wire_time(msg.payload.len()) + msg.penalty;
         if arrive > self.clock {
             self.stats.comm_time += arrive - self.clock;
             self.clock = arrive;
@@ -289,7 +490,9 @@ impl Comm {
         }
         self.stats.msgs_recv += 1;
         self.stats.bytes_recv += msg.payload.len() as u64;
-        msg.payload
+        let payload = msg.payload;
+        self.maybe_crash();
+        payload
     }
 
     /// Nonblocking send (`MPI_Isend`).

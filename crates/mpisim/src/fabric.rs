@@ -15,6 +15,17 @@ pub(crate) struct Message {
     pub depart: f64,
     /// Sender's vector clock at departure; present only under validation.
     pub vclock: Option<VectorClock>,
+    /// FNV-1a checksum of the payload, stamped at send time and verified
+    /// at receive time: injected corruption is detected, not silent.
+    pub checksum: u64,
+    /// Sender's per-destination sequence number — the deterministic key
+    /// that fault rules are coined on.
+    pub link_seq: u64,
+    /// Extra in-flight simulated seconds accumulated by injected delays
+    /// and retransmission backoff; written by the receiving transport when
+    /// the message is dequeued, folded into the arrival clock when it is
+    /// matched.
+    pub penalty: f64,
 }
 
 /// All channel endpoints belonging to one rank: a sender handle towards
@@ -67,6 +78,9 @@ mod tests {
                 payload: vec![1, 2, 3],
                 depart: 0.5,
                 vclock: None,
+                checksum: 0,
+                link_seq: 0,
+                penalty: 0.0,
             })
             .unwrap();
         let got = eps[2].incoming[0].recv().unwrap();
@@ -88,6 +102,9 @@ mod tests {
                 payload: vec![],
                 depart: 0.0,
                 vclock: None,
+                checksum: 0,
+                link_seq: 0,
+                penalty: 0.0,
             })
             .unwrap();
         assert!(eps[0].incoming[0].recv().is_ok());

@@ -44,11 +44,23 @@
 //! (happens-before checks), LogGP clock-consistency checks, a collective
 //! lockstep ledger, user-tag discipline, and finalize-time message
 //! conservation; [`Universe::run_report`] returns the [`ValidationReport`].
+//!
+//! ## Fault injection
+//!
+//! [`Universe::with_faults`] installs a [`FaultPlan`] — a seeded,
+//! serializable schedule of message drops, corruptions and delays, rank
+//! crashes and slowdowns, all keyed on simulated time. The transport
+//! survives drops and (checksum-detected) corruptions with bounded
+//! exponential-backoff retransmission; every injected fault is recorded in
+//! [`CommStats`] and in the report's fault ledger. Injected crashes
+//! surface as recoverable [`CrashNotice`] values via
+//! [`Universe::run_try`].
 
 pub mod collectives;
 pub mod comm;
 pub mod cost;
 pub mod fabric;
+pub mod fault;
 mod monitor;
 pub mod reduce;
 pub mod stats;
@@ -56,10 +68,11 @@ pub mod universe;
 
 pub use comm::{Comm, Request};
 pub use cost::CostParams;
+pub use fault::{CrashNotice, FaultPlan, LinkFault, LinkRule, RankFault, RankRule};
 pub use reduce::{MaxLoc, MinLoc};
-pub use shrinksvm_analyze::{ValidationReport, Violation};
+pub use shrinksvm_analyze::{FaultEvent, ValidationReport, Violation};
 pub use stats::CommStats;
-pub use universe::{RankOutcome, Universe};
+pub use universe::{RankOutcome, Universe, DEFAULT_LIVENESS_TIMEOUT, LIVENESS_TIMEOUT_ENV};
 
 /// User-visible tags must stay below this bound; higher tag space is
 /// reserved for collectives.

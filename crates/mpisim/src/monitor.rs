@@ -11,7 +11,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use shrinksvm_analyze::{
-    CollectiveLedger, Fingerprint, RankState, ValidationReport, Violation, WaitEdge, WaitForGraph,
+    CollectiveLedger, FaultEvent, Fingerprint, RankState, ValidationReport, Violation, WaitEdge,
+    WaitForGraph,
 };
 
 /// Lock a mutex, surviving poisoning (a diagnosing rank panics on purpose;
@@ -41,6 +42,9 @@ pub(crate) struct RunMonitor {
     panicked: Mutex<Vec<usize>>,
     ledger: Mutex<CollectiveLedger>,
     violations: Mutex<Vec<Violation>>,
+    /// Fault-injection ledger: every injected fault and transport recovery
+    /// action, when a fault plan is installed.
+    faults: Mutex<Vec<FaultEvent>>,
 }
 
 impl RunMonitor {
@@ -53,6 +57,7 @@ impl RunMonitor {
             panicked: Mutex::new(Vec::new()),
             ledger: Mutex::new(CollectiveLedger::new(p)),
             violations: Mutex::new(Vec::new()),
+            faults: Mutex::new(Vec::new()),
         }
     }
 
@@ -146,10 +151,19 @@ impl RunMonitor {
         lock(&self.violations).push(v);
     }
 
-    /// Drain everything recorded so far into a report (post-join).
+    /// Record a fault-injection ledger entry.
+    pub(crate) fn record_fault(&self, e: FaultEvent) {
+        lock(&self.faults).push(e);
+    }
+
+    /// Drain everything recorded so far into a report (post-join). The
+    /// report is normalized so identical fault seeds render byte-identical
+    /// text regardless of thread scheduling.
     pub(crate) fn take_report(&self) -> ValidationReport {
         let mut report = ValidationReport::default();
         report.extend(std::mem::take(&mut *lock(&self.violations)));
+        report.extend_faults(std::mem::take(&mut *lock(&self.faults)));
+        report.normalize();
         report
     }
 }

@@ -24,6 +24,19 @@ pub struct CommStats {
     /// Simulated seconds this rank's clock advanced while waiting on
     /// messages (communication + idle/imbalance time).
     pub comm_time: f64,
+    /// Retransmissions this rank's transport performed after an injected
+    /// drop or corruption.
+    pub retries: u64,
+    /// Injected message drops this rank observed (as the receiver).
+    pub drops_seen: u64,
+    /// Injected payload corruptions this rank detected via checksum.
+    pub corruptions_seen: u64,
+    /// Injected message delays this rank absorbed.
+    pub delays_seen: u64,
+    /// Simulated seconds spent on retransmission backoff.
+    pub retry_time: f64,
+    /// Extra simulated compute seconds charged by injected slowdowns.
+    pub slowdown_time: f64,
 }
 
 impl CommStats {
@@ -38,6 +51,18 @@ impl CommStats {
         self.barriers += other.barriers;
         self.compute_time += other.compute_time;
         self.comm_time += other.comm_time;
+        self.retries += other.retries;
+        self.drops_seen += other.drops_seen;
+        self.corruptions_seen += other.corruptions_seen;
+        self.delays_seen += other.delays_seen;
+        self.retry_time += other.retry_time;
+        self.slowdown_time += other.slowdown_time;
+    }
+
+    /// Total injected transport faults this rank survived (drops detected,
+    /// corruptions caught, delays absorbed).
+    pub fn transport_faults(&self) -> u64 {
+        self.drops_seen + self.corruptions_seen + self.delays_seen
     }
 }
 
@@ -57,6 +82,12 @@ mod tests {
             barriers: 5,
             compute_time: 0.5,
             comm_time: 0.25,
+            retries: 6,
+            drops_seen: 2,
+            corruptions_seen: 1,
+            delays_seen: 3,
+            retry_time: 0.125,
+            slowdown_time: 0.0625,
         };
         let b = a;
         a.merge(&b);
@@ -64,5 +95,9 @@ mod tests {
         assert_eq!(a.bytes_recv, 40);
         assert_eq!(a.barriers, 10);
         assert!((a.compute_time - 1.0).abs() < 1e-15);
+        assert_eq!(a.retries, 12);
+        assert_eq!(a.transport_faults(), 12);
+        assert!((a.retry_time - 0.25).abs() < 1e-15);
+        assert!((a.slowdown_time - 0.125).abs() < 1e-15);
     }
 }

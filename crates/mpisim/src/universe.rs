@@ -1,14 +1,24 @@
 //! Launching a fleet of ranks.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use shrinksvm_analyze::{ValidationReport, Violation};
 
 use crate::comm::{Comm, RankFinal};
 use crate::cost::CostParams;
 use crate::fabric;
+use crate::fault::{CrashNotice, FaultPlan};
 use crate::monitor::RunMonitor;
 use crate::stats::CommStats;
+
+/// Default liveness timeout: the absolute fallback bound on a single
+/// blocking receive when no override is configured.
+pub const DEFAULT_LIVENESS_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Environment variable overriding the default liveness timeout, in whole
+/// seconds.
+pub const LIVENESS_TIMEOUT_ENV: &str = "SHRINKSVM_LIVENESS_TIMEOUT_SECS";
 
 /// What one rank produced: the closure's return value plus the rank's final
 /// simulated clock and activity counters.
@@ -35,6 +45,8 @@ pub struct Universe {
     p: usize,
     cost: CostParams,
     validate: bool,
+    liveness: Duration,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// Publishes this rank's `Finished` state when the closure exits — normally
@@ -53,12 +65,23 @@ impl Drop for FinishGuard<'_> {
 
 impl Universe {
     /// A universe of `p` ranks with zero-cost networking (pure correctness).
+    ///
+    /// The liveness timeout defaults to [`DEFAULT_LIVENESS_TIMEOUT`],
+    /// overridable process-wide via the `SHRINKSVM_LIVENESS_TIMEOUT_SECS`
+    /// environment variable or per-universe via
+    /// [`Universe::with_liveness_timeout`].
     pub fn new(p: usize) -> Self {
         assert!(p >= 1, "need at least one rank");
+        let liveness = std::env::var(LIVENESS_TIMEOUT_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .map_or(DEFAULT_LIVENESS_TIMEOUT, Duration::from_secs);
         Universe {
             p,
             cost: CostParams::zero(),
             validate: false,
+            liveness,
+            faults: None,
         }
     }
 
@@ -66,6 +89,31 @@ impl Universe {
     pub fn with_cost(mut self, cost: CostParams) -> Self {
         self.cost = cost;
         self
+    }
+
+    /// Set the liveness timeout: the absolute fallback bound on a single
+    /// blocking receive, for pathologies the wait-for-graph detector
+    /// cannot see (e.g. a peer spinning forever in compute). Real
+    /// communication deadlocks are still diagnosed in milliseconds.
+    pub fn with_liveness_timeout(mut self, timeout: Duration) -> Self {
+        assert!(!timeout.is_zero(), "liveness timeout must be positive");
+        self.liveness = timeout;
+        self
+    }
+
+    /// Install a deterministic fault schedule: every run of this universe
+    /// injects the plan's message drops/corruptions/delays and rank
+    /// crashes/slowdowns, keyed on simulated time and the plan's seed.
+    /// Injected crashes surface as recoverable errors through
+    /// [`Universe::run_try`].
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(plan));
+        self
+    }
+
+    /// The liveness timeout in force.
+    pub fn liveness_timeout(&self) -> Duration {
+        self.liveness
     }
 
     /// Enable full communication validation: per-message vector clocks with
@@ -102,8 +150,28 @@ impl Universe {
 
     /// Like [`Universe::run`], but hand back the [`ValidationReport`] instead
     /// of panicking on violations. Without [`Universe::validated`] the report
-    /// is always clean.
+    /// is always clean. An injected rank crash still panics here; use
+    /// [`Universe::run_try`] to recover from one.
     pub fn run_report<T, F>(&self, f: F) -> (Vec<RankOutcome<T>>, ValidationReport)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        match self.run_try(f) {
+            Ok(result) => result,
+            Err(notice) => panic!("{notice}"),
+        }
+    }
+
+    /// Like [`Universe::run_report`], but an injected rank crash (a
+    /// [`crate::FaultPlan`] crash rule firing) is returned as
+    /// `Err(CrashNotice)` instead of propagating the panic, so a driver
+    /// can recover — restart from a checkpoint, or continue degraded.
+    /// Every other panic still propagates.
+    pub fn run_try<T, F>(
+        &self,
+        f: F,
+    ) -> Result<(Vec<RankOutcome<T>>, ValidationReport), CrashNotice>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Send + Sync,
@@ -114,14 +182,18 @@ impl Universe {
         let monitor = Arc::new(RunMonitor::new(p, self.validate));
         let mut outcomes: Vec<Option<RankOutcome<T>>> = (0..p).map(|_| None).collect();
         let mut finals: Vec<RankFinal> = Vec::with_capacity(if self.validate { p } else { 0 });
+        let mut crashed: Option<CrashNotice> = None;
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(p);
             for (rank, eps) in endpoints.into_iter().enumerate() {
                 let f = &f;
                 let monitor = Arc::clone(&monitor);
                 let validate = self.validate;
+                let liveness = self.liveness;
+                let faults = self.faults.clone();
                 handles.push(s.spawn(move || {
-                    let mut comm = Comm::new(rank, p, eps, cost, Arc::clone(&monitor));
+                    let mut comm =
+                        Comm::new(rank, p, eps, cost, Arc::clone(&monitor), liveness, faults);
                     let _guard = FinishGuard {
                         monitor: &monitor,
                         rank,
@@ -160,23 +232,33 @@ impl Universe {
             let preferred = monitor
                 .first_panicked()
                 .filter(|&r| matches!(joined.get(r), Some(Some(_))));
-            if let Some(r) = preferred {
-                let payload = joined[r].take().expect("checked above");
-                std::panic::resume_unwind(payload);
-            }
-            if let Some(payload) = joined.into_iter().flatten().next() {
-                std::panic::resume_unwind(payload);
+            let root = if let Some(r) = preferred {
+                joined[r].take()
+            } else {
+                joined.iter_mut().find_map(Option::take)
+            };
+            if let Some(payload) = root {
+                // An injected crash is a *planned* fault: surface it as a
+                // value so the caller can recover. Anything else unwinds.
+                match payload.downcast::<CrashNotice>() {
+                    Ok(notice) => crashed = Some(*notice),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
         });
+        if let Some(notice) = crashed {
+            return Err(notice);
+        }
         let mut report = monitor.take_report();
         for fin in finals {
             audit_rank(&mut report, fin);
         }
+        report.normalize();
         let outcomes = outcomes
             .into_iter()
             .map(|o| o.expect("rank completed"))
             .collect();
-        (outcomes, report)
+        Ok((outcomes, report))
     }
 
     /// Convenience: run and return the maximum simulated clock across ranks

@@ -45,14 +45,14 @@ pub use shrinksvm_threads as threads;
 
 /// Convenient re-exports of the types most programs need.
 pub mod prelude {
-    pub use shrinksvm_core::dist::{DistConfig, DistSolver};
+    pub use shrinksvm_core::dist::{CheckpointPolicy, DistConfig, DistSolver};
     pub use shrinksvm_core::kernel::KernelKind;
     pub use shrinksvm_core::metrics::accuracy;
     pub use shrinksvm_core::model::SvmModel;
     pub use shrinksvm_core::params::SvmParams;
     pub use shrinksvm_core::shrink::{Heuristic, ReconPolicy, ShrinkPolicy};
     pub use shrinksvm_core::smo::SmoSolver;
-    pub use shrinksvm_mpisim::{CostParams, Universe};
+    pub use shrinksvm_mpisim::{CostParams, FaultPlan, Universe};
     pub use shrinksvm_sparse::{CsrMatrix, Dataset, RowView};
     pub use shrinksvm_threads::ThreadPool;
 }
