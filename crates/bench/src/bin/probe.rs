@@ -7,7 +7,7 @@
 //! probe [scale]
 //! ```
 
-use shrinksvm_bench::runner::{capture, run_baseline, Ctx};
+use shrinksvm_bench::runner::{capture, run_baseline, write_bench_report, Ctx};
 use shrinksvm_core::shrink::ShrinkPolicy;
 use shrinksvm_datagen::PaperDataset;
 
@@ -26,6 +26,14 @@ fn main() {
         let base = run_baseline(&ctx, &data);
         let best = capture(&ctx, &data, ShrinkPolicy::best(), 1);
         let worst = capture(&ctx, &data, ShrinkPolicy::worst(), 1);
+        let original = capture(&ctx, &data, ShrinkPolicy::none(), 1);
+        write_bench_report(
+            &ctx,
+            &format!("probe_{}", data.name),
+            &best,
+            None,
+            Some(original.run.makespan),
+        );
         println!(
             "{:>14} {:>6} {:>7} {:>5} {:>5.1}s | {:>8.1}% {:>7} {:>6} | {:>8.1}% {:>7} {:>6}",
             data.name,

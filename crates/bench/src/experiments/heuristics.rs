@@ -6,7 +6,7 @@ use shrinksvm_core::shrink::ShrinkPolicy;
 use shrinksvm_datagen::PaperDataset;
 
 use crate::report::{f, secs, Table};
-use crate::runner::{capture, projected_time, Ctx};
+use crate::runner::{capture, projected_time, write_bench_report, Ctx};
 
 /// Run all 13 configurations on a dataset and emit a comparison table.
 pub fn ablation(ctx: &Ctx, which: PaperDataset, stem: &str, p_model: usize) {
@@ -29,7 +29,7 @@ pub fn ablation(ctx: &Ctx, which: PaperDataset, stem: &str, p_model: usize) {
         ],
     );
     let mut original_time = None;
-    let mut best: Option<(String, f64)> = None;
+    let mut best: Option<(String, f64, crate::runner::Captured)> = None;
     let mut worst: Option<(String, f64)> = None;
     for policy in ShrinkPolicy::table2() {
         let cap = capture(ctx, &data, policy, 2);
@@ -38,10 +38,6 @@ pub fn ablation(ctx: &Ctx, which: PaperDataset, stem: &str, p_model: usize) {
             original_time = Some(time);
         }
         let ratio = original_time.map(|o| o / time).unwrap_or(1.0);
-        match &mut best {
-            Some((_, bt)) if time >= *bt => {}
-            _ => best = Some((policy.name(), time)),
-        }
         match &mut worst {
             Some((_, wt)) if time <= *wt => {}
             _ => worst = Some((policy.name(), time)),
@@ -55,11 +51,17 @@ pub fn ablation(ctx: &Ctx, which: PaperDataset, stem: &str, p_model: usize) {
             secs(time),
             f(ratio),
         ]);
+        match &best {
+            Some((_, bt, _)) if time >= *bt => {}
+            _ => best = Some((policy.name(), time, cap)),
+        }
     }
-    let (bn, _) = best.unwrap();
+    let (bn, bt, bcap) = best.unwrap();
     let (wn, _) = worst.unwrap();
     t.note(format!("fastest: {bn}; slowest: {wn} (paper §V-D2: Multi5pc best, Single50pc worst)"));
     t.emit(&ctx.out_dir, stem).unwrap();
+    // machine-readable run report for the winning policy
+    write_bench_report(ctx, stem, &bcap, Some(bt), original_time);
 }
 
 /// The §V-D2 ablation on two representative datasets.

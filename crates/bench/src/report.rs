@@ -4,6 +4,8 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
+use shrinksvm_obs::json;
+
 /// A simple column-aligned table with a title, printed to stdout and saved
 /// as both pretty text and TSV under `results/`.
 #[derive(Clone, Debug)]
@@ -83,15 +85,52 @@ impl Table {
         out
     }
 
-    /// Print to stdout and save `<dir>/<stem>.txt` + `<dir>/<stem>.tsv`.
+    /// Render as a machine-readable JSON object: title, headers, rows
+    /// (arrays of the pre-formatted cell strings) and notes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"title\": ");
+        json::escape_into(&mut out, &self.title);
+        out.push_str(",\n  \"headers\": ");
+        string_array(&mut out, &self.headers);
+        out.push_str(",\n  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            string_array(&mut out, row);
+        }
+        if !self.rows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"notes\": ");
+        string_array(&mut out, &self.notes);
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Print to stdout and save `<dir>/<stem>.txt` + `<dir>/<stem>.tsv` +
+    /// `<dir>/<stem>.json`.
     pub fn emit(&self, dir: &Path, stem: &str) -> io::Result<()> {
         let rendered = self.render();
         println!("{rendered}");
         std::fs::create_dir_all(dir)?;
         std::fs::write(dir.join(format!("{stem}.txt")), &rendered)?;
         std::fs::write(dir.join(format!("{stem}.tsv")), self.to_tsv())?;
+        std::fs::write(dir.join(format!("{stem}.json")), self.to_json())?;
         Ok(())
     }
+}
+
+fn string_array(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        json::escape_into(out, s);
+    }
+    out.push(']');
 }
 
 /// Format a float with engineering-friendly precision.
@@ -187,6 +226,20 @@ mod tests {
         t.emit(&dir, "demo").unwrap();
         assert!(dir.join("demo.txt").exists());
         assert!(dir.join("demo.tsv").exists());
+        assert!(dir.join("demo.json").exists());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut t = Table::new("Table \"7\"\tspeedups", &["p", "speedup"]);
+        t.row(vec!["2".into(), "1.9".into()]);
+        t.row(vec!["4".into(), "3.6".into()]);
+        t.note("newline\nin note");
+        let j = t.to_json();
+        json::check(&j).unwrap();
+        assert!(j.contains("\\\"7\\\"\\tspeedups"));
+        assert!(j.contains("\"rows\""));
+        assert!(j.contains("newline\\nin note"));
     }
 }

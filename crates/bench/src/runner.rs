@@ -13,6 +13,7 @@ use shrinksvm_core::perfmodel::MachineModel;
 use shrinksvm_core::shrink::ShrinkPolicy;
 use shrinksvm_core::smo::SmoSolver;
 use shrinksvm_datagen::PaperData;
+use shrinksvm_obs::BenchReport;
 
 /// The node size of the paper's testbed (16-core SandyBridge).
 pub const BASELINE_THREADS: usize = 16;
@@ -145,6 +146,32 @@ pub fn capture(ctx: &Ctx, data: &PaperData, policy: ShrinkPolicy, p: usize) -> C
         .expect("distributed training failed");
     let test_accuracy = data.test.as_ref().map(|t| accuracy(&run.model, t));
     Captured { policy, run, test_accuracy }
+}
+
+/// Build the machine-readable run report for a captured run and write it
+/// as `BENCH_<name>.json` under `ctx.out_dir`. `projected` (when given)
+/// overrides the modeled time with a scaling projection; `t_original` is
+/// the Original-policy time that fills the speedup column.
+pub fn write_bench_report(
+    ctx: &Ctx,
+    name: &str,
+    cap: &Captured,
+    projected: Option<f64>,
+    t_original: Option<f64>,
+) -> PathBuf {
+    let mut r: BenchReport = cap.run.bench_report(name);
+    if let Some(t) = projected {
+        r.modeled_time = t;
+    }
+    if let Some(t0) = t_original {
+        if r.modeled_time > 0.0 {
+            r.speedup_vs_original = Some(t0 / r.modeled_time);
+        }
+    }
+    if let Some(acc) = cap.test_accuracy {
+        r = r.with_extra("test_accuracy", acc);
+    }
+    r.write(&ctx.out_dir).expect("write bench report")
 }
 
 /// Serialized bytes of an average row (for broadcast/ring volumes in the

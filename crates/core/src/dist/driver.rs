@@ -4,6 +4,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use shrinksvm_mpisim::{CommStats, CostParams, FaultPlan, Universe, ValidationReport};
+use shrinksvm_obs::timeline::{Event, Timeline};
+use shrinksvm_obs::{BenchReport, MetricsRegistry};
 use shrinksvm_sparse::Dataset;
 
 use crate::dist::checkpoint::{CheckpointCtx, CheckpointPolicy, CheckpointStore};
@@ -47,6 +49,15 @@ pub struct DistRunResult {
     /// fault-injection ledger; empty without
     /// [`DistSolver::with_validation`]).
     pub report: ValidationReport,
+    /// Merged simulated-time timeline of the final attempt (empty without
+    /// [`DistSolver::with_tracing`]). Driver-side crash recoveries appear
+    /// as `recovery_restart` instants at each aborted attempt's crash
+    /// time.
+    pub timeline: Timeline,
+    /// Merged solver metrics across ranks: counters sum to global totals,
+    /// epoch series (active-set size, KKT gap) are recorded once on
+    /// rank 0.
+    pub metrics: MetricsRegistry,
 }
 
 impl DistRunResult {
@@ -57,6 +68,32 @@ impl DistRunResult {
         } else {
             self.recon_time / self.makespan
         }
+    }
+
+    /// Summarize this run as a machine-readable [`BenchReport`] named
+    /// `name` (written to disk as `BENCH_<name>.json`). Speedup vs the
+    /// Original baseline is unknown here; callers comparing policies fill
+    /// in [`BenchReport::speedup_vs_original`] themselves.
+    pub fn bench_report(&self, name: &str) -> BenchReport {
+        let mut agg = CommStats::default();
+        for s in &self.rank_stats {
+            agg.merge(s);
+        }
+        let mut r = BenchReport::new(name);
+        r.modeled_time = self.makespan;
+        r.iterations = self.iterations;
+        r.converged = self.converged;
+        r.ranks = self.rank_stats.len() as u32;
+        r.compute_time = agg.compute_time;
+        r.transfer_time = agg.transfer_time;
+        r.idle_time = agg.idle_time;
+        r.faults_survived = self.faults_survived;
+        r.recoveries = self.recoveries as u64;
+        r.recovery_cost = self.recovery_cost;
+        r.extras.insert("recon_time".to_string(), self.recon_time);
+        r.extras
+            .insert("n_sv".to_string(), self.model.n_sv() as f64);
+        r
     }
 }
 
@@ -85,6 +122,7 @@ pub struct DistSolver<'a> {
     faults: Option<FaultPlan>,
     checkpoint: Option<CheckpointPolicy>,
     liveness: Option<Duration>,
+    tracing: bool,
 }
 
 impl<'a> DistSolver<'a> {
@@ -100,6 +138,7 @@ impl<'a> DistSolver<'a> {
             faults: None,
             checkpoint: None,
             liveness: None,
+            tracing: false,
         }
     }
 
@@ -161,6 +200,15 @@ impl<'a> DistSolver<'a> {
         self
     }
 
+    /// Record a per-rank simulated-time timeline (compute spans,
+    /// collectives, receive waits, retransmissions, solver phases) into
+    /// [`DistRunResult::timeline`]. Purely simulated-time bookkeeping, so
+    /// the artifact is byte-identical across same-seed runs.
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
     /// Run the training. With a fault plan installed, transport faults are
     /// absorbed in-flight; an injected rank crash aborts the attempt and —
     /// if checkpointing is enabled and the recovery budget allows — the
@@ -178,10 +226,16 @@ impl<'a> DistSolver<'a> {
             .map(|pol| Arc::new(CheckpointStore::new(p, pol.disk_path.clone())));
         let mut recoveries = 0u32;
         let mut recovery_cost = 0.0f64;
+        // (rank, sim_time) of each crash-aborted attempt, surfaced as
+        // `recovery_restart` instants on the final timeline.
+        let mut restarts: Vec<(usize, f64)> = Vec::new();
         loop {
             let mut universe = Universe::new(p).with_cost(self.cost);
             if self.validate {
                 universe = universe.validated();
+            }
+            if self.tracing {
+                universe = universe.with_tracing();
             }
             if let Some(lv) = self.liveness {
                 universe = universe.with_liveness_timeout(lv);
@@ -197,37 +251,39 @@ impl<'a> DistSolver<'a> {
                 });
                 cfg.resume = store.last();
             }
-            let (outcomes, report) = match universe.run_try(|comm| train_rank(comm, ds, &cfg)) {
-                Ok(result) => result,
-                Err(notice) => {
-                    // the aborted attempt's simulated time is sunk cost
-                    recovery_cost += notice.sim_time;
-                    let budget = self.checkpoint.as_ref().map_or(0, |pol| pol.max_recoveries);
-                    if recoveries >= budget {
-                        return Err(CoreError::RankLost {
-                            rank: notice.rank,
-                            sim_time: notice.sim_time,
-                        });
+            let (outcomes, report, mut timeline) =
+                match universe.run_try_observed(|comm| train_rank(comm, ds, &cfg)) {
+                    Ok(result) => result,
+                    Err(notice) => {
+                        // the aborted attempt's simulated time is sunk cost
+                        recovery_cost += notice.sim_time;
+                        restarts.push((notice.rank, notice.sim_time));
+                        let budget = self.checkpoint.as_ref().map_or(0, |pol| pol.max_recoveries);
+                        if recoveries >= budget {
+                            return Err(CoreError::RankLost {
+                                rank: notice.rank,
+                                sim_time: notice.sim_time,
+                            });
+                        }
+                        recoveries += 1;
+                        if let Some(plan) = &mut faults {
+                            // the fault already fired; re-injecting it on the
+                            // retry would loop forever
+                            plan.disarm_rank_rule(notice.rule);
+                        }
+                        let degraded = self
+                            .checkpoint
+                            .as_ref()
+                            .is_some_and(|pol| pol.allow_degraded);
+                        if degraded && p > 1 {
+                            p -= 1;
+                        }
+                        if let Some(store) = &store {
+                            store.reset_ranks(p);
+                        }
+                        continue;
                     }
-                    recoveries += 1;
-                    if let Some(plan) = &mut faults {
-                        // the fault already fired; re-injecting it on the
-                        // retry would loop forever
-                        plan.disarm_rank_rule(notice.rule);
-                    }
-                    let degraded = self
-                        .checkpoint
-                        .as_ref()
-                        .is_some_and(|pol| pol.allow_degraded);
-                    if degraded && p > 1 {
-                        p -= 1;
-                    }
-                    if let Some(store) = &store {
-                        store.reset_ranks(p);
-                    }
-                    continue;
-                }
-            };
+                };
             if self.validate && !report.is_clean() {
                 panic!("{report}");
             }
@@ -248,6 +304,24 @@ impl<'a> DistSolver<'a> {
                 recon_time = recon_time.max(v.recon_sim_time);
             }
             let transport_faults: u64 = rank_stats.iter().map(CommStats::transport_faults).sum();
+            let mut metrics = MetricsRegistry::new();
+            for v in &values {
+                metrics.merge(&v.metrics);
+            }
+            if self.tracing && !restarts.is_empty() {
+                // The timeline covers only the final (successful) attempt;
+                // mark where earlier attempts died so recoveries are
+                // visible on the affected rank's track.
+                for &(rank, sim_time) in &restarts {
+                    timeline.push(Event::Instant {
+                        track: rank as u32,
+                        name: "recovery_restart".to_string(),
+                        cat: "ckpt".to_string(),
+                        t: sim_time,
+                    });
+                }
+                timeline.normalize();
+            }
             let first = &values[0];
             let traces: Vec<_> = values.iter().map(|v| v.trace.clone()).collect();
             let trace = merge_rank_traces(
@@ -270,6 +344,8 @@ impl<'a> DistSolver<'a> {
                 recovery_cost,
                 recoveries,
                 report,
+                timeline,
+                metrics,
             });
         }
     }
@@ -314,7 +390,7 @@ mod tests {
         assert!(run.makespan > 0.0);
         for s in &run.rank_stats {
             assert!(s.compute_time > 0.0);
-            assert_eq!(s.comm_time, 0.0);
+            assert_eq!(s.comm_time(), 0.0);
         }
     }
 
@@ -327,6 +403,40 @@ mod tests {
             .unwrap();
         let f = run.recon_fraction();
         assert!((0.0..1.0).contains(&f), "recon fraction {f}");
+    }
+
+    #[test]
+    fn tracing_and_metrics_populate_the_run_result() {
+        let ds = gaussian::two_blobs(120, 3, 4.0, 35);
+        let run = DistSolver::new(&ds, quick_params().with_shrink(ShrinkPolicy::best()))
+            .with_processes(2)
+            .with_tracing()
+            .train()
+            .unwrap();
+        assert!(!run.timeline.is_empty());
+        assert_eq!(run.timeline.tracks(), 2);
+        let json = run.timeline.to_chrome_json();
+        shrinksvm_obs::json::check(&json).unwrap();
+        assert!(json.contains("\"compute\""));
+        assert!(json.contains("\"allreduce\""));
+        // rank-0 epoch series merged into the run-level registry
+        assert!(!run.metrics.series("active_set").is_empty());
+        assert!(run.metrics.counter("shrink_passes") > 0);
+        let report = run.bench_report("unit").to_json();
+        shrinksvm_obs::json::check(&report).unwrap();
+        assert!(report.contains("\"modeled_time\""));
+    }
+
+    #[test]
+    fn untraced_run_has_an_empty_timeline() {
+        let ds = gaussian::two_blobs(80, 3, 4.0, 36);
+        let run = DistSolver::new(&ds, quick_params())
+            .with_processes(2)
+            .train()
+            .unwrap();
+        assert!(run.timeline.is_empty());
+        // metrics are collected unconditionally — they cost a few counters
+        assert!(run.metrics.gauge("final_gap").is_some());
     }
 
     #[test]

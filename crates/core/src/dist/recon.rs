@@ -89,6 +89,14 @@ pub(crate) fn reconstruct(st: &mut RankState<'_>, comm: &mut Comm) -> ReconEvent
     }
 
     st.add_recon_time(comm.clock() - clock_before);
+    comm.trace_span("reconstruction", "solver", clock_before, comm.clock());
+    comm.trace_counter("active_set", st.part.n() as f64);
+    if comm.rank() == 0 {
+        st.metrics.inc("reconstructions", 1);
+        st.metrics.inc("samples_reactivated", reactivated);
+        st.metrics
+            .sample("active_set", st.iterations, st.part.n() as f64);
+    }
     let event = ReconEvent {
         at_iteration: st.iterations,
         reactivated,

@@ -27,6 +27,7 @@
 use std::sync::Arc;
 
 use shrinksvm_mpisim::{Comm, MaxLoc, MinLoc};
+use shrinksvm_obs::MetricsRegistry;
 use shrinksvm_sparse::Dataset;
 
 use crate::dist::checkpoint::{Checkpoint, CheckpointCtx, RankSnapshot};
@@ -46,6 +47,11 @@ use crate::trace::RankTrace;
 /// Point-to-point tags used by the pair routing.
 const TAG_UP: u64 = 1;
 const TAG_LOW: u64 = 2;
+
+/// Solver telemetry cadence: the KKT gap is sampled into the metrics
+/// registry once per this many iterations (an "epoch"), keyed on the
+/// iteration counter — never wall time.
+pub const METRICS_EPOCH: u64 = 256;
 
 /// Distributed-run configuration.
 #[derive(Clone, Debug)]
@@ -87,6 +93,9 @@ pub struct RankOutput {
     pub trace: RankTrace,
     /// Simulated seconds spent inside gradient reconstruction.
     pub recon_sim_time: f64,
+    /// This rank's solver metrics (global series are recorded on rank 0
+    /// only; counters are local and sum to global totals when merged).
+    pub metrics: MetricsRegistry,
 }
 
 /// How a phase ended.
@@ -132,6 +141,8 @@ pub(crate) struct RankState<'a> {
     stage: u32,
     /// Checkpoint handle, if the driver enabled checkpointing.
     ckpt: Option<CheckpointCtx>,
+    /// Solver telemetry for this rank.
+    pub(crate) metrics: MetricsRegistry,
 }
 
 impl<'a> RankState<'a> {
@@ -171,6 +182,7 @@ impl<'a> RankState<'a> {
             rank: comm.rank(),
             stage: 0,
             ckpt: cfg.checkpoint.clone(),
+            metrics: MetricsRegistry::new(),
         };
         if let Some(ck) = &cfg.resume {
             st.restore(ck);
@@ -210,11 +222,13 @@ impl<'a> RankState<'a> {
     /// after the β allreduce, where every rank holds identical
     /// `(iterations, stage)` — so the posted keys line up across ranks and
     /// the store can promote a consistent generation.
-    fn maybe_checkpoint(&self) {
+    fn maybe_checkpoint(&mut self, comm: &mut Comm) {
         let Some(ctx) = &self.ckpt else { return };
         if !self.iterations.is_multiple_of(ctx.every_iters) {
             return;
         }
+        comm.trace_mark("checkpoint", "ckpt");
+        self.metrics.inc("checkpoints_posted", 1);
         ctx.store.post(
             self.iterations,
             self.stage,
@@ -373,8 +387,14 @@ impl<'a> RankState<'a> {
             let up = comm.allreduce_minloc(cand_up);
             let low = comm.allreduce_maxloc(cand_low);
             self.last_betas = (up.value, low.value);
-            self.maybe_checkpoint();
+            self.maybe_checkpoint(comm);
             let gap = low.value - up.value;
+            // Epoch telemetry: the global KKT violation, sampled on rank 0
+            // so the merged registry carries the series exactly once.
+            if comm.rank() == 0 && self.iterations.is_multiple_of(METRICS_EPOCH) && gap.is_finite()
+            {
+                self.metrics.sample("kkt_gap", self.iterations, gap);
+            }
             // negated form on purpose: ±∞ candidates (empty scan sets) and
             // NaN must all terminate the phase
             #[allow(clippy::neg_cmp_op_on_partial_ord)]
@@ -488,6 +508,15 @@ impl<'a> RankState<'a> {
                 self.trace
                     .active_curve
                     .push((self.iterations, global_active));
+                // local counter (sums to the global shrink total on merge)
+                self.metrics.inc("samples_shrunk", visited - survivors);
+                comm.trace_mark("shrink_pass", "solver");
+                comm.trace_counter("active_set", global_active as f64);
+                if comm.rank() == 0 {
+                    self.metrics.inc("shrink_passes", 1);
+                    self.metrics
+                        .sample("active_set", self.iterations, global_active as f64);
+                }
             } else if shrink_enabled {
                 if let Some(cd) = &mut self.shrink_countdown {
                     *cd = cd.saturating_sub(1);
@@ -631,6 +660,10 @@ pub fn train_rank(
 
     let model = st.assemble_model(comm)?;
     st.trace.iterations = st.iterations;
+    if comm.rank() == 0 {
+        st.metrics.set_gauge("final_gap", end.gap.max(0.0));
+        st.metrics.set_gauge("iterations", st.iterations as f64);
+    }
     Ok(RankOutput {
         model,
         iterations: st.iterations,
@@ -638,5 +671,6 @@ pub fn train_rank(
         final_gap: end.gap.max(0.0),
         trace: st.trace,
         recon_sim_time: st.recon_sim_time,
+        metrics: st.metrics,
     })
 }

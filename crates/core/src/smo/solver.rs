@@ -10,10 +10,12 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use shrinksvm_obs::MetricsRegistry;
 use shrinksvm_sparse::Dataset;
 use shrinksvm_threads::ThreadPool;
 
 use crate::cache::{CacheStats, KernelCache};
+use crate::dist::solver::METRICS_EPOCH;
 use crate::error::CoreError;
 use crate::kernel::KernelEval;
 use crate::model::SvmModel;
@@ -39,6 +41,9 @@ pub struct TrainOutput {
     pub wall_time: Duration,
     /// Final optimality gap `β_low − β_up`.
     pub final_gap: f64,
+    /// Solver telemetry: a `cache_hit_rate` series sampled every
+    /// [`METRICS_EPOCH`] iterations, plus final-state gauges.
+    pub metrics: MetricsRegistry,
 }
 
 /// Sequential / multicore SMO trainer.
@@ -102,10 +107,18 @@ impl<'a> SmoSolver<'a> {
         let mut iterations = 0u64;
         let mut converged = false;
         let mut stall = 0u64;
+        let mut metrics = MetricsRegistry::new();
         #[allow(unused_assignments)]
         let mut final_gap = f64::INFINITY;
 
         loop {
+            if iterations > 0 && iterations.is_multiple_of(METRICS_EPOCH) {
+                let s = cache.stats();
+                let lookups = s.hits + s.misses;
+                if lookups > 0 {
+                    metrics.sample("cache_hit_rate", iterations, s.hits as f64 / lookups as f64);
+                }
+            }
             // Working-set selection: the maximal violating pair.
             let Some((i_up, g_up, mvp_low, g_low)) =
                 select_pair_weighted(y, &alpha, &grad, c_pos, c_neg)
@@ -213,6 +226,11 @@ impl<'a> SmoSolver<'a> {
             c_pos.max(c_neg),
         )?;
         let cache_stats = cache.stats();
+        let lookups = cache_stats.hits + cache_stats.misses;
+        if lookups > 0 {
+            metrics.set_gauge("cache_hit_rate", cache_stats.hits as f64 / lookups as f64);
+        }
+        metrics.set_gauge("iterations", iterations as f64);
         Ok(TrainOutput {
             model,
             iterations,
@@ -221,6 +239,7 @@ impl<'a> SmoSolver<'a> {
             cache_stats,
             wall_time: start.elapsed(),
             final_gap,
+            metrics,
         })
     }
 

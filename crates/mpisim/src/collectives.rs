@@ -33,8 +33,21 @@ impl Comm {
         coll_tag(seq)
     }
 
+    /// Record a `[t0, now]` span for a finished collective on this rank's
+    /// timeline track (no-op unless the universe traces).
+    fn coll_exit(&mut self, name: &str, t0: f64) {
+        let t1 = self.clock();
+        self.trace_span(name, "coll", t0, t1);
+    }
+
     /// Dissemination barrier: `⌈log₂ p⌉` rounds of shifted exchanges.
     pub fn barrier(&mut self) {
+        let t0 = self.clock();
+        self.barrier_inner();
+        self.coll_exit("barrier", t0);
+    }
+
+    fn barrier_inner(&mut self) {
         let p = self.size();
         let rank = self.rank();
         let tag = self.coll_enter(CollectiveKind::Barrier, None);
@@ -54,6 +67,13 @@ impl Comm {
     /// Binomial-tree broadcast from `root`. `data` is the payload on the
     /// root and ignored elsewhere; every rank returns the payload.
     pub fn bcast(&mut self, root: usize, data: &[u8]) -> Vec<u8> {
+        let t0 = self.clock();
+        let out = self.bcast_inner(root, data);
+        self.coll_exit("bcast", t0);
+        out
+    }
+
+    fn bcast_inner(&mut self, root: usize, data: &[u8]) -> Vec<u8> {
         let p = self.size();
         let rank = self.rank();
         let tag = self.coll_enter(CollectiveKind::Bcast, Some(root));
@@ -94,6 +114,16 @@ impl Comm {
     /// recursive doubling with the standard fold for non-power-of-two rank
     /// counts. `combine` must be associative and commutative.
     pub fn allreduce_with<F>(&mut self, mine: Vec<u8>, combine: F) -> Vec<u8>
+    where
+        F: Fn(&[u8], &[u8]) -> Vec<u8>,
+    {
+        let t0 = self.clock();
+        let out = self.allreduce_with_inner(mine, combine);
+        self.coll_exit("allreduce", t0);
+        out
+    }
+
+    fn allreduce_with_inner<F>(&mut self, mine: Vec<u8>, combine: F) -> Vec<u8>
     where
         F: Fn(&[u8], &[u8]) -> Vec<u8>,
     {
@@ -211,6 +241,13 @@ impl Comm {
     /// Gather variable-sized payloads at `root` (binomial-tree merge).
     /// Returns `Some(payloads-by-rank)` on the root, `None` elsewhere.
     pub fn gatherv(&mut self, root: usize, mine: &[u8]) -> Option<Vec<Vec<u8>>> {
+        let t0 = self.clock();
+        let out = self.gatherv_inner(root, mine);
+        self.coll_exit("gatherv", t0);
+        out
+    }
+
+    fn gatherv_inner(&mut self, root: usize, mine: &[u8]) -> Option<Vec<Vec<u8>>> {
         let p = self.size();
         let rank = self.rank();
         let tag = self.coll_enter(CollectiveKind::Gatherv, Some(root));
@@ -262,6 +299,13 @@ impl Comm {
     /// Scatter per-rank payloads from `root` (binomial tree). `pieces` is
     /// read on the root only; every rank returns its own piece.
     pub fn scatterv(&mut self, root: usize, pieces: &[Vec<u8>]) -> Vec<u8> {
+        let t0 = self.clock();
+        let out = self.scatterv_inner(root, pieces);
+        self.coll_exit("scatterv", t0);
+        out
+    }
+
+    fn scatterv_inner(&mut self, root: usize, pieces: &[Vec<u8>]) -> Vec<u8> {
         let p = self.size();
         let rank = self.rank();
         let tag = self.coll_enter(CollectiveKind::Scatterv, Some(root));
@@ -364,6 +408,13 @@ impl Comm {
     /// around the ring ([`Comm::ring_shift`]) holding only one piece at a
     /// time. This method exists for completeness and for small payloads.
     pub fn allgatherv(&mut self, mine: &[u8]) -> Vec<Vec<u8>> {
+        let t0 = self.clock();
+        let out = self.allgatherv_inner(mine);
+        self.coll_exit("allgatherv", t0);
+        out
+    }
+
+    fn allgatherv_inner(&mut self, mine: &[u8]) -> Vec<Vec<u8>> {
         let p = self.size();
         let rank = self.rank();
         let tag = self.coll_enter(CollectiveKind::Allgatherv, None);
@@ -387,6 +438,13 @@ impl Comm {
     /// from `(rank−1+p) % p` (implemented Isend/Irecv/Waitall, as the
     /// paper's gradient reconstruction does).
     pub fn ring_shift(&mut self, mine: &[u8]) -> Vec<u8> {
+        let t0 = self.clock();
+        let out = self.ring_shift_inner(mine);
+        self.coll_exit("ring_shift", t0);
+        out
+    }
+
+    fn ring_shift_inner(&mut self, mine: &[u8]) -> Vec<u8> {
         let p = self.size();
         if p == 1 {
             return mine.to_vec();

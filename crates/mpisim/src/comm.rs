@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use shrinksvm_analyze::{FaultEvent, VectorClock, Violation, WaitEdge};
+use shrinksvm_obs::timeline::{Event, TrackRecorder};
 
 use crate::cost::CostParams;
 use crate::fabric::{Endpoints, Message};
@@ -73,6 +74,9 @@ pub struct Comm {
     send_seq: Vec<u64>,
     /// Which slowdown rules were already recorded in the fault ledger.
     slow_recorded: Vec<bool>,
+    /// Simulated-time event recorder for this rank's timeline track
+    /// (present only under [`crate::Universe::with_tracing`]).
+    tracer: Option<TrackRecorder>,
 }
 
 /// What a rank hands back to the universe after its closure returns, so
@@ -113,7 +117,22 @@ impl Comm {
             fault_hits: vec![0; fault_hits],
             send_seq: vec![0; size],
             slow_recorded: vec![false; slow_recorded],
+            tracer: None,
         }
+    }
+
+    /// Start recording this rank's timeline track (universe-internal; ranks
+    /// are constructed untraced and switched on before the closure runs).
+    pub(crate) fn enable_tracing(&mut self) {
+        self.tracer = Some(TrackRecorder::new(self.rank as u32));
+    }
+
+    /// Hand over the recorded timeline events (empty without tracing).
+    pub(crate) fn take_trace_events(&mut self) -> Vec<Event> {
+        self.tracer
+            .take()
+            .map(TrackRecorder::finish)
+            .unwrap_or_default()
     }
 
     /// This rank's id in `0..size`.
@@ -172,8 +191,14 @@ impl Comm {
                 secs += extra;
             }
         }
+        let before = self.clock;
         self.clock += secs;
         self.stats.compute_time += secs;
+        if secs > 0.0 {
+            if let Some(tr) = &mut self.tracer {
+                tr.span("compute", "compute", before, before + secs);
+            }
+        }
         self.maybe_crash();
     }
 
@@ -463,6 +488,43 @@ impl Comm {
         msg.penalty += backoff;
         self.stats.retries += 1;
         self.stats.retry_time += backoff;
+        if let Some(tr) = &mut self.tracer {
+            tr.instant("retransmit", "p2p", msg.depart);
+        }
+    }
+
+    // ------------------------------------------------------------- tracing
+
+    /// Whether this communicator is recording a timeline.
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Record a `[t0, t1]` span on this rank's timeline track (no-op
+    /// without tracing). Times are simulated seconds, typically captured
+    /// from [`Comm::clock`] around the spanned work.
+    pub fn trace_span(&mut self, name: &str, cat: &str, t0: f64, t1: f64) {
+        if let Some(tr) = &mut self.tracer {
+            tr.span(name, cat, t0, t1);
+        }
+    }
+
+    /// Record an instant event at the current simulated clock (no-op
+    /// without tracing).
+    pub fn trace_mark(&mut self, name: &str, cat: &str) {
+        let t = self.clock;
+        if let Some(tr) = &mut self.tracer {
+            tr.instant(name, cat, t);
+        }
+    }
+
+    /// Record a counter sample at the current simulated clock (no-op
+    /// without tracing).
+    pub fn trace_counter(&mut self, name: &str, value: f64) {
+        let t = self.clock;
+        if let Some(tr) = &mut self.tracer {
+            tr.counter(name, t, value);
+        }
     }
 
     /// Book a matched message: advance the clock per the cost model (plus
@@ -470,7 +532,16 @@ impl Comm {
     fn accept(&mut self, src: usize, msg: Message) -> Vec<u8> {
         let arrive = msg.depart + self.cost.wire_time(msg.payload.len()) + msg.penalty;
         if arrive > self.clock {
-            self.stats.comm_time += arrive - self.clock;
+            let wait = arrive - self.clock;
+            // The stretch before the sender even departed is imbalance
+            // (idle); the rest is wire latency + bytes·G + any injected
+            // in-flight penalty (transfer).
+            let idle = (msg.depart - self.clock).clamp(0.0, wait);
+            self.stats.idle_time += idle;
+            self.stats.transfer_time += wait - idle;
+            if let Some(tr) = &mut self.tracer {
+                tr.span("recv_wait", "p2p", self.clock, arrive);
+            }
             self.clock = arrive;
         }
         if self.monitor.validate {
@@ -691,7 +762,7 @@ mod tests {
             c.clock()
         });
         assert!((out[1].value - 10.0).abs() < 1e-12);
-        assert_eq!(out[1].stats.comm_time, 0.0);
+        assert_eq!(out[1].stats.comm_time(), 0.0);
     }
 
     #[test]

@@ -55,6 +55,19 @@
 //! [`CommStats`] and in the report's fault ledger. Injected crashes
 //! surface as recoverable [`CrashNotice`] values via
 //! [`Universe::run_try`].
+//!
+//! ## Tracing
+//!
+//! [`Universe::with_tracing`] records a simulated-time [`Timeline`]: every
+//! rank's track carries spans for compute charges, collectives and p2p
+//! receive waits, plus instant markers for retransmissions and every
+//! injected fault from the ledger. [`Universe::run_observed`] /
+//! [`Universe::run_try_observed`] return the merged timeline, exportable
+//! as Chrome trace-event JSON (Perfetto-loadable) or a plain-text
+//! per-rank listing. Programs add their own phases via
+//! [`Comm::trace_span`] / [`Comm::trace_mark`] / [`Comm::trace_counter`].
+//! Every timestamp comes off the simulated clock, so identical seeds
+//! render byte-identical traces.
 
 pub mod collectives;
 pub mod comm;
@@ -71,6 +84,7 @@ pub use cost::CostParams;
 pub use fault::{CrashNotice, FaultPlan, LinkFault, LinkRule, RankFault, RankRule};
 pub use reduce::{MaxLoc, MinLoc};
 pub use shrinksvm_analyze::{FaultEvent, ValidationReport, Violation};
+pub use shrinksvm_obs::timeline::{Event as TraceEvent, Timeline, TrackRecorder};
 pub use stats::CommStats;
 pub use universe::{RankOutcome, Universe, DEFAULT_LIVENESS_TIMEOUT, LIVENESS_TIMEOUT_ENV};
 

@@ -21,9 +21,14 @@ pub struct CommStats {
     pub barriers: u64,
     /// Simulated seconds charged as computation.
     pub compute_time: f64,
-    /// Simulated seconds this rank's clock advanced while waiting on
-    /// messages (communication + idle/imbalance time).
-    pub comm_time: f64,
+    /// Simulated seconds the clock advanced covering wire transfer —
+    /// latency + bytes·G + injected in-flight penalties — of matched
+    /// messages. The bandwidth/latency share of waiting.
+    pub transfer_time: f64,
+    /// Simulated seconds the clock advanced while the matching message had
+    /// not even departed yet — waiting on a slower peer. The
+    /// load-imbalance share of waiting.
+    pub idle_time: f64,
     /// Retransmissions this rank's transport performed after an injected
     /// drop or corruption.
     pub retries: u64,
@@ -50,7 +55,8 @@ impl CommStats {
         self.bcasts += other.bcasts;
         self.barriers += other.barriers;
         self.compute_time += other.compute_time;
-        self.comm_time += other.comm_time;
+        self.transfer_time += other.transfer_time;
+        self.idle_time += other.idle_time;
         self.retries += other.retries;
         self.drops_seen += other.drops_seen;
         self.corruptions_seen += other.corruptions_seen;
@@ -63,6 +69,12 @@ impl CommStats {
     /// corruptions caught, delays absorbed).
     pub fn transport_faults(&self) -> u64 {
         self.drops_seen + self.corruptions_seen + self.delays_seen
+    }
+
+    /// Total simulated seconds this rank's clock advanced while waiting on
+    /// messages: wire transfer plus peer-imbalance idle time.
+    pub fn comm_time(&self) -> f64 {
+        self.transfer_time + self.idle_time
     }
 }
 
@@ -81,7 +93,8 @@ mod tests {
             bcasts: 4,
             barriers: 5,
             compute_time: 0.5,
-            comm_time: 0.25,
+            transfer_time: 0.1875,
+            idle_time: 0.0625,
             retries: 6,
             drops_seen: 2,
             corruptions_seen: 1,
@@ -95,6 +108,9 @@ mod tests {
         assert_eq!(a.bytes_recv, 40);
         assert_eq!(a.barriers, 10);
         assert!((a.compute_time - 1.0).abs() < 1e-15);
+        assert!((a.transfer_time - 0.375).abs() < 1e-15);
+        assert!((a.idle_time - 0.125).abs() < 1e-15);
+        assert!((a.comm_time() - 0.5).abs() < 1e-15);
         assert_eq!(a.retries, 12);
         assert_eq!(a.transport_faults(), 12);
         assert!((a.retry_time - 0.25).abs() < 1e-15);

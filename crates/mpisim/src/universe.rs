@@ -3,7 +3,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use shrinksvm_analyze::{ValidationReport, Violation};
+use shrinksvm_analyze::{FaultEvent, ValidationReport, Violation};
+use shrinksvm_obs::timeline::{Event, Timeline};
 
 use crate::comm::{Comm, RankFinal};
 use crate::cost::CostParams;
@@ -47,6 +48,7 @@ pub struct Universe {
     validate: bool,
     liveness: Duration,
     faults: Option<Arc<FaultPlan>>,
+    tracing: bool,
 }
 
 /// Publishes this rank's `Finished` state when the closure exits — normally
@@ -82,6 +84,7 @@ impl Universe {
             validate: false,
             liveness,
             faults: None,
+            tracing: false,
         }
     }
 
@@ -114,6 +117,23 @@ impl Universe {
     /// The liveness timeout in force.
     pub fn liveness_timeout(&self) -> Duration {
         self.liveness
+    }
+
+    /// Record a simulated-time [`Timeline`] of every run: per-rank spans
+    /// for compute, collectives and p2p receive waits, plus instant
+    /// markers for retransmissions and every injected fault. Retrieve the
+    /// merged timeline via [`Universe::run_observed`] /
+    /// [`Universe::run_try_observed`]. Identical seeds produce
+    /// byte-identical rendered traces because every timestamp comes off
+    /// the simulated LogGP clock.
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// Whether runs record a timeline.
+    pub fn tracing(&self) -> bool {
+        self.tracing
     }
 
     /// Enable full communication validation: per-message vector clocks with
@@ -176,12 +196,49 @@ impl Universe {
         T: Send,
         F: Fn(&mut Comm) -> T + Send + Sync,
     {
+        self.run_try_observed(f)
+            .map(|(outcomes, report, _timeline)| (outcomes, report))
+    }
+
+    /// Like [`Universe::run`], but also return the merged simulated-time
+    /// [`Timeline`] (empty unless built [`Universe::with_tracing`]).
+    /// Panics on a rank crash or a dirty validation report.
+    pub fn run_observed<T, F>(&self, f: F) -> (Vec<RankOutcome<T>>, Timeline)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        match self.run_try_observed(f) {
+            Ok((outcomes, report, timeline)) => {
+                if !report.is_clean() {
+                    panic!("{report}");
+                }
+                (outcomes, timeline)
+            }
+            Err(notice) => panic!("{notice}"),
+        }
+    }
+
+    /// Like [`Universe::run_try`], but also return the merged
+    /// simulated-time [`Timeline`]: every rank's recorded track in rank
+    /// order, with the fault ledger's injected events overlaid as instant
+    /// markers on the affected rank's track. Without
+    /// [`Universe::with_tracing`] the timeline is empty.
+    pub fn run_try_observed<T, F>(
+        &self,
+        f: F,
+    ) -> Result<(Vec<RankOutcome<T>>, ValidationReport, Timeline), CrashNotice>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
         let endpoints = fabric::build(self.p);
         let cost = self.cost;
         let p = self.p;
         let monitor = Arc::new(RunMonitor::new(p, self.validate));
         let mut outcomes: Vec<Option<RankOutcome<T>>> = (0..p).map(|_| None).collect();
         let mut finals: Vec<RankFinal> = Vec::with_capacity(if self.validate { p } else { 0 });
+        let mut tracks: Vec<Vec<Event>> = (0..p).map(|_| Vec::new()).collect();
         let mut crashed: Option<CrashNotice> = None;
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(p);
@@ -189,16 +246,21 @@ impl Universe {
                 let f = &f;
                 let monitor = Arc::clone(&monitor);
                 let validate = self.validate;
+                let tracing = self.tracing;
                 let liveness = self.liveness;
                 let faults = self.faults.clone();
                 handles.push(s.spawn(move || {
                     let mut comm =
                         Comm::new(rank, p, eps, cost, Arc::clone(&monitor), liveness, faults);
+                    if tracing {
+                        comm.enable_tracing();
+                    }
                     let _guard = FinishGuard {
                         monitor: &monitor,
                         rank,
                     };
                     let value = f(&mut comm);
+                    let events = comm.take_trace_events();
                     let outcome = RankOutcome {
                         value,
                         clock: comm.clock(),
@@ -211,17 +273,18 @@ impl Universe {
                     } else {
                         None
                     };
-                    (outcome, fin)
+                    (outcome, fin, events)
                 }));
             }
             let mut joined: Vec<Option<Box<dyn std::any::Any + Send>>> = Vec::with_capacity(p);
             for (rank, h) in handles.into_iter().enumerate() {
                 match h.join() {
-                    Ok((outcome, fin)) => {
+                    Ok((outcome, fin, events)) => {
                         outcomes[rank] = Some(outcome);
                         if let Some(fin) = fin {
                             finals.push(fin);
                         }
+                        tracks[rank] = events;
                         joined.push(None);
                     }
                     Err(payload) => joined.push(Some(payload)),
@@ -254,11 +317,21 @@ impl Universe {
             audit_rank(&mut report, fin);
         }
         report.normalize();
+        let timeline = if self.tracing {
+            let mut tl = Timeline::from_tracks(tracks);
+            for e in &report.faults {
+                tl.push(ledger_instant(e));
+            }
+            tl.normalize();
+            tl
+        } else {
+            Timeline::new()
+        };
         let outcomes = outcomes
             .into_iter()
             .map(|o| o.expect("rank completed"))
             .collect();
-        Ok((outcomes, report))
+        Ok((outcomes, report, timeline))
     }
 
     /// Convenience: run and return the maximum simulated clock across ranks
@@ -271,6 +344,55 @@ impl Universe {
         let mut outcomes = self.run(f);
         let makespan = outcomes.iter().map(|o| o.clock).fold(0.0f64, f64::max);
         (outcomes.remove(0).value, makespan)
+    }
+}
+
+/// Map one fault-ledger entry to an instant marker on the affected rank's
+/// timeline track, at the ledger's simulated time.
+fn ledger_instant(e: &FaultEvent) -> Event {
+    let (track, name, t) = match *e {
+        FaultEvent::MessageDropped {
+            rank,
+            src,
+            sim_time,
+            ..
+        } => (rank as u32, format!("drop(src={src})"), sim_time),
+        FaultEvent::MessageCorrupted {
+            rank,
+            src,
+            sim_time,
+            ..
+        } => (rank as u32, format!("corruption(src={src})"), sim_time),
+        FaultEvent::MessageDelayed {
+            rank,
+            src,
+            secs,
+            sim_time,
+            ..
+        } => (rank as u32, format!("delay(src={src},+{secs}s)"), sim_time),
+        FaultEvent::MessageLost {
+            rank,
+            src,
+            attempts,
+            sim_time,
+            ..
+        } => (
+            rank as u32,
+            format!("lost(src={src},attempts={attempts})"),
+            sim_time,
+        ),
+        FaultEvent::RankCrashed { rank, sim_time } => (rank as u32, "crash".to_string(), sim_time),
+        FaultEvent::RankSlowed {
+            rank,
+            factor,
+            sim_time,
+        } => (rank as u32, format!("slowdown(x{factor})"), sim_time),
+    };
+    Event::Instant {
+        track,
+        name,
+        cat: "fault".to_string(),
+        t,
     }
 }
 
@@ -396,6 +518,95 @@ mod tests {
         assert!(!report.is_clean());
         assert!(s.contains("from rank 0 to rank 1"), "{s}");
         assert!(s.contains("tag 0x2a"), "{s}");
+    }
+
+    #[test]
+    fn tracing_records_spans_and_is_deterministic() {
+        let cost = CostParams {
+            latency: 1.0,
+            gap_per_byte: 0.0,
+            send_overhead: 0.0,
+        };
+        let run = || {
+            let (_, tl) = Universe::new(2)
+                .with_cost(cost)
+                .with_tracing()
+                .run_observed(|c| {
+                    c.advance_compute(1.0 + c.rank() as f64);
+                    c.allreduce_f64_sum(1.0);
+                    c.trace_mark("phase_done", "solver");
+                });
+            tl
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.is_empty());
+        let json = a.to_chrome_json();
+        assert_eq!(json, b.to_chrome_json(), "same run, same bytes");
+        assert_eq!(a.render_text(), b.render_text());
+        assert!(json.contains("\"name\":\"compute\""), "{json}");
+        assert!(json.contains("\"name\":\"allreduce\""), "{json}");
+        // rank 0 finished compute first and waited on slower rank 1
+        assert!(json.contains("\"name\":\"recv_wait\""), "{json}");
+        assert!(json.contains("\"name\":\"phase_done\""), "{json}");
+        assert_eq!(a.tracks(), 2);
+    }
+
+    #[test]
+    fn untraced_runs_return_empty_timeline() {
+        let (_, tl) = Universe::new(2).run_observed(|c| c.barrier());
+        assert!(tl.is_empty());
+    }
+
+    #[test]
+    fn injected_faults_appear_on_the_timeline() {
+        use crate::fault::FaultPlan;
+        // One guaranteed drop on the 0→1 link: the ledger entry must show
+        // up as a fault instant on rank 1's track.
+        let plan = FaultPlan::new(17).drop_messages(Some(0), Some(1), 1.0, 0.0, f64::MAX, 1);
+        let (_, _, tl) = Universe::new(2)
+            .with_faults(plan)
+            .with_tracing()
+            .run_try_observed(|c| {
+                if c.rank() == 0 {
+                    c.send(1, 1, &[42]);
+                } else {
+                    c.recv(0, 1);
+                }
+            })
+            .expect("drop is survivable");
+        let txt = tl.render_text();
+        assert!(txt.contains("drop(src=0)"), "{txt}");
+        let json = tl.to_chrome_json();
+        assert!(json.contains("\"cat\":\"fault\""), "{json}");
+        assert!(json.contains("retransmit"), "{json}");
+    }
+
+    #[test]
+    fn idle_and_transfer_time_split_the_wait() {
+        let cost = CostParams {
+            latency: 1.0,
+            gap_per_byte: 0.5,
+            send_overhead: 0.0,
+        };
+        let out = Universe::new(2).with_cost(cost).run(|c| {
+            if c.rank() == 0 {
+                c.advance_compute(10.0);
+                c.send(1, 1, &[0u8; 4]);
+            } else {
+                c.recv(0, 1);
+            }
+        });
+        let s = out[1].stats;
+        // rank 1 waited from t=0 to t=13: 10s for rank 0's compute
+        // (imbalance), then 1 + 4·0.5 = 3s of wire transfer.
+        assert!((s.idle_time - 10.0).abs() < 1e-12, "idle {}", s.idle_time);
+        assert!(
+            (s.transfer_time - 3.0).abs() < 1e-12,
+            "transfer {}",
+            s.transfer_time
+        );
+        assert!((s.comm_time() - 13.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,26 @@
+//! `shrinksvm-obs`: dependency-free telemetry for the shrinksvm workspace.
+//!
+//! Three pieces, all keyed on *simulated* time so identical seeds produce
+//! byte-identical artifacts:
+//!
+//! - [`timeline`] — a per-rank span/event timeline ([`TrackRecorder`],
+//!   [`Timeline`]) exported as Chrome trace-event JSON (Perfetto /
+//!   `chrome://tracing` loadable) or a plain-text per-rank listing.
+//! - [`metrics`] — a [`MetricsRegistry`] of counters, gauges, fixed-bucket
+//!   histograms and epoch-keyed sample series with a deterministic text
+//!   snapshot.
+//! - [`report`] — [`BenchReport`], the machine-readable `BENCH_<name>.json`
+//!   summary every benchmark run emits.
+//!
+//! [`json`] holds the shared hand-rolled JSON writer helpers plus a strict
+//! well-formedness checker used by tests and CI to validate emitted
+//! documents without external dependencies.
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod timeline;
+
+pub use metrics::{Histogram, MetricsRegistry};
+pub use report::{BenchReport, BENCH_SCHEMA_VERSION};
+pub use timeline::{Event, Timeline, TrackRecorder};

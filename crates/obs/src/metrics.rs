@@ -1,0 +1,360 @@
+//! A small metrics registry: counters, gauges, fixed-bucket histograms and
+//! per-epoch sample series, with a deterministic text snapshot.
+//!
+//! All storage is `BTreeMap`-backed so iteration order — and therefore the
+//! snapshot — is a pure function of the recorded values. Epoch series are
+//! keyed on the solver's own iteration counter, never wall time.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A fixed-bucket histogram: `counts[i]` holds observations `<= bounds[i]`,
+/// with one extra overflow bucket.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending bucket upper bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries; last is overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    fn merge(&mut self, other: &Histogram) {
+        if self.bounds == other.bounds {
+            for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+                *c += o;
+            }
+            self.sum += other.sum;
+            self.count += other.count;
+        } else {
+            // Incompatible layouts: fold the other side's aggregate into the
+            // overflow bucket so no observation is silently lost.
+            if let Some(last) = self.counts.last_mut() {
+                *last += other.count;
+            }
+            self.sum += other.sum;
+            self.count += other.count;
+        }
+    }
+}
+
+/// Default bucket bounds for histograms observed without an explicit layout
+/// (simulated seconds, log-ish spacing).
+pub const DEFAULT_BOUNDS: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+/// Counters, gauges, histograms and epoch-keyed sample series.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, Vec<(u64, f64)>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Add `n` to counter `name` (created at zero on first use).
+    pub fn inc(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Set gauge `name` to `v` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Record `v` into histogram `name`, creating it with
+    /// [`DEFAULT_BOUNDS`] on first use.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(DEFAULT_BOUNDS))
+            .observe(v);
+    }
+
+    /// Record `v` into histogram `name`, creating it with the given bucket
+    /// bounds on first use (existing layouts are kept).
+    pub fn observe_with_bounds(&mut self, name: &str, bounds: &[f64], v: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(v);
+    }
+
+    /// Append an `(epoch, value)` sample to series `name`.
+    pub fn sample(&mut self, name: &str, epoch: u64, value: f64) {
+        self.series
+            .entry(name.to_string())
+            .or_default()
+            .push((epoch, value));
+    }
+
+    /// Counter value, zero if never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram by name, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Sample series by name (epoch-ordered if recorded in epoch order).
+    pub fn series(&self, name: &str) -> &[(u64, f64)] {
+        self.series.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Names of all recorded series.
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.series.is_empty()
+    }
+
+    /// Fold `other` into `self`: counters add, gauges last-write-wins,
+    /// same-layout histograms add bucket-wise, series concatenate and
+    /// re-sort by `(epoch, value bits)`. Merging rank registries in rank
+    /// order therefore yields one deterministic result.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+        for (k, pts) in &other.series {
+            let mine = self.series.entry(k.clone()).or_default();
+            mine.extend_from_slice(pts);
+            mine.sort_by_key(|&(epoch, v)| (epoch, v.to_bits()));
+        }
+    }
+
+    /// Prefix every metric name with `prefix` + `.` — used to namespace a
+    /// sub-component's registry before merging it into a run-level one.
+    pub fn namespaced(&self, prefix: &str) -> MetricsRegistry {
+        let rename = |k: &String| format!("{prefix}.{k}");
+        MetricsRegistry {
+            counters: self.counters.iter().map(|(k, v)| (rename(k), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (rename(k), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| (rename(k), v.clone()))
+                .collect(),
+            series: self
+                .series
+                .iter()
+                .map(|(k, v)| (rename(k), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Render the whole registry as a deterministic plain-text snapshot:
+    /// one line per counter/gauge, a block per histogram and series, all in
+    /// lexicographic name order.
+    pub fn snapshot(&self) -> String {
+        let mut out = String::from("# metrics snapshot\n");
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "counter {k} = {v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "gauge {k} = {}", Num(*v));
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(out, "histogram {k} count={} sum={}", h.count, Num(h.sum));
+            for (i, c) in h.counts.iter().enumerate() {
+                match h.bounds.get(i) {
+                    Some(b) => {
+                        let _ = writeln!(out, "  le {} : {c}", Num(*b));
+                    }
+                    None => {
+                        let _ = writeln!(out, "  le +inf : {c}");
+                    }
+                }
+            }
+        }
+        for (k, pts) in &self.series {
+            let _ = writeln!(out, "series {k} ({} samples)", pts.len());
+            for (epoch, v) in pts {
+                let _ = writeln!(out, "  epoch {epoch} : {}", Num(*v));
+            }
+        }
+        out
+    }
+}
+
+/// Formats an `f64` the same way the JSON emitters do (shortest
+/// round-trip; non-finite rendered as `null`).
+struct Num(f64);
+
+impl std::fmt::Display for Num {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.is_finite() {
+            write!(f, "{}", self.0)
+        } else {
+            write!(f, "null")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let mut m = MetricsRegistry::new();
+        m.inc("shrink_passes", 2);
+        m.inc("shrink_passes", 1);
+        m.set_gauge("cache_hit_rate", 0.25);
+        m.set_gauge("cache_hit_rate", 0.75);
+        assert_eq!(m.counter("shrink_passes"), 3);
+        assert_eq!(m.gauge("cache_hit_rate"), Some(0.75));
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        for v in [0.5, 0.7, 5.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 106.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_is_additive_and_order_independent_for_series() {
+        let mut a = MetricsRegistry::new();
+        a.inc("c", 1);
+        a.sample("active_set", 0, 100.0);
+        a.sample("active_set", 2, 50.0);
+        let mut b = MetricsRegistry::new();
+        b.inc("c", 2);
+        b.sample("active_set", 1, 75.0);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.counter("c"), 3);
+        assert_eq!(ab.series("active_set"), ba.series("active_set"));
+        assert_eq!(ab.series("active_set"), &[(0, 100.0), (1, 75.0), (2, 50.0)]);
+    }
+
+    #[test]
+    fn mismatched_histogram_layouts_keep_totals() {
+        let mut a = MetricsRegistry::new();
+        a.observe_with_bounds("t", &[1.0], 0.5);
+        let mut b = MetricsRegistry::new();
+        b.observe_with_bounds("t", &[2.0, 4.0], 3.0);
+        a.merge(&b);
+        let h = a.histogram("t").expect("merged histogram");
+        assert_eq!(h.count(), 2);
+        assert!((h.sum() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_name_ordered() {
+        let build = |flip: bool| {
+            let mut m = MetricsRegistry::new();
+            if flip {
+                m.set_gauge("b_gauge", 2.0);
+                m.inc("a_counter", 7);
+            } else {
+                m.inc("a_counter", 7);
+                m.set_gauge("b_gauge", 2.0);
+            }
+            m.observe_with_bounds("lat", &[1.0], 0.5);
+            m.sample("kkt_gap", 1, 0.125);
+            m.snapshot()
+        };
+        let s = build(false);
+        assert_eq!(s, build(true));
+        assert!(s.contains("counter a_counter = 7"));
+        assert!(s.contains("gauge b_gauge = 2"));
+        assert!(s.contains("histogram lat count=1"));
+        assert!(s.contains("epoch 1 : 0.125"));
+        let ca = s.find("a_counter").expect("counter line");
+        let gb = s.find("b_gauge").expect("gauge line");
+        assert!(ca < gb);
+    }
+
+    #[test]
+    fn namespacing_prefixes_every_metric() {
+        let mut m = MetricsRegistry::new();
+        m.inc("hits", 4);
+        m.sample("rate", 0, 0.5);
+        let n = m.namespaced("cache");
+        assert_eq!(n.counter("cache.hits"), 4);
+        assert_eq!(n.series("cache.rate"), &[(0, 0.5)]);
+        assert_eq!(n.counter("hits"), 0);
+    }
+}

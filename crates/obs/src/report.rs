@@ -1,0 +1,202 @@
+//! Machine-readable benchmark run reports (`BENCH_<name>.json`).
+//!
+//! One [`BenchReport`] summarizes one benchmark run: modeled (simulated)
+//! time, speedup against the Original baseline, iteration count, the
+//! comm/compute split and fault/recovery counts, plus free-form named
+//! extras. The JSON layout is flat and key-sorted so same-seed runs emit
+//! byte-identical files, giving perf PRs a diffable trajectory baseline.
+
+use crate::json::{escape_into, write_f64};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Schema version stamped into every report.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// A machine-readable summary of one benchmark run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchReport {
+    /// Report name; the file is written as `BENCH_<name>.json`.
+    pub name: String,
+    /// End-to-end modeled (simulated) time in seconds — the makespan.
+    pub modeled_time: f64,
+    /// Speedup vs the Original (no-shrinking) baseline, when known.
+    pub speedup_vs_original: Option<f64>,
+    /// Solver iterations to convergence.
+    pub iterations: u64,
+    /// Whether the run converged within its iteration budget.
+    pub converged: bool,
+    /// Ranks in the run.
+    pub ranks: u32,
+    /// Summed per-rank compute charge, simulated seconds.
+    pub compute_time: f64,
+    /// Summed per-rank wire-transfer charge (bytes·G + latency), simulated
+    /// seconds.
+    pub transfer_time: f64,
+    /// Summed per-rank idle time waiting on slower peers, simulated
+    /// seconds.
+    pub idle_time: f64,
+    /// Injected transport faults the run absorbed.
+    pub faults_survived: u64,
+    /// Crash-recovery restarts performed.
+    pub recoveries: u64,
+    /// Simulated seconds lost to failed attempts before recovery.
+    pub recovery_cost: f64,
+    /// Additional named scalars (accuracy, cache hit rate, ...).
+    pub extras: BTreeMap<String, f64>,
+}
+
+impl BenchReport {
+    /// A report named `name` with everything else zeroed.
+    pub fn new(name: &str) -> Self {
+        BenchReport {
+            name: name.to_string(),
+            ..BenchReport::default()
+        }
+    }
+
+    /// Attach a named extra scalar (builder style).
+    pub fn with_extra(mut self, key: &str, value: f64) -> Self {
+        self.extras.insert(key.to_string(), value);
+        self
+    }
+
+    /// The filename this report writes to: `BENCH_<name>.json`.
+    pub fn filename(&self) -> String {
+        format!("BENCH_{}.json", self.name)
+    }
+
+    /// Serialize as a single flat JSON object with keys in a fixed order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"schema\":");
+        out.push_str(&BENCH_SCHEMA_VERSION.to_string());
+        out.push_str(",\"name\":");
+        escape_into(&mut out, &self.name);
+        out.push_str(",\"modeled_time\":");
+        write_f64(&mut out, self.modeled_time);
+        out.push_str(",\"speedup_vs_original\":");
+        match self.speedup_vs_original {
+            Some(v) => write_f64(&mut out, v),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"iterations\":");
+        out.push_str(&self.iterations.to_string());
+        out.push_str(",\"converged\":");
+        out.push_str(if self.converged { "true" } else { "false" });
+        out.push_str(",\"ranks\":");
+        out.push_str(&self.ranks.to_string());
+        out.push_str(",\"compute_time\":");
+        write_f64(&mut out, self.compute_time);
+        out.push_str(",\"transfer_time\":");
+        write_f64(&mut out, self.transfer_time);
+        out.push_str(",\"idle_time\":");
+        write_f64(&mut out, self.idle_time);
+        out.push_str(",\"comm_time\":");
+        write_f64(&mut out, self.transfer_time + self.idle_time);
+        out.push_str(",\"faults_survived\":");
+        out.push_str(&self.faults_survived.to_string());
+        out.push_str(",\"recoveries\":");
+        out.push_str(&self.recoveries.to_string());
+        out.push_str(",\"recovery_cost\":");
+        write_f64(&mut out, self.recovery_cost);
+        out.push_str(",\"extras\":{");
+        let mut first = true;
+        for (k, v) in &self.extras {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            escape_into(&mut out, k);
+            out.push(':');
+            write_f64(&mut out, *v);
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Write `BENCH_<name>.json` under `dir` (created if missing) and
+    /// return the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from directory creation or the write.
+    pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.filename());
+        let mut doc = self.to_json();
+        doc.push('\n');
+        std::fs::write(&path, doc)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::check;
+
+    fn sample() -> BenchReport {
+        let mut r = BenchReport::new("smoke");
+        r.modeled_time = 1.25;
+        r.speedup_vs_original = Some(3.5);
+        r.iterations = 420;
+        r.converged = true;
+        r.ranks = 4;
+        r.compute_time = 0.9;
+        r.transfer_time = 0.2;
+        r.idle_time = 0.15;
+        r.faults_survived = 2;
+        r.with_extra("test_accuracy", 0.975)
+            .with_extra("cache_hit_rate", 0.5)
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let doc = sample().to_json();
+        check(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+        for key in [
+            "\"schema\":1",
+            "\"name\":\"smoke\"",
+            "\"modeled_time\":1.25",
+            "\"speedup_vs_original\":3.5",
+            "\"iterations\":420",
+            "\"converged\":true",
+            "\"ranks\":4",
+            "\"comm_time\":", // derived sum is present
+            "\"cache_hit_rate\":0.5",
+            "\"test_accuracy\":0.975",
+        ] {
+            assert!(doc.contains(key), "missing {key} in {doc}");
+        }
+    }
+
+    #[test]
+    fn missing_baseline_renders_null() {
+        let mut r = sample();
+        r.speedup_vs_original = None;
+        let doc = r.to_json();
+        check(&doc).expect("well-formed");
+        assert!(doc.contains("\"speedup_vs_original\":null"));
+    }
+
+    #[test]
+    fn serialization_is_byte_stable() {
+        assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn filename_embeds_report_name() {
+        assert_eq!(sample().filename(), "BENCH_smoke.json");
+    }
+
+    #[test]
+    fn write_emits_the_file() {
+        let dir = std::env::temp_dir().join("shrinksvm_obs_report_test");
+        let path = sample().write(&dir).expect("write report");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        check(body.trim_end()).expect("well-formed on disk");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

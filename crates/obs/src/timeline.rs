@@ -1,0 +1,407 @@
+//! A span/event timeline keyed on *simulated* time.
+//!
+//! Each rank records into its own [`TrackRecorder`] while it runs; the
+//! harness merges the per-rank buffers into one [`Timeline`], which can be
+//! rendered as Chrome trace-event JSON (loadable by Perfetto /
+//! `chrome://tracing`) or as a plain-text per-rank listing.
+//!
+//! All timestamps are simulated seconds from the run's cost model — never
+//! the host clock — so identical seeds produce byte-identical traces.
+
+use crate::json::{escape_into, write_f64};
+use std::fmt::Write as _;
+
+/// One timeline entry on some rank's track.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A closed interval of activity: `[t0, t1]` simulated seconds.
+    Span {
+        /// Rank (Chrome `tid`).
+        track: u32,
+        /// Event name (e.g. `allreduce`).
+        name: String,
+        /// Category (e.g. `coll`, `compute`, `p2p`, `solver`).
+        cat: String,
+        /// Start, simulated seconds.
+        t0: f64,
+        /// End, simulated seconds.
+        t1: f64,
+    },
+    /// A point event (e.g. an injected fault).
+    Instant {
+        /// Rank (Chrome `tid`).
+        track: u32,
+        /// Event name.
+        name: String,
+        /// Category.
+        cat: String,
+        /// Time, simulated seconds.
+        t: f64,
+    },
+    /// A sampled numeric series (Chrome counter track).
+    Counter {
+        /// Rank (Chrome `tid`).
+        track: u32,
+        /// Series name.
+        name: String,
+        /// Sample time, simulated seconds.
+        t: f64,
+        /// Sample value.
+        value: f64,
+    },
+}
+
+impl Event {
+    /// The rank this event belongs to.
+    pub fn track(&self) -> u32 {
+        match *self {
+            Event::Span { track, .. }
+            | Event::Instant { track, .. }
+            | Event::Counter { track, .. } => track,
+        }
+    }
+
+    /// Start time in simulated seconds.
+    pub fn start(&self) -> f64 {
+        match *self {
+            Event::Span { t0, .. } => t0,
+            Event::Instant { t, .. } | Event::Counter { t, .. } => t,
+        }
+    }
+
+    /// Total order making merged timelines deterministic: by start time
+    /// (nonnegative finite, so the bit pattern orders correctly), then
+    /// track, then kind, then name, then end time.
+    fn sort_key(&self) -> (u64, u32, u8, &str, u64) {
+        match self {
+            Event::Span {
+                track,
+                name,
+                t0,
+                t1,
+                ..
+            } => (t0.to_bits(), *track, 0, name.as_str(), t1.to_bits()),
+            Event::Instant { track, name, t, .. } => (t.to_bits(), *track, 1, name.as_str(), 0),
+            Event::Counter {
+                track,
+                name,
+                t,
+                value,
+            } => (t.to_bits(), *track, 2, name.as_str(), value.to_bits()),
+        }
+    }
+}
+
+/// One rank's in-flight event buffer.
+#[derive(Clone, Debug, Default)]
+pub struct TrackRecorder {
+    track: u32,
+    events: Vec<Event>,
+}
+
+impl TrackRecorder {
+    /// A recorder for rank `track`.
+    pub fn new(track: u32) -> Self {
+        TrackRecorder {
+            track,
+            events: Vec::new(),
+        }
+    }
+
+    /// The rank this recorder belongs to.
+    pub fn track(&self) -> u32 {
+        self.track
+    }
+
+    /// Record a `[t0, t1]` span. Zero-length and degenerate (reversed)
+    /// intervals are clamped to a point span at `t0`.
+    pub fn span(&mut self, name: &str, cat: &str, t0: f64, t1: f64) {
+        self.events.push(Event::Span {
+            track: self.track,
+            name: name.to_string(),
+            cat: cat.to_string(),
+            t0,
+            t1: t1.max(t0),
+        });
+    }
+
+    /// Record a point event at `t`.
+    pub fn instant(&mut self, name: &str, cat: &str, t: f64) {
+        self.events.push(Event::Instant {
+            track: self.track,
+            name: name.to_string(),
+            cat: cat.to_string(),
+            t,
+        });
+    }
+
+    /// Record a counter sample at `t`.
+    pub fn counter(&mut self, name: &str, t: f64, value: f64) {
+        self.events.push(Event::Counter {
+            track: self.track,
+            name: name.to_string(),
+            t,
+            value,
+        });
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Hand the buffer over for merging.
+    pub fn finish(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+/// A merged, normalized multi-rank timeline.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Timeline {
+    events: Vec<Event>,
+    tracks: u32,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Merge per-rank buffers (indexed by rank) into one timeline and
+    /// normalize it.
+    pub fn from_tracks(tracks: Vec<Vec<Event>>) -> Self {
+        let mut tl = Timeline {
+            tracks: tracks.len() as u32,
+            events: tracks.into_iter().flatten().collect(),
+        };
+        tl.normalize();
+        tl
+    }
+
+    /// Append one event (e.g. a driver-side recovery marker).
+    pub fn push(&mut self, event: Event) {
+        self.tracks = self.tracks.max(event.track() + 1);
+        self.events.push(event);
+    }
+
+    /// Sort into the deterministic total order. Emitters call this, so
+    /// identical runs render byte-identically regardless of the order
+    /// events were merged in.
+    pub fn normalize(&mut self) {
+        self.events.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    }
+
+    /// All events, in normalized order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of rank tracks.
+    pub fn tracks(&self) -> u32 {
+        self.tracks
+    }
+
+    /// Event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the timeline holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Render as Chrome trace-event JSON (the `{"traceEvents": [...]}`
+    /// object form). Timestamps are microseconds (`ts`/`dur`), `pid` 0 and
+    /// `tid` = rank, per the trace-event format; load the file in Perfetto
+    /// or `chrome://tracing`.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        for e in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            match e {
+                Event::Span {
+                    track,
+                    name,
+                    cat,
+                    t0,
+                    t1,
+                } => {
+                    out.push_str("{\"name\":");
+                    escape_into(&mut out, name);
+                    out.push_str(",\"cat\":");
+                    escape_into(&mut out, cat);
+                    out.push_str(",\"ph\":\"X\",\"ts\":");
+                    write_f64(&mut out, t0 * 1e6);
+                    out.push_str(",\"dur\":");
+                    write_f64(&mut out, (t1 - t0) * 1e6);
+                    let _ = write!(out, ",\"pid\":0,\"tid\":{track}}}");
+                }
+                Event::Instant {
+                    track,
+                    name,
+                    cat,
+                    t,
+                } => {
+                    out.push_str("{\"name\":");
+                    escape_into(&mut out, name);
+                    out.push_str(",\"cat\":");
+                    escape_into(&mut out, cat);
+                    out.push_str(",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
+                    write_f64(&mut out, t * 1e6);
+                    let _ = write!(out, ",\"pid\":0,\"tid\":{track}}}");
+                }
+                Event::Counter {
+                    track,
+                    name,
+                    t,
+                    value,
+                } => {
+                    out.push_str("{\"name\":");
+                    escape_into(&mut out, name);
+                    out.push_str(",\"ph\":\"C\",\"ts\":");
+                    write_f64(&mut out, t * 1e6);
+                    let _ = write!(out, ",\"pid\":0,\"tid\":{track},\"args\":{{\"value\":");
+                    write_f64(&mut out, *value);
+                    out.push_str("}}");
+                }
+            }
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// Render as a plain-text per-rank listing (one section per track,
+    /// events in time order, fixed-precision timestamps).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for track in 0..self.tracks.max(1) {
+            let mut wrote_header = false;
+            for e in &self.events {
+                if e.track() != track {
+                    continue;
+                }
+                if !wrote_header {
+                    let _ = writeln!(out, "-- rank {track} --");
+                    wrote_header = true;
+                }
+                match e {
+                    Event::Span {
+                        name, cat, t0, t1, ..
+                    } => {
+                        let _ = writeln!(out, "  [{t0:.9}s +{:.9}s] {cat:<8} {name}", t1 - t0);
+                    }
+                    Event::Instant { name, cat, t, .. } => {
+                        let _ = writeln!(out, "  [{t:.9}s           !] {cat:<8} {name}");
+                    }
+                    Event::Counter { name, t, value, .. } => {
+                        let _ = writeln!(out, "  [{t:.9}s           #] counter  {name} = {value}");
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::check;
+
+    fn sample() -> Timeline {
+        let mut r0 = TrackRecorder::new(0);
+        r0.span("compute", "compute", 0.0, 1.5);
+        r0.instant("drop", "fault", 0.75);
+        let mut r1 = TrackRecorder::new(1);
+        r1.span("allreduce", "coll", 0.5, 2.0);
+        r1.counter("active_set", 1.0, 120.0);
+        Timeline::from_tracks(vec![r0.finish(), r1.finish()])
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let tl = sample();
+        let doc = tl.to_chrome_json();
+        check(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+        assert!(doc.contains("\"traceEvents\""));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ph\":\"i\""));
+        assert!(doc.contains("\"ph\":\"C\""));
+        assert!(doc.contains("\"tid\":1"));
+    }
+
+    #[test]
+    fn empty_timeline_is_well_formed_too() {
+        check(&Timeline::new().to_chrome_json()).unwrap();
+    }
+
+    #[test]
+    fn timestamps_are_microseconds() {
+        let tl = sample();
+        let doc = tl.to_chrome_json();
+        // the 1.5s compute span: ts 0, dur 1500000
+        assert!(doc.contains("\"dur\":1500000"), "{doc}");
+    }
+
+    #[test]
+    fn normalize_gives_one_canonical_order() {
+        let mut a = TrackRecorder::new(0);
+        a.span("x", "c", 1.0, 2.0);
+        a.instant("y", "c", 0.5);
+        let mut fwd = Timeline::from_tracks(vec![a.clone().finish()]);
+        let mut events = a.finish();
+        events.reverse();
+        let mut rev = Timeline::from_tracks(vec![events]);
+        fwd.normalize();
+        rev.normalize();
+        assert_eq!(fwd.to_chrome_json(), rev.to_chrome_json());
+    }
+
+    #[test]
+    fn text_rendering_groups_by_rank() {
+        let txt = sample().render_text();
+        assert!(txt.contains("-- rank 0 --"));
+        assert!(txt.contains("-- rank 1 --"));
+        assert!(txt.contains("allreduce"));
+        assert!(txt.contains("active_set"));
+        let r0 = txt.find("-- rank 0 --").unwrap();
+        let r1 = txt.find("-- rank 1 --").unwrap();
+        assert!(r0 < r1);
+    }
+
+    #[test]
+    fn degenerate_spans_are_clamped() {
+        let mut r = TrackRecorder::new(0);
+        r.span("weird", "c", 2.0, 1.0);
+        match &r.finish()[0] {
+            Event::Span { t0, t1, .. } => assert_eq!((*t0, *t1), (2.0, 2.0)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn push_extends_track_count() {
+        let mut tl = Timeline::new();
+        tl.push(Event::Instant {
+            track: 3,
+            name: "recovery".into(),
+            cat: "ckpt".into(),
+            t: 1.0,
+        });
+        assert_eq!(tl.tracks(), 4);
+        assert_eq!(tl.len(), 1);
+    }
+}

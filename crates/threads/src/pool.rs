@@ -22,10 +22,11 @@ pub struct ThreadPool {
 impl ThreadPool {
     /// A pool with `nthreads` workers (clamped to ≥ 1) and static scheduling.
     pub fn new(nthreads: usize) -> Self {
+        let nthreads = nthreads.max(1);
         ThreadPool {
-            nthreads: nthreads.max(1),
+            nthreads,
             schedule: Schedule::Static,
-            stats: PoolStats::default(),
+            stats: PoolStats::new(nthreads),
         }
     }
 
@@ -76,6 +77,7 @@ impl ThreadPool {
                 for w in 0..t {
                     let f = &f;
                     let (lo, hi) = static_block(range.start, n, w, t);
+                    self.stats.record_worker(w, hi - lo);
                     s.spawn(move || {
                         for i in lo..hi {
                             f(i);
@@ -87,9 +89,10 @@ impl ThreadPool {
                 let counter = AtomicUsize::new(range.start);
                 let end = range.end;
                 std::thread::scope(|s| {
-                    for _ in 0..t {
+                    for w in 0..t {
                         let f = &f;
                         let counter = &counter;
+                        let stats = &self.stats;
                         s.spawn(move || loop {
                             // relaxed: fetch_add is a total-order RMW on this one
                             // counter; the scope join publishes f's effects
@@ -98,6 +101,7 @@ impl ThreadPool {
                                 break;
                             }
                             let hi = (lo + chunk).min(end);
+                            stats.record_worker(w, hi - lo);
                             for i in lo..hi {
                                 f(i);
                             }
@@ -134,6 +138,7 @@ impl ThreadPool {
                 let f = &f;
                 let off = offset;
                 offset += chunk.len();
+                self.stats.record_worker(w, chunk.len());
                 s.spawn(move || f(off, chunk));
             }
         });
@@ -173,6 +178,7 @@ impl ThreadPool {
                 let init = &init;
                 let fold = &fold;
                 let (lo, hi) = static_block(range.start, n, w, t);
+                self.stats.record_worker(w, hi - lo);
                 s.spawn(move || {
                     let mut acc = init();
                     for i in lo..hi {

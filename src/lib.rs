@@ -21,6 +21,9 @@
 //!   shrinking heuristics of Table II, gradient reconstruction
 //!   (Algorithm 3), models, metrics, cross-validation, tracing and the
 //!   performance projector.
+//! * [`obs`] — dependency-free telemetry: simulated-time timelines
+//!   (Chrome trace-event export), a metrics registry and machine-readable
+//!   benchmark reports.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +43,7 @@
 pub use shrinksvm_core as core;
 pub use shrinksvm_datagen as datagen;
 pub use shrinksvm_mpisim as mpisim;
+pub use shrinksvm_obs as obs;
 pub use shrinksvm_sparse as sparse;
 pub use shrinksvm_threads as threads;
 
@@ -53,6 +57,7 @@ pub mod prelude {
     pub use shrinksvm_core::shrink::{Heuristic, ReconPolicy, ShrinkPolicy};
     pub use shrinksvm_core::smo::SmoSolver;
     pub use shrinksvm_mpisim::{CostParams, FaultPlan, Universe};
+    pub use shrinksvm_obs::{BenchReport, MetricsRegistry, Timeline};
     pub use shrinksvm_sparse::{CsrMatrix, Dataset, RowView};
     pub use shrinksvm_threads::ThreadPool;
 }

@@ -1,0 +1,77 @@
+//! End-to-end checks of the unified telemetry layer: artifact
+//! determinism, JSON well-formedness, and fault-ledger visibility.
+
+use shrinksvm::prelude::*;
+use shrinksvm_datagen::gaussian;
+use shrinksvm_obs::json;
+
+fn params() -> SvmParams {
+    SvmParams::new(2.0, KernelKind::rbf_from_sigma_sq(1.5)).with_epsilon(1e-3)
+}
+
+fn traced_artifacts(ds: &Dataset) -> (String, String, String) {
+    let run = DistSolver::new(ds, params().with_shrink(ShrinkPolicy::best()))
+        .with_processes(3)
+        .with_tracing()
+        .train()
+        .unwrap();
+    (
+        run.timeline.to_chrome_json(),
+        run.metrics.snapshot(),
+        run.bench_report("determinism").to_json(),
+    )
+}
+
+#[test]
+fn telemetry_artifacts_are_byte_identical_across_same_seed_runs() {
+    let ds = gaussian::two_blobs(180, 4, 3.0, 77);
+    let (trace_a, metrics_a, bench_a) = traced_artifacts(&ds);
+    let (trace_b, metrics_b, bench_b) = traced_artifacts(&ds);
+    assert_eq!(trace_a, trace_b);
+    assert_eq!(metrics_a, metrics_b);
+    assert_eq!(bench_a, bench_b);
+
+    json::check(&trace_a).unwrap();
+    json::check(&bench_a).unwrap();
+    // solver telemetry made it into the snapshot
+    assert!(metrics_a.contains("series active_set"), "{metrics_a}");
+    assert!(metrics_a.contains("gauge final_gap"), "{metrics_a}");
+    // per-rank tracks and solver phases made it into the trace
+    assert!(trace_a.contains("\"allreduce\""));
+    assert!(trace_a.contains("\"compute\""));
+}
+
+#[test]
+fn fault_ledger_events_are_visible_on_the_timeline() {
+    let ds = gaussian::two_blobs(150, 3, 4.0, 78);
+    let plan = FaultPlan::new(9).drop_messages(Some(0), Some(1), 1.0, 0.0, f64::MAX, 2);
+    let run = DistSolver::new(&ds, params())
+        .with_processes(2)
+        .with_faults(plan)
+        .with_tracing()
+        .train()
+        .unwrap();
+    assert!(run.faults_survived >= 2, "{}", run.faults_survived);
+    let text = run.timeline.render_text();
+    assert!(text.contains("drop(src=0)"), "{text}");
+    let trace = run.timeline.to_chrome_json();
+    json::check(&trace).unwrap();
+    assert!(trace.contains("\"fault\""));
+    assert!(trace.contains("\"retransmit\""));
+}
+
+#[test]
+fn smo_cache_hit_rate_is_sampled_per_epoch() {
+    // enough iterations to cross the 256-iteration epoch boundary
+    let ds = gaussian::two_blobs(400, 4, 2.0, 79);
+    let out = SmoSolver::new(&ds, params().with_epsilon(1e-4).with_cache_bytes(8 << 20))
+        .train()
+        .unwrap();
+    assert!(out.iterations > 256, "{}", out.iterations);
+    assert!(!out.metrics.series("cache_hit_rate").is_empty());
+    let rate = out.metrics.gauge("cache_hit_rate").unwrap();
+    assert!((0.0..=1.0).contains(&rate), "{rate}");
+    // snapshot renders the series deterministically
+    let snap = out.metrics.snapshot();
+    assert!(snap.contains("series cache_hit_rate"), "{snap}");
+}

@@ -52,7 +52,7 @@ impl fmt::Display for Finding {
 }
 
 /// Crates whose `src/` trees count as *simulated* code paths (rule 1).
-const SIMULATED_PATHS: &[&str] = &["crates/mpisim/src", "crates/core/src"];
+const SIMULATED_PATHS: &[&str] = &["crates/mpisim/src", "crates/core/src", "crates/obs/src"];
 
 /// Roots whose `.rs` files are library code for rules 2 and 3. `xtask`
 /// itself and the CLI binaries under `src/bin` are tools, not libraries.
@@ -61,6 +61,7 @@ const LIBRARY_ROOTS: &[&str] = &[
     "crates/core/src",
     "crates/datagen/src",
     "crates/mpisim/src",
+    "crates/obs/src",
     "crates/sparse/src",
     "crates/threads/src",
     "src/lib.rs",
