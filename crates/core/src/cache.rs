@@ -1,10 +1,14 @@
 //! LRU kernel-row cache.
 //!
 //! The paper grants the libsvm baseline "a compute node's entire memory as
-//! a kernel cache" (§V-A) while its own distributed solver runs cache-free
-//! (§III-A2). This module is that baseline cache: full kernel rows keyed by
-//! sample index, evicted least-recently-used, with hit/miss/eviction
-//! accounting so benchmarks can report cache behavior.
+//! a kernel cache" (§V-A); our distributed solver additionally reuses the
+//! same structure per rank for the pivot rows of consecutive iterations
+//! (the worst-violator pair is frequently reselected, exactly the locality
+//! libsvm's cache exploits). This module is that cache: full kernel rows
+//! keyed by sample index, evicted least-recently-used, with
+//! hit/miss/insertion/eviction accounting so benchmarks can report cache
+//! behavior, plus [`KernelCache::resize_rows`] so the distributed solver
+//! can compact cached rows when a shrink pass contracts the active set.
 //!
 //! Rows are stored behind `Arc` so a caller can hold the two rows of the
 //! current working pair while later fetches evict freely underneath.
@@ -23,13 +27,15 @@ struct Node {
 
 const NIL: usize = usize::MAX;
 
-/// Hit/miss/eviction counters.
+/// Hit/miss/insertion/eviction counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Rows served from cache.
     pub hits: u64,
     /// Rows that had to be computed.
     pub misses: u64,
+    /// Rows stored after a miss (misses with nonzero capacity).
+    pub insertions: u64,
     /// Rows evicted to make room.
     pub evictions: u64,
 }
@@ -73,10 +79,18 @@ impl KernelCache {
     }
 
     /// A cache sized from a byte budget for rows of `row_len` `f64`s.
-    /// A budget too small for even one row disables caching (capacity 0).
+    ///
+    /// A zero budget disables caching entirely (capacity 0). Any nonzero
+    /// budget is granted **at least 2 rows**, even if it nominally pays for
+    /// fewer: the solvers always work on a pivot *pair*, and a 1-row cache
+    /// would evict one pivot to admit the other every single iteration —
+    /// pure thrash that is strictly worse than the 2-row floor.
     pub fn with_byte_budget(bytes: usize, row_len: usize) -> Self {
+        if bytes == 0 {
+            return KernelCache::with_capacity_rows(0);
+        }
         let row_bytes = row_len.max(1) * std::mem::size_of::<f64>();
-        KernelCache::with_capacity_rows(bytes / row_bytes)
+        KernelCache::with_capacity_rows((bytes / row_bytes).max(2))
     }
 
     /// Maximum rows held.
@@ -121,7 +135,30 @@ impl KernelCache {
         let idx = self.alloc_node(key, Arc::clone(&data));
         self.push_front(idx);
         self.map.insert(key, idx);
+        self.stats.insertions += 1;
         data
+    }
+
+    /// Compact every cached row in place: new row `j` is old row `keep[j]`.
+    ///
+    /// The distributed solver's cached rows span the rank's *active* local
+    /// samples in local order; when a shrink pass removes samples, `keep`
+    /// lists the old positions that survive (strictly ascending), and this
+    /// gathers each cached row down to exactly the new active span. Rows are
+    /// rebuilt behind fresh `Arc`s, so outstanding clones of the old,
+    /// longer rows stay valid.
+    ///
+    /// # Panics
+    /// Debug builds panic if `keep` is not strictly ascending or indexes
+    /// past the end of a cached row.
+    pub fn resize_rows(&mut self, keep: &[usize]) {
+        debug_assert!(keep.windows(2).all(|w| w[0] < w[1]));
+        let idxs: Vec<usize> = self.map.values().copied().collect();
+        for idx in idxs {
+            let old = &self.nodes[idx].data;
+            let new: Vec<f64> = keep.iter().map(|&p| old[p]).collect();
+            self.nodes[idx].data = Arc::new(new);
+        }
     }
 
     /// Drop every cached row (the solver calls this when α deltas
@@ -221,6 +258,7 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
+                insertions: 1,
                 evictions: 0
             }
         );
@@ -275,7 +313,13 @@ mod tests {
         // 4 f64s per row = 32 bytes; 100 bytes → 3 rows
         let c = KernelCache::with_byte_budget(100, 4);
         assert_eq!(c.capacity_rows(), 3);
+        // A nonzero budget always fits the working pair: floor of 2 rows.
         let c = KernelCache::with_byte_budget(10, 4);
+        assert_eq!(c.capacity_rows(), 2);
+        let c = KernelCache::with_byte_budget(33, 4);
+        assert_eq!(c.capacity_rows(), 2);
+        // Zero budget means "no cache", not "tiny cache".
+        let c = KernelCache::with_byte_budget(0, 4);
         assert_eq!(c.capacity_rows(), 0);
     }
 
@@ -307,10 +351,47 @@ mod tests {
         let s = CacheStats {
             hits: 3,
             misses: 1,
+            insertions: 1,
             evictions: 0,
         };
         assert!((s.hit_rate() - 0.75).abs() < 1e-15);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn insertions_counted_only_when_stored() {
+        let mut c = KernelCache::with_capacity_rows(0);
+        c.get_or_compute(1, || row(1.0));
+        assert_eq!(c.stats().insertions, 0, "capacity 0 never stores");
+        let mut c = KernelCache::with_capacity_rows(1);
+        c.get_or_compute(1, || row(1.0));
+        c.get_or_compute(2, || row(2.0)); // evicts 1, inserts 2
+        c.get_or_compute(2, || unreachable!()); // hit: no insert
+        assert_eq!(c.stats().insertions, 2);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn resize_rows_compacts_every_cached_row() {
+        let mut c = KernelCache::with_capacity_rows(4);
+        c.get_or_compute(10, || vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        c.get_or_compute(20, || vec![5.0, 6.0, 7.0, 8.0, 9.0]);
+        let held = c.get_or_compute(10, || unreachable!());
+        // Positions 0, 2, 4 survive the shrink pass.
+        c.resize_rows(&[0, 2, 4]);
+        let r10 = c.get_or_compute(10, || panic!("10 must still be cached"));
+        let r20 = c.get_or_compute(20, || panic!("20 must still be cached"));
+        assert_eq!(*r10, vec![0.0, 2.0, 4.0]);
+        assert_eq!(*r20, vec![5.0, 7.0, 9.0]);
+        // Clones taken before compaction keep the old span.
+        assert_eq!(held.len(), 5);
+    }
+
+    #[test]
+    fn resize_rows_on_empty_cache_is_noop() {
+        let mut c = KernelCache::with_capacity_rows(2);
+        c.resize_rows(&[0, 1]);
+        assert!(c.is_empty());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use shrinksvm_obs::{BenchReport, MetricsRegistry};
 use shrinksvm_sparse::Dataset;
 
 use crate::dist::checkpoint::{CheckpointCtx, CheckpointPolicy, CheckpointStore};
-use crate::dist::solver::{train_rank, DistConfig};
+use crate::dist::solver::{train_rank, DistConfig, DotKind};
 use crate::error::CoreError;
 use crate::model::SvmModel;
 use crate::params::SvmParams;
@@ -158,6 +158,23 @@ impl<'a> DistSolver<'a> {
     /// Set the compute charges applied to simulated clocks.
     pub fn with_charge(mut self, charge: ComputeCharge) -> Self {
         self.cfg.charge = charge;
+        self
+    }
+
+    /// Set the intra-rank worker-thread count for the fused
+    /// γ-update/shrink sweep and the candidate scan (the paper's hybrid
+    /// MPI+OpenMP layout). Results are bit-identical at every thread
+    /// count; only the simulated critical-path charge changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one worker thread");
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Select the sparse dot-product implementation for the gradient hot
+    /// path (defaults to [`DotKind::Scatter`]; both are bit-identical).
+    pub fn with_dots(mut self, dots: DotKind) -> Self {
+        self.cfg.dots = dots;
         self
     }
 

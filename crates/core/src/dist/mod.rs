@@ -21,4 +21,4 @@ pub mod solver;
 
 pub use checkpoint::{Checkpoint, CheckpointPolicy, CheckpointStore, RankSnapshot};
 pub use driver::{DistRunResult, DistSolver};
-pub use solver::{train_rank, DistConfig, RankOutput};
+pub use solver::{train_rank, DistConfig, DotKind, RankOutput};

@@ -87,6 +87,9 @@ pub(crate) fn reconstruct(st: &mut RankState<'_>, comm: &mut Comm) -> ReconEvent
         st.grad[li] = gtmp[k] - st.y(li);
         st.active[li] = true;
     }
+    // The active span is the full block again: rebuild the iteration list
+    // and drop cached kernel rows (they span the pre-recon active list).
+    st.on_reconstruction();
 
     st.add_recon_time(comm.clock() - clock_before);
     comm.trace_span("reconstruction", "solver", clock_before, comm.clock());

@@ -28,8 +28,11 @@ use std::sync::Arc;
 
 use shrinksvm_mpisim::{Comm, MaxLoc, MinLoc};
 use shrinksvm_obs::MetricsRegistry;
-use shrinksvm_sparse::Dataset;
+use shrinksvm_sparse::{ops, Dataset, RowView, ScratchPad};
+use shrinksvm_threads::schedule::static_block;
+use shrinksvm_threads::ThreadPool;
 
+use crate::cache::KernelCache;
 use crate::dist::checkpoint::{Checkpoint, CheckpointCtx, RankSnapshot};
 use crate::dist::msg::{decode_pair, encode_pair, PairSample};
 use crate::dist::partition::Partition;
@@ -48,15 +51,41 @@ use crate::trace::RankTrace;
 const TAG_UP: u64 = 1;
 const TAG_LOW: u64 = 2;
 
+/// Rows held by the pivot-pair memo (the `k_uu/k_ll/k_ul` triple per
+/// selected pair). The same worst-violator pair is reselected across
+/// consecutive iterations, so a handful of entries is plenty.
+const PAIR_MEMO_ROWS: usize = 16;
+
 /// Solver telemetry cadence: the KKT gap is sampled into the metrics
 /// registry once per this many iterations (an "epoch"), keyed on the
 /// iteration counter — never wall time.
 pub const METRICS_EPOCH: u64 = 256;
 
+/// Sparse dot-product implementation used by the gradient-update hot path.
+///
+/// Both produce **bit-identical** kernel values: the scatter path gathers
+/// at exactly the merge-join's overlap columns in the same ascending order
+/// (see [`shrinksvm_sparse::ops::dot_scatter`]), and the post-dot
+/// arithmetic is shared through [`KernelKind::eval_from_dot`]. They differ
+/// only in cost: merge-join touches `nnz_i + nnz_pivot` entries per active
+/// row, the scatter gather touches `nnz_i` plus one `2·nnz_pivot`
+/// scatter/unscatter per pivot per iteration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DotKind {
+    /// Two-pointer merge over both rows' column lists (the pre-optimization
+    /// path, kept for A/B benchmarking).
+    MergeJoin,
+    /// Scatter the pivot into a dense [`ScratchPad`] once, then index-gather
+    /// each active row against it.
+    #[default]
+    Scatter,
+}
+
 /// Distributed-run configuration.
 #[derive(Clone, Debug)]
 pub struct DistConfig {
-    /// Hyper-parameters (including the shrinking policy).
+    /// Hyper-parameters (including the shrinking policy). A nonzero
+    /// [`SvmParams::cache_bytes`] enables the per-rank kernel row cache.
     pub params: SvmParams,
     /// Compute charges applied to the simulated clocks.
     pub charge: ComputeCharge,
@@ -64,16 +93,25 @@ pub struct DistConfig {
     pub checkpoint: Option<CheckpointCtx>,
     /// Consistent checkpoint to resume from instead of a cold start.
     pub resume: Option<Arc<Checkpoint>>,
+    /// Intra-rank worker threads for the fused γ-update/shrink sweep and
+    /// the candidate scan (the paper's hybrid MPI+OpenMP layout); clamped
+    /// to ≥ 1. Results are bit-identical at every thread count.
+    pub threads: usize,
+    /// Dot-product implementation for the hot path.
+    pub dots: DotKind,
 }
 
 impl DistConfig {
-    /// Config with default compute charges and no checkpointing.
+    /// Config with default compute charges, scatter dots, one intra-rank
+    /// thread and no checkpointing.
     pub fn new(params: SvmParams) -> Self {
         DistConfig {
             params,
             charge: ComputeCharge::default(),
             checkpoint: None,
             resume: None,
+            threads: 1,
+            dots: DotKind::default(),
         }
     }
 }
@@ -104,6 +142,17 @@ struct PhaseEnd {
     gap: f64,
 }
 
+/// Per-chunk partial result of the fused γ-update/shrink sweep, merged in
+/// chunk order so the outcome is identical at every thread count.
+#[derive(Default)]
+struct SweepPart {
+    /// Samples that survived this chunk's shrink test.
+    survivors: u64,
+    /// Active-list *positions* that survive the shrink pass, ascending
+    /// within the chunk (empty on non-shrink iterations).
+    keep_pos: Vec<u32>,
+}
+
 /// Per-rank solver state.
 pub(crate) struct RankState<'a> {
     ds: &'a Dataset,
@@ -120,8 +169,25 @@ pub(crate) struct RankState<'a> {
     pub(crate) grad: Vec<f64>,
     /// Active flags for owned samples.
     pub(crate) active: Vec<bool>,
+    /// Ascending raw local indices of the active samples — the iteration
+    /// space of the candidate scan and the fused sweep, and the span of
+    /// every cached kernel row. Kept in lockstep with `active` (rebuilt on
+    /// shrink passes, reconstruction and restore).
+    active_list: Vec<u32>,
     /// Cached squared norms for owned samples.
     pub(crate) sq: Vec<f64>,
+    /// Intra-rank worker pool for the hot-path loops.
+    pool: ThreadPool,
+    /// Dot-product implementation for pivot-row evaluation.
+    dots: DotKind,
+    /// Dense scratch the pivot row is scattered into (`DotKind::Scatter`).
+    pad: ScratchPad,
+    /// LRU cache of pivot kernel rows over the active span, keyed by
+    /// global pivot index. `None` when `params.cache_bytes == 0`.
+    row_cache: Option<KernelCache>,
+    /// Memo of the `[k_uu, k_ll, k_ul]` triple, keyed by the packed pair
+    /// `(up << 32) | low`. Enabled together with `row_cache`.
+    pair_cache: Option<KernelCache>,
     /// Iterations remaining until the next shrink pass (`None` = never).
     shrink_countdown: Option<u64>,
     initial_threshold: Option<u64>,
@@ -157,6 +223,8 @@ impl<'a> RankState<'a> {
         let sq: Vec<f64> = range.clone().map(|i| ds.x.row(i).squared_norm()).collect();
         let policy: ShrinkPolicy = cfg.params.shrink;
         let initial_threshold = policy.initial_threshold(ds.len());
+        debug_assert!(ln <= u32::MAX as usize, "local block exceeds u32 index");
+        let cache_on = cfg.params.cache_bytes > 0;
         let mut st = RankState {
             ds,
             kind: cfg.params.kernel,
@@ -168,7 +236,14 @@ impl<'a> RankState<'a> {
             alpha,
             grad,
             active,
+            active_list: Vec::new(),
             sq,
+            pool: ThreadPool::new(cfg.threads),
+            dots: cfg.dots,
+            pad: ScratchPad::new(ds.x.ncols()),
+            row_cache: cache_on
+                .then(|| KernelCache::with_byte_budget(cfg.params.cache_bytes, ln.max(1))),
+            pair_cache: cache_on.then(|| KernelCache::with_capacity_rows(PAIR_MEMO_ROWS)),
             shrink_countdown: initial_threshold,
             initial_threshold,
             subsequent: policy.subsequent,
@@ -187,7 +262,39 @@ impl<'a> RankState<'a> {
         if let Some(ck) = &cfg.resume {
             st.restore(ck);
         }
+        st.rebuild_active_list();
         st
+    }
+
+    /// Recompute `active_list` from the `active` flags.
+    fn rebuild_active_list(&mut self) {
+        self.active_list.clear();
+        for (li, &a) in self.active.iter().enumerate() {
+            if a {
+                self.active_list.push(li as u32);
+            }
+        }
+    }
+
+    /// Drop every cached kernel value. Called wherever the active span is
+    /// rebuilt wholesale (reconstruction reactivates every shrunk sample;
+    /// a checkpoint restore replaces the active flags), since cached rows
+    /// are positional over the active list and would silently misalign.
+    fn invalidate_caches(&mut self) {
+        if let Some(rc) = &mut self.row_cache {
+            rc.clear();
+        }
+        if let Some(pc) = &mut self.pair_cache {
+            pc.clear();
+        }
+    }
+
+    /// Re-sync the solver after a gradient reconstruction reactivated the
+    /// shrunk samples: the active span is the full block again, so cached
+    /// rows (spanning the old, shorter active list) must go.
+    pub(crate) fn on_reconstruction(&mut self) {
+        self.rebuild_active_list();
+        self.invalidate_caches();
     }
 
     /// Overwrite the cold-start state with a consistent checkpoint.
@@ -216,6 +323,10 @@ impl<'a> RankState<'a> {
         self.iterations = ck.iterations;
         self.stage = ck.stage;
         self.last_betas = ck.last_betas;
+        // The restored active flags define a new span; cached rows from
+        // before the crash (a fresh state has none, but be explicit) are
+        // positionally meaningless now.
+        self.invalidate_caches();
     }
 
     /// Post a snapshot when the cadence hits this iteration. Called right
@@ -289,37 +400,45 @@ impl<'a> RankState<'a> {
         self.kind.eval(self.row(li), r, self.sq[li], r_sq)
     }
 
-    /// Scan active local samples for the worst-violator candidates.
+    /// Scan active local samples for the worst-violator candidates,
+    /// chunked over the worker pool.
+    ///
+    /// Deterministic at every thread count: each chunk folds its
+    /// (ascending) share of the active list with the usual index
+    /// tie-breaks, and the per-chunk partials are combined in chunk order.
+    /// `MinLoc`/`MaxLoc` comparison is a total order over `(value, index)`,
+    /// so the fold result is the set minimum/maximum — independent of where
+    /// the chunk boundaries fall.
     fn local_candidates(&self) -> (MinLoc, MaxLoc) {
-        let mut up = MinLoc::identity();
-        let mut low = MaxLoc::identity();
-        for li in 0..self.local_n() {
-            if !self.active[li] {
-                continue;
-            }
-            let (y, a, g) = (self.y(li), self.alpha[li], self.grad[li]);
-            let ci = self.c_of(li);
-            let gidx = (self.lo + li) as u64;
-            if in_up_set(y, a, ci) {
-                up = MinLoc::combine(
-                    up,
-                    MinLoc {
-                        value: g,
-                        index: gidx,
-                    },
-                );
-            }
-            if in_low_set(y, a, ci) {
-                low = MaxLoc::combine(
-                    low,
-                    MaxLoc {
-                        value: g,
-                        index: gidx,
-                    },
-                );
-            }
-        }
-        (up, low)
+        self.pool.parallel_reduce(
+            0..self.active_list.len(),
+            || (MinLoc::identity(), MaxLoc::identity()),
+            |acc, pos| {
+                let li = self.active_list[pos] as usize;
+                let (y, a, g) = (self.y(li), self.alpha[li], self.grad[li]);
+                let ci = self.c_of(li);
+                let gidx = (self.lo + li) as u64;
+                if in_up_set(y, a, ci) {
+                    acc.0 = MinLoc::combine(
+                        acc.0,
+                        MinLoc {
+                            value: g,
+                            index: gidx,
+                        },
+                    );
+                }
+                if in_low_set(y, a, ci) {
+                    acc.1 = MaxLoc::combine(
+                        acc.1,
+                        MaxLoc {
+                            value: g,
+                            index: gidx,
+                        },
+                    );
+                }
+            },
+            |a, b| (MinLoc::combine(a.0, b.0), MaxLoc::combine(a.1, b.1)),
+        )
     }
 
     /// Gather a local sample into a wire record.
@@ -373,6 +492,164 @@ impl<'a> RankState<'a> {
         decode_pair(&bytes).expect("valid pair bundle from rank 0")
     }
 
+    /// Fill `out[pos] = K(x_{active_list[pos]}, pivot)` over the active
+    /// span, chunked over the worker pool. Returns per-chunk
+    /// `(madds, evals)` accounting in chunk order; the caller charges the
+    /// critical path (`max` over chunks) to the simulated clock.
+    ///
+    /// Kernel values are bit-identical between the two dot
+    /// implementations: the scatter gather performs the merge-join's exact
+    /// f64 sequence ([`ops::dot_scatter`]), and both feed
+    /// [`KernelKind::eval_from_dot`].
+    fn fill_pivot_row(
+        &mut self,
+        pivot: RowView<'_>,
+        pivot_sq: f64,
+        out: &mut [f64],
+    ) -> Vec<(u64, u64)> {
+        let m = out.len();
+        debug_assert_eq!(m, self.active_list.len());
+        if m == 0 {
+            return Vec::new();
+        }
+        let t = self.pool.nthreads().min(m).max(1);
+        let mut bounds: Vec<usize> = (0..t).map(|w| static_block(0, m, w, t).0).collect();
+        bounds.push(m);
+        let kind = self.kind;
+        let lo = self.lo;
+        match self.dots {
+            DotKind::Scatter => {
+                self.pad.load(pivot);
+                let (pad, active_list, ds, sq) = (&self.pad, &self.active_list, self.ds, &self.sq);
+                let parts = self.pool.parallel_parts(out, &bounds, |_, off, chunk| {
+                    let mut madds = 0u64;
+                    for (k, slot) in chunk.iter_mut().enumerate() {
+                        let li = active_list[off + k] as usize;
+                        let row = ds.x.row(lo + li);
+                        madds += row.nnz() as u64;
+                        *slot = kind.eval_from_dot(pad.dot(row), sq[li], pivot_sq);
+                    }
+                    (madds, chunk.len() as u64)
+                });
+                self.pad.clear();
+                parts
+            }
+            DotKind::MergeJoin => {
+                let pnnz = pivot.nnz() as u64;
+                let (active_list, ds, sq) = (&self.active_list, self.ds, &self.sq);
+                self.pool.parallel_parts(out, &bounds, |_, off, chunk| {
+                    let mut madds = 0u64;
+                    for (k, slot) in chunk.iter_mut().enumerate() {
+                        let li = active_list[off + k] as usize;
+                        let row = ds.x.row(lo + li);
+                        madds += row.nnz() as u64 + pnnz;
+                        *slot = kind.eval_from_dot(ops::dot(row, pivot), sq[li], pivot_sq);
+                    }
+                    (madds, chunk.len() as u64)
+                })
+            }
+        }
+    }
+
+    /// Obtain `K(active, pivot)` over the active span — served from the row
+    /// cache when enabled, else freshly computed. Returns
+    /// `(row, sim_cost, evals)`:
+    ///
+    /// * miss / cache off: the threaded fill's critical-path cost, plus a
+    ///   `2·nnz_pivot` scatter/unscatter setup under [`DotKind::Scatter`];
+    /// * hit: one [`ComputeCharge::cache_lookup`] plus the dense fma sweep
+    ///   (`max_chunk · fma_per_elem`) — the λ the cache saved is exactly
+    ///   what is *not* charged, so simulated time reflects the reuse.
+    fn acquire_pivot_row(
+        &mut self,
+        gidx: u64,
+        pivot: RowView<'_>,
+        pivot_sq: f64,
+    ) -> (Arc<Vec<f64>>, f64, u64) {
+        let m = self.active_list.len();
+        let charge = self.charge;
+        let mut cache = self.row_cache.take();
+        let mut fill_parts: Option<Vec<(u64, u64)>> = None;
+        let row = if let Some(c) = &mut cache {
+            c.get_or_compute(gidx as usize, || {
+                let mut v = vec![0.0; m];
+                fill_parts = Some(self.fill_pivot_row(pivot, pivot_sq, &mut v));
+                v
+            })
+        } else {
+            let mut v = vec![0.0; m];
+            fill_parts = Some(self.fill_pivot_row(pivot, pivot_sq, &mut v));
+            Arc::new(v)
+        };
+        self.row_cache = cache;
+        match fill_parts {
+            Some(parts) => {
+                let setup = if self.dots == DotKind::Scatter && m > 0 {
+                    2.0 * pivot.nnz() as f64 * charge.lambda_per_nnz
+                } else {
+                    0.0
+                };
+                let crit = parts
+                    .iter()
+                    .map(|&(md, ev)| {
+                        md as f64 * charge.lambda_per_nnz + ev as f64 * charge.kernel_overhead
+                    })
+                    .fold(0.0, f64::max);
+                let evals: u64 = parts.iter().map(|p| p.1).sum();
+                (row, setup + crit, evals)
+            }
+            None => {
+                let t = self.pool.nthreads().min(m).max(1);
+                let max_chunk = if m == 0 { 0 } else { m.div_ceil(t) };
+                (
+                    row,
+                    charge.cache_lookup + max_chunk as f64 * charge.fma_per_elem,
+                    0,
+                )
+            }
+        }
+    }
+
+    /// `k_uu, k_ll, k_ul` for the routed pair — memoized when caching is
+    /// enabled, since the worst-violator pair is frequently reselected
+    /// across consecutive iterations. Returns
+    /// `(k_uu, k_ll, k_ul, sim_cost, evals)`. Kernel values are pure
+    /// functions of the pair indices, so memoized entries never go stale.
+    fn pivot_triple(&mut self, sup: &PairSample, slow: &PairSample) -> (f64, f64, f64, f64, u64) {
+        let kind = self.kind;
+        let compute = || {
+            let (rup, rlow) = (sup.row(), slow.row());
+            vec![
+                kind.eval(rup, rup, sup.sq_norm, sup.sq_norm),
+                kind.eval(rlow, rlow, slow.sq_norm, slow.sq_norm),
+                kind.eval(rup, rlow, sup.sq_norm, slow.sq_norm),
+            ]
+        };
+        if let Some(pc) = &mut self.pair_cache {
+            // Packed-pair key, built in u64 so the shift is well-defined on
+            // every platform; global indices fit u32 (sparse column ids
+            // already impose that bound on the datasets we target). The
+            // `as usize` is lossless on the 64-bit targets we build for —
+            // a truncating platform would alias keys, hence the assert.
+            const { assert!(usize::BITS >= 64, "pair memo needs 64-bit keys") };
+            debug_assert!(sup.index <= u64::from(u32::MAX) && slow.index <= u64::from(u32::MAX));
+            let key = ((sup.index << 32) | slow.index) as usize;
+            let mut computed = false;
+            let row = pc.get_or_compute(key, || {
+                computed = true;
+                compute()
+            });
+            if computed {
+                (row[0], row[1], row[2], 3.0 * self.charge.kernel_overhead, 3)
+            } else {
+                (row[0], row[1], row[2], self.charge.cache_lookup, 0)
+            }
+        } else {
+            let v = compute();
+            (v[0], v[1], v[2], 3.0 * self.charge.kernel_overhead, 3)
+        }
+    }
+
     /// One optimization phase: iterate until `β_up + 2·phase_eps > β_low`
     /// on the active set (or the iteration cap).
     fn run_phase(
@@ -389,11 +666,20 @@ impl<'a> RankState<'a> {
             self.last_betas = (up.value, low.value);
             self.maybe_checkpoint(comm);
             let gap = low.value - up.value;
-            // Epoch telemetry: the global KKT violation, sampled on rank 0
-            // so the merged registry carries the series exactly once.
-            if comm.rank() == 0 && self.iterations.is_multiple_of(METRICS_EPOCH) && gap.is_finite()
-            {
-                self.metrics.sample("kkt_gap", self.iterations, gap);
+            // Epoch telemetry: the global KKT violation and the kernel row
+            // cache hit rate, sampled on rank 0 so the merged registry
+            // carries each series exactly once.
+            if comm.rank() == 0 && self.iterations.is_multiple_of(METRICS_EPOCH) {
+                if gap.is_finite() {
+                    self.metrics.sample("kkt_gap", self.iterations, gap);
+                }
+                if let Some(rc) = &self.row_cache {
+                    self.metrics.sample(
+                        "kernel_cache_hit_rate",
+                        self.iterations,
+                        rc.stats().hit_rate(),
+                    );
+                }
             }
             // negated form on purpose: ±∞ candidates (empty scan sets) and
             // NaN must all terminate the phase
@@ -415,10 +701,7 @@ impl<'a> RankState<'a> {
             // Route the pair and solve the two-variable subproblem on every
             // rank identically (Eq. 6/7).
             let (sup, slow) = self.route_pair(comm, up.index as usize, low.index as usize);
-            let (rup, rlow) = (sup.row(), slow.row());
-            let k_uu = self.kind.eval(rup, rup, sup.sq_norm, sup.sq_norm);
-            let k_ll = self.kind.eval(rlow, rlow, slow.sq_norm, slow.sq_norm);
-            let k_ul = self.kind.eval(rup, rlow, sup.sq_norm, slow.sq_norm);
+            let (k_uu, k_ll, k_ul, triple_cost, triple_evals) = self.pivot_triple(&sup, &slow);
             let c_up = if sup.y > 0.0 { self.c_pos } else { self.c_neg };
             let c_lo = if slow.y > 0.0 { self.c_pos } else { self.c_neg };
             let sol = solve_pair_weighted(
@@ -446,58 +729,121 @@ impl<'a> RankState<'a> {
                 self.alpha[low.index as usize - self.lo] = sol.alpha_low;
             }
 
-            // γ update over active local samples (Eq. 2), fused with the
-            // shrink pass and the next candidate scan.
+            // γ update over the active span (Eq. 2), fused with the shrink
+            // pass. Phase A acquires the two pivot kernel rows (cached, or
+            // filled via the configured dot implementation, threaded);
+            // phase B sweeps the gradient chunks over the pool. A zero
+            // delta contributes an exact 0.0 and skips its kernel row, and
+            // the full `cu·K_up + cl·K_low` expression is applied either
+            // way — matching the pre-optimization loop bit-for-bit.
             let cu = sup.y * sol.delta_up;
             let cl = slow.y * sol.delta_low;
             let shrink_pass = shrink_enabled && self.shrink_countdown == Some(0);
+            let m = self.active_list.len();
+            let sweep_t0 = comm.clock();
+            let mut sweep_cost = triple_cost;
+            let mut evals = triple_evals;
+            let row_up = if cu != 0.0 {
+                let (r, cost, ev) = self.acquire_pivot_row(up.index, sup.row(), sup.sq_norm);
+                sweep_cost += cost;
+                evals += ev;
+                Some(r)
+            } else {
+                None
+            };
+            let row_low = if cl != 0.0 {
+                let (r, cost, ev) = self.acquire_pivot_row(low.index, slow.row(), slow.sq_norm);
+                sweep_cost += cost;
+                evals += ev;
+                Some(r)
+            } else {
+                None
+            };
+
             let mut survivors = 0u64;
-            let mut visited = 0u64;
-            let mut madds = 0u64;
-            let mut evals = 0u64;
-            for li in 0..self.local_n() {
-                if !self.active[li] {
-                    continue;
+            let mut keep: Vec<usize> = Vec::new();
+            if m > 0 {
+                let t = self.pool.nthreads().min(m).max(1);
+                let mut pos_bounds: Vec<usize> =
+                    (0..t).map(|w| static_block(0, m, w, t).0).collect();
+                pos_bounds.push(m);
+                // Gradient split positions at the chunk-leading active
+                // samples: chunks own disjoint contiguous `grad` slices, and
+                // every active position of chunk `w` falls inside slice `w`.
+                let mut grad_bounds: Vec<usize> = pos_bounds[..t]
+                    .iter()
+                    .map(|&p| self.active_list[p] as usize)
+                    .collect();
+                grad_bounds.push(self.active_list[m - 1] as usize + 1);
+                let (ds, lo, c_pos, c_neg) = (self.ds, self.lo, self.c_pos, self.c_neg);
+                let (active_list, alpha) = (&self.active_list, &self.alpha);
+                let row_up_s = row_up.as_deref().map(|v| v.as_slice());
+                let row_low_s = row_low.as_deref().map(|v| v.as_slice());
+                let (bup, blow) = (up.value, low.value);
+                let parts =
+                    self.pool
+                        .parallel_parts(&mut self.grad, &grad_bounds, |w, off, gpart| {
+                            let mut sp = SweepPart::default();
+                            for pos in pos_bounds[w]..pos_bounds[w + 1] {
+                                let li = active_list[pos] as usize;
+                                let k_up = match row_up_s {
+                                    Some(r) => r[pos],
+                                    None => 0.0,
+                                };
+                                let k_low = match row_low_s {
+                                    Some(r) => r[pos],
+                                    None => 0.0,
+                                };
+                                let g = &mut gpart[li - off];
+                                *g += cu * k_up + cl * k_low;
+                                if shrink_pass {
+                                    let y = ds.y[lo + li];
+                                    let ci = if y > 0.0 { c_pos } else { c_neg };
+                                    let set = classify(y, alpha[li], ci);
+                                    let in_up_only = matches!(set, IndexSet::I1 | IndexSet::I2);
+                                    let in_low_only = matches!(set, IndexSet::I3 | IndexSet::I4);
+                                    if shrinkable(*g, in_up_only, in_low_only, bup, blow) {
+                                        continue;
+                                    }
+                                    sp.survivors += 1;
+                                    sp.keep_pos.push(pos as u32);
+                                }
+                            }
+                            sp
+                        });
+                for p in &parts {
+                    survivors += p.survivors;
                 }
-                visited += 1;
-                let nnz_i = self.row(li).nnz() as u64;
-                // Single fused expression `cu·K_up + cl·K_low`, matching the
-                // sequential baseline bit-for-bit (a zero delta contributes
-                // an exact 0.0 and skips its kernel evaluation).
-                let k_up = if cu != 0.0 {
-                    madds += nnz_i + sup.cols.len() as u64;
-                    evals += 1;
-                    self.k_vs(li, rup, sup.sq_norm)
-                } else {
-                    0.0
-                };
-                let k_low = if cl != 0.0 {
-                    madds += nnz_i + slow.cols.len() as u64;
-                    evals += 1;
-                    self.k_vs(li, rlow, slow.sq_norm)
-                } else {
-                    0.0
-                };
-                self.grad[li] += cu * k_up + cl * k_low;
                 if shrink_pass {
-                    let set = classify(self.y(li), self.alpha[li], self.c_of(li));
-                    let in_up_only = matches!(set, IndexSet::I1 | IndexSet::I2);
-                    let in_low_only = matches!(set, IndexSet::I3 | IndexSet::I4);
-                    if shrinkable(self.grad[li], in_up_only, in_low_only, up.value, low.value) {
-                        self.active[li] = false;
-                        continue;
+                    keep.reserve(survivors as usize);
+                    for p in &parts {
+                        keep.extend(p.keep_pos.iter().map(|&x| x as usize));
                     }
-                    survivors += 1;
                 }
             }
-            self.trace.sum_active_local += visited as u128;
-            self.trace.kernel_evals += evals + 3;
-            comm.advance_compute(
-                madds as f64 * self.charge.lambda_per_nnz
-                    + (evals + 3) as f64 * self.charge.kernel_overhead,
-            );
+            self.trace.sum_active_local += m as u128;
+            self.trace.kernel_evals += evals;
+            comm.advance_compute(sweep_cost);
+            comm.trace_span("fused_sweep", "solver", sweep_t0, comm.clock());
 
             if shrink_pass {
+                // Fold the surviving positions back into the flags, compact
+                // the cached rows to the surviving span, and rebuild the
+                // active list — all ordered, so independent of chunking.
+                let mut ki = 0usize;
+                for (pos, &li32) in self.active_list.iter().enumerate() {
+                    if ki < keep.len() && keep[ki] == pos {
+                        ki += 1;
+                    } else {
+                        self.active[li32 as usize] = false;
+                    }
+                }
+                if keep.len() < m {
+                    if let Some(rc) = &mut self.row_cache {
+                        rc.resize_rows(&keep);
+                    }
+                    self.active_list = keep.iter().map(|&p| self.active_list[p]).collect();
+                }
                 let global_active = comm.allreduce_u64_sum(survivors);
                 self.shrink_countdown = Some(match self.subsequent {
                     SubsequentPolicy::ActiveSetSize => global_active.max(1),
@@ -509,7 +855,7 @@ impl<'a> RankState<'a> {
                     .active_curve
                     .push((self.iterations, global_active));
                 // local counter (sums to the global shrink total on merge)
-                self.metrics.inc("samples_shrunk", visited - survivors);
+                self.metrics.inc("samples_shrunk", m as u64 - survivors);
                 comm.trace_mark("shrink_pass", "solver");
                 comm.trace_counter("active_set", global_active as f64);
                 if comm.rank() == 0 {
@@ -660,7 +1006,22 @@ pub fn train_rank(
 
     let model = st.assemble_model(comm)?;
     st.trace.iterations = st.iterations;
+    // Hot-path accounting: per-rank cache counters (they sum to global
+    // totals on merge) and this rank's thread-pool utilization.
+    if let Some(rc) = &st.row_cache {
+        let cs = rc.stats();
+        st.metrics.inc("kernel_cache_hits", cs.hits);
+        st.metrics.inc("kernel_cache_misses", cs.misses);
+        st.metrics.inc("kernel_cache_insertions", cs.insertions);
+        st.metrics.inc("kernel_cache_evictions", cs.evictions);
+        if comm.rank() == 0 {
+            st.metrics
+                .set_gauge("kernel_cache_hit_rate_final", cs.hit_rate());
+        }
+    }
     if comm.rank() == 0 {
+        let pool_metrics = st.pool.stats().to_metrics().namespaced("pool");
+        st.metrics.merge(&pool_metrics);
         st.metrics.set_gauge("final_gap", end.gap.max(0.0));
         st.metrics.set_gauge("iterations", st.iterations as f64);
     }

@@ -70,18 +70,32 @@ impl KernelKind {
     /// by the RBF branch).
     #[inline]
     pub fn eval(&self, a: RowView<'_>, b: RowView<'_>, a_sq: f64, b_sq: f64) -> f64 {
+        self.eval_from_dot(ops::dot(a, b), a_sq, b_sq)
+    }
+
+    /// Evaluate from an already-computed inner product `⟨a, b⟩`.
+    ///
+    /// Every kernel family is a function of the dot product (plus the
+    /// squared norms, for RBF), so [`eval`](Self::eval) is this applied to
+    /// the merge-join dot. Callers that obtain the dot another way — e.g.
+    /// the distributed solver's dense-scratch gather
+    /// ([`shrinksvm_sparse::ops::dot_scatter`]), which is bit-identical to
+    /// the merge-join — get bit-identical kernel values because the
+    /// post-dot arithmetic is literally this one function either way.
+    #[inline]
+    pub fn eval_from_dot(&self, dot_ab: f64, a_sq: f64, b_sq: f64) -> f64 {
         match *self {
             KernelKind::Rbf { gamma } => {
-                let d2 = ops::squared_distance(a, b, a_sq, b_sq);
+                let d2 = ops::squared_distance_from_dot(dot_ab, a_sq, b_sq);
                 (-gamma * d2).exp()
             }
-            KernelKind::Linear => ops::dot(a, b),
+            KernelKind::Linear => dot_ab,
             KernelKind::Poly {
                 gamma,
                 coef0,
                 degree,
-            } => (gamma * ops::dot(a, b) + coef0).powi(degree as i32),
-            KernelKind::Sigmoid { gamma, coef0 } => (gamma * ops::dot(a, b) + coef0).tanh(),
+            } => (gamma * dot_ab + coef0).powi(degree as i32),
+            KernelKind::Sigmoid { gamma, coef0 } => (gamma * dot_ab + coef0).tanh(),
         }
     }
 
@@ -267,6 +281,34 @@ mod tests {
         ke.fill_row(2, &mut row);
         for (j, v) in row.iter().enumerate() {
             assert_eq!(*v, ke.k(2, j));
+        }
+    }
+
+    #[test]
+    fn eval_from_dot_bitwise_matches_eval() {
+        let x = matrix();
+        let kinds = [
+            KernelKind::Rbf { gamma: 0.7 },
+            KernelKind::Linear,
+            KernelKind::Poly {
+                gamma: 0.5,
+                coef0: 1.0,
+                degree: 3,
+            },
+            KernelKind::Sigmoid {
+                gamma: 0.5,
+                coef0: -0.5,
+            },
+        ];
+        for kind in kinds {
+            let ke = KernelEval::new(kind, &x);
+            for i in 0..4 {
+                for j in 0..4 {
+                    let d = shrinksvm_sparse::ops::dot(x.row(i), x.row(j));
+                    let via = kind.eval_from_dot(d, ke.sq_norm(i), ke.sq_norm(j));
+                    assert_eq!(via.to_bits(), ke.k(i, j).to_bits(), "{kind:?} ({i},{j})");
+                }
+            }
         }
     }
 

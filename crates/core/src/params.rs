@@ -24,9 +24,11 @@ pub struct SvmParams {
     /// Shrinking configuration (Table II); `ShrinkPolicy::none()` recovers
     /// the *Original* algorithm.
     pub shrink: ShrinkPolicy,
-    /// Kernel-cache budget in bytes for the sequential/multicore baseline
-    /// solver (`0` disables). The distributed solver never caches
-    /// (§III-A2).
+    /// Kernel-cache budget in bytes (`0` disables). The
+    /// sequential/multicore baseline caches full kernel rows; the
+    /// distributed solver uses the same budget per rank for a
+    /// shrink-aware pivot-row cache over its active span (plus a small
+    /// fixed-size memo of the selected pair's `k_uu/k_ll/k_ul` triple).
     pub cache_bytes: usize,
     /// Degenerate-curvature floor.
     pub tau: f64,

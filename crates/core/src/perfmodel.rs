@@ -28,9 +28,20 @@ use crate::trace::Trace;
 pub struct ComputeCharge {
     /// Seconds per stored entry touched by the sparse merge-join
     /// (an evaluation of rows with `a`/`b` entries touches `a + b`).
+    /// The dense-scratch gather dot touches only `a` per evaluation, plus
+    /// one scatter/unscatter of `b` per pivot — charged at this same rate.
     pub lambda_per_nnz: f64,
     /// Fixed seconds per evaluation (exp call, loop setup).
     pub kernel_overhead: f64,
+    /// Fixed seconds per kernel-cache probe (hash lookup + LRU touch).
+    /// Charged on hits in place of the evaluation they avoided.
+    pub cache_lookup: f64,
+    /// Seconds per dense fused multiply-add, charged when a γ update reads
+    /// a cached kernel value instead of evaluating: the sweep still pays
+    /// one fma per active sample, just never the sparse dot. Dense
+    /// streaming is cheaper than the merge-join's branchy walk, hence a
+    /// rate below `lambda_per_nnz`.
+    pub fma_per_elem: f64,
 }
 
 impl ComputeCharge {
@@ -49,6 +60,8 @@ impl Default for ComputeCharge {
         ComputeCharge {
             lambda_per_nnz: 2.0e-9,
             kernel_overhead: 25.0e-9,
+            cache_lookup: 30.0e-9,
+            fma_per_elem: 0.5e-9,
         }
     }
 }

@@ -28,9 +28,11 @@ pub mod io;
 pub mod ops;
 pub mod rowview;
 pub mod scale;
+pub mod scratch;
 
 pub use builder::CsrBuilder;
 pub use csr::CsrMatrix;
 pub use dataset::Dataset;
 pub use error::SparseError;
 pub use rowview::RowView;
+pub use scratch::ScratchPad;

@@ -42,6 +42,36 @@ pub fn dot_dense(a: RowView<'_>, dense: &[f64]) -> f64 {
     acc
 }
 
+/// Gather-form dot product against a *scattered* row, restricted to an
+/// occupancy mask. `O(nnz_a)`.
+///
+/// `dense`/`occupied` describe a sparse row `b` that has been scattered into
+/// a dense scratch buffer (see [`crate::scratch::ScratchPad`]): `occupied[c]`
+/// is true exactly at `b`'s stored columns. The accumulator adds
+/// `av[i] * dense[c]` in ascending order of `a`'s stored columns, **only** at
+/// occupied columns — the exact sequence of f64 operations the merge-join
+/// [`dot`] performs on the overlap, so the result is bit-identical:
+/// `dot_scatter(a, …).to_bits() == dot(a, b).to_bits()`.
+///
+/// The occupancy mask is not an optimization, it is what makes the
+/// bit-identity argument a triviality instead of a case analysis: a naive
+/// `acc += v * dense[c]` over *all* of `a`'s columns adds `v * 0.0` terms at
+/// non-overlap columns, which is only benign when `v` is finite (for
+/// `v = ±inf` or NaN it poisons the accumulator with NaN) and only because a
+/// sum that starts at `+0.0` can never reach `-0.0`. With the mask the two
+/// paths execute the same f64 operations, full stop.
+#[inline]
+pub fn dot_scatter(a: RowView<'_>, dense: &[f64], occupied: &[bool]) -> f64 {
+    let mut acc = 0.0;
+    for (c, v) in a.iter() {
+        let c = c as usize;
+        if occupied[c] {
+            acc += v * dense[c];
+        }
+    }
+    acc
+}
+
 /// Scatter `a` into `dense` (which must be zeroed and long enough), returning
 /// a guard list of touched columns so the caller can cheaply un-scatter.
 pub fn scatter(a: RowView<'_>, dense: &mut [f64]) {
@@ -61,7 +91,19 @@ pub fn unscatter(a: RowView<'_>, dense: &mut [f64]) {
 /// `||a − b||² = ||a||² + ||b||² − 2⟨a,b⟩`, clamped at 0 against rounding.
 #[inline]
 pub fn squared_distance(a: RowView<'_>, b: RowView<'_>, a_sq: f64, b_sq: f64) -> f64 {
-    let d = a_sq + b_sq - 2.0 * dot(a, b);
+    squared_distance_from_dot(dot(a, b), a_sq, b_sq)
+}
+
+/// Squared-norm identity applied to an already-computed dot product.
+///
+/// Split out of [`squared_distance`] so callers that obtain `⟨a,b⟩` through
+/// a different (bit-identical) path — e.g. [`dot_scatter`] against a
+/// [`crate::scratch::ScratchPad`] — reuse the same clamp and the same f64
+/// expression, keeping kernel values bit-for-bit equal across dot
+/// implementations.
+#[inline]
+pub fn squared_distance_from_dot(dot_ab: f64, a_sq: f64, b_sq: f64) -> f64 {
+    let d = a_sq + b_sq - 2.0 * dot_ab;
     if d < 0.0 {
         0.0
     } else {
@@ -129,6 +171,66 @@ mod tests {
     fn dense_dot_matches_sparse() {
         let bd = b().to_dense(6);
         assert_eq!(dot_dense(a(), &bd), dot(a(), b()));
+    }
+
+    /// Scatter `b` by hand (dense values + occupancy mask) for the gather dot.
+    fn scattered_b(dim: usize) -> (Vec<f64>, Vec<bool>) {
+        let mut dense = vec![0.0; dim];
+        let mut occ = vec![false; dim];
+        for (c, v) in b().iter() {
+            dense[c as usize] = v;
+            occ[c as usize] = true;
+        }
+        (dense, occ)
+    }
+
+    #[test]
+    fn scatter_dot_bitwise_matches_merge_join() {
+        let (dense, occ) = scattered_b(6);
+        assert_eq!(
+            dot_scatter(a(), &dense, &occ).to_bits(),
+            dot(a(), b()).to_bits()
+        );
+    }
+
+    #[test]
+    fn scatter_dot_masks_nonfinite_outside_overlap() {
+        // `a` has an infinite value at a column `b` does not store; the naive
+        // unmasked gather would add `inf * 0.0 = NaN`. The mask must skip it.
+        let weird = RowView {
+            indices: &[1, 2],
+            values: &[f64::INFINITY, 0.5],
+        };
+        let (dense, occ) = scattered_b(6);
+        let got = dot_scatter(weird, &dense, &occ);
+        assert_eq!(got.to_bits(), dot(weird, b()).to_bits());
+        assert_eq!(got, 0.5 * 4.0);
+    }
+
+    #[test]
+    fn scatter_dot_preserves_signed_zero_products() {
+        // Overlap whose single product is -0.0: both paths must return the
+        // same zero bit pattern.
+        let neg = RowView {
+            indices: &[2],
+            values: &[-0.0],
+        };
+        let (dense, occ) = scattered_b(6);
+        assert_eq!(
+            dot_scatter(neg, &dense, &occ).to_bits(),
+            dot(neg, b()).to_bits()
+        );
+    }
+
+    #[test]
+    fn distance_from_dot_matches_fused() {
+        let d = dot(a(), b());
+        let a_sq = a().squared_norm();
+        let b_sq = b().squared_norm();
+        assert_eq!(
+            squared_distance_from_dot(d, a_sq, b_sq).to_bits(),
+            squared_distance(a(), b(), a_sq, b_sq).to_bits()
+        );
     }
 
     #[test]

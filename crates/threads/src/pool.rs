@@ -144,6 +144,85 @@ impl ThreadPool {
         });
     }
 
+    /// Run one closure per caller-defined part of `data`, in parallel, and
+    /// return the per-part results **in part order**.
+    ///
+    /// `bounds` are ascending split positions into `data`: part `w` is
+    /// `data[bounds[w]..bounds[w + 1]]`, so `bounds.len() - 1` parts run.
+    /// Elements outside `[bounds[0], bounds[last])` are not handed to any
+    /// part. The closure receives `(part_index, offset_of_part_in_data,
+    /// part)` and its return values are collected into a `Vec` indexed by
+    /// part.
+    ///
+    /// This is the deterministic-merge building block for fused sweeps: the
+    /// caller fixes the partition (e.g. equal shares of the *active* rows,
+    /// cut back to raw-index space), every part mutates only its own
+    /// sub-slice, and the caller folds the returned partials left-to-right.
+    /// Because the fold order is the part order — not completion order —
+    /// results are independent of thread scheduling; and when the per-part
+    /// partials are themselves partition-independent under the caller's
+    /// merge (positionwise writes, integer sums, total-order min/max), the
+    /// final result is bit-identical at every thread count.
+    ///
+    /// # Panics
+    /// If `bounds` is empty, not ascending, or exceeds `data.len()`.
+    pub fn parallel_parts<T, R, F>(&self, data: &mut [T], bounds: &[usize], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, usize, &mut [T]) -> R + Sync,
+    {
+        assert!(!bounds.is_empty(), "bounds must list at least one position");
+        assert!(
+            bounds.windows(2).all(|w| w[0] <= w[1]),
+            "bounds must be ascending"
+        );
+        assert!(
+            bounds[bounds.len() - 1] <= data.len(),
+            "bounds exceed data length"
+        );
+        let parts = bounds.len() - 1;
+        let covered = bounds[parts] - bounds[0];
+        if parts == 0 {
+            self.stats.record_region(0, true);
+            return Vec::new();
+        }
+        if self.nthreads <= 1 || parts <= 1 {
+            self.stats.record_region(covered, true);
+            return (0..parts)
+                .map(|w| {
+                    let (lo, hi) = (bounds[w], bounds[w + 1]);
+                    f(w, lo, &mut data[lo..hi])
+                })
+                .collect();
+        }
+        self.stats.record_region(covered, false);
+        let mut results: Vec<Option<R>> = (0..parts).map(|_| None).collect();
+        std::thread::scope(|s| {
+            // Walk the slice once, splitting off each part; parts own
+            // disjoint sub-slices so they may run (and mutate) concurrently.
+            let mut rest = &mut data[bounds[0]..bounds[parts]];
+            let mut consumed = bounds[0];
+            for (w, slot) in results.iter_mut().enumerate() {
+                let len = bounds[w + 1] - bounds[w];
+                let (part, tail) = rest.split_at_mut(len);
+                rest = tail;
+                let off = consumed;
+                consumed += len;
+                let f = &f;
+                self.stats.record_worker(w % self.nthreads, len);
+                s.spawn(move || {
+                    *slot = Some(f(w, off, part));
+                });
+            }
+        });
+        // Every slot is Some: the scope joins all spawned threads before
+        // returning, and a part panic propagates out of the scope.
+        let collected: Vec<R> = results.into_iter().flatten().collect();
+        debug_assert_eq!(collected.len(), parts, "every part completes");
+        collected
+    }
+
     /// Map-reduce over an index range: each worker folds its share into a
     /// fresh accumulator from `init`, and the per-worker results are combined
     /// left-to-right (worker order) with `combine` — deterministic for
@@ -317,6 +396,68 @@ mod tests {
             },
         );
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parts_respect_bounds_and_order() {
+        for nthreads in [1, 2, 4] {
+            let pool = ThreadPool::new(nthreads);
+            let mut data = vec![0u64; 20];
+            // Three uneven parts over [2, 17); ends untouched.
+            let bounds = [2usize, 5, 11, 17];
+            let sums = pool.parallel_parts(&mut data, &bounds, |w, off, part| {
+                for (k, v) in part.iter_mut().enumerate() {
+                    *v = (off + k) as u64 * 10 + w as u64;
+                }
+                part.iter().sum::<u64>()
+            });
+            assert_eq!(sums.len(), 3);
+            // Results arrive in part order regardless of completion order.
+            for (w, s) in sums.iter().enumerate() {
+                let (lo, hi) = (bounds[w], bounds[w + 1]);
+                let expect: u64 = (lo..hi).map(|i| i as u64 * 10 + w as u64).sum();
+                assert_eq!(*s, expect, "nthreads={nthreads} part {w}");
+            }
+            assert_eq!(data[0], 0);
+            assert_eq!(data[1], 0);
+            assert_eq!(data[17], 0);
+            assert_eq!(data[5], 51);
+        }
+    }
+
+    #[test]
+    fn parts_results_identical_across_thread_counts() {
+        let run = |nthreads: usize| -> (Vec<u64>, Vec<u64>) {
+            let pool = ThreadPool::new(nthreads);
+            let mut data: Vec<u64> = (0..50).collect();
+            let bounds = [0usize, 13, 26, 39, 50];
+            let partials = pool.parallel_parts(&mut data, &bounds, |_, _, part| {
+                for v in part.iter_mut() {
+                    *v = *v * *v;
+                }
+                part.iter().sum::<u64>()
+            });
+            (data, partials)
+        };
+        let base = run(1);
+        assert_eq!(run(2), base);
+        assert_eq!(run(8), base);
+    }
+
+    #[test]
+    fn parts_empty_part_allowed() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![1u64; 6];
+        let lens = pool.parallel_parts(&mut data, &[0, 3, 3, 6], |_, _, p| p.len());
+        assert_eq!(lens, vec![3, 0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn parts_reject_descending_bounds() {
+        let pool = ThreadPool::new(2);
+        let mut data = vec![0u64; 4];
+        pool.parallel_parts(&mut data, &[3, 1], |_, _, _| ());
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Hot-path A/B benchmark: merge-join vs dense-scratch dots, cold vs warm
+//! kernel row cache, and intra-rank threading — the three layers of the
+//! distributed gradient-update rebuild.
+//!
+//! Four configurations train on the same seeded problem:
+//!
+//! * `merge_nocache_t1` — the pre-optimization hot path (two-pointer
+//!   merge-join dots, no cache, one worker): the speedup denominator
+//! * `scatter_nocache_t1` — dense-scratch dots only
+//! * `scatter_cache_t1` — plus the shrink-aware pivot-row cache
+//! * `scatter_cache_t4` — plus four intra-rank workers
+//!
+//! Every configuration must produce a **byte-identical** model (the layer
+//! is pure performance), and the full stack must cut the simulated
+//! makespan by at least 1.5× — both asserted here, so this binary doubles
+//! as the CI perf gate. All numbers are simulated time, so the whole
+//! comparison is run twice and `BENCH_hotpath.json` is asserted
+//! byte-identical before being written.
+//!
+//! ```text
+//! cargo run --release --example bench_hotpath [out_dir]
+//! ```
+
+use std::path::PathBuf;
+
+use shrinksvm::prelude::*;
+use shrinksvm_core::dist::DotKind;
+use shrinksvm_datagen::gaussian;
+use shrinksvm_obs::json;
+
+/// The optimized stack must beat the pre-optimization hot path by at
+/// least this factor in simulated time.
+const MIN_SPEEDUP: f64 = 1.5;
+
+struct Config {
+    name: &'static str,
+    dots: DotKind,
+    cache_bytes: usize,
+    threads: usize,
+}
+
+const CONFIGS: [Config; 4] = [
+    Config {
+        name: "merge_nocache_t1",
+        dots: DotKind::MergeJoin,
+        cache_bytes: 0,
+        threads: 1,
+    },
+    Config {
+        name: "scatter_nocache_t1",
+        dots: DotKind::Scatter,
+        cache_bytes: 0,
+        threads: 1,
+    },
+    Config {
+        name: "scatter_cache_t1",
+        dots: DotKind::Scatter,
+        cache_bytes: 4 << 20,
+        threads: 1,
+    },
+    Config {
+        name: "scatter_cache_t4",
+        dots: DotKind::Scatter,
+        cache_bytes: 4 << 20,
+        threads: 4,
+    },
+];
+
+fn model_bytes(m: &SvmModel) -> Vec<u8> {
+    let mut b = Vec::new();
+    m.write_to(&mut b).expect("serializing to memory");
+    b
+}
+
+fn run_once() -> String {
+    let ds = gaussian::two_blobs(400, 12, 3.0, 7);
+    let params = SvmParams::new(4.0, KernelKind::rbf_from_sigma_sq(2.0))
+        .with_epsilon(1e-3)
+        .with_shrink(ShrinkPolicy::best());
+
+    let mut reference: Option<Vec<u8>> = None;
+    let mut makespans = Vec::new();
+    let mut last = None;
+    for cfg in &CONFIGS {
+        let run = DistSolver::new(&ds, params.clone().with_cache_bytes(cfg.cache_bytes))
+            .with_processes(4)
+            .with_threads(cfg.threads)
+            .with_dots(cfg.dots)
+            .train()
+            .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        assert!(run.converged, "{} converged", cfg.name);
+        let bytes = model_bytes(&run.model);
+        match &reference {
+            None => reference = Some(bytes),
+            Some(r) => assert_eq!(
+                *r, bytes,
+                "{}: hot-path layers must not change the model",
+                cfg.name
+            ),
+        }
+        makespans.push((cfg.name, run.makespan));
+        last = Some(run);
+    }
+
+    let optimized = last.expect("at least one config ran");
+    let baseline_makespan = makespans[0].1;
+    let speedup = baseline_makespan / optimized.makespan;
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "optimized hot path must be ≥{MIN_SPEEDUP}× faster than the \
+         pre-optimization path, got {speedup:.2}× \
+         ({baseline_makespan:.6}s -> {:.6}s)",
+        optimized.makespan
+    );
+
+    let mut report = optimized.bench_report("hotpath");
+    report.speedup_vs_original = None;
+    for (name, makespan) in &makespans {
+        report.extras.insert(format!("makespan_{name}"), *makespan);
+    }
+    report
+        .extras
+        .insert("speedup_vs_merge_nocache_t1".to_string(), speedup);
+    if let Some(hr) = optimized.metrics.gauge("kernel_cache_hit_rate_final") {
+        report
+            .extras
+            .insert("kernel_cache_hit_rate_final".to_string(), hr);
+    }
+    report.extras.insert(
+        "kernel_cache_hits".to_string(),
+        optimized.metrics.counter("kernel_cache_hits") as f64,
+    );
+    report.extras.insert(
+        "kernel_cache_misses".to_string(),
+        optimized.metrics.counter("kernel_cache_misses") as f64,
+    );
+    report.to_json()
+}
+
+fn main() {
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results".into())
+        .into();
+
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a, b, "bench report must be deterministic");
+    json::check(&a).expect("bench JSON well-formed");
+
+    std::fs::create_dir_all(&out).expect("create out dir");
+    std::fs::write(out.join("BENCH_hotpath.json"), &a).expect("write bench report");
+
+    println!("{a}");
+    println!("wrote {}", out.join("BENCH_hotpath.json").display());
+    println!("determinism: two same-seed runs produced byte-identical reports ✓");
+}

@@ -1,6 +1,6 @@
 //! Repo-specific lint rules, run as `cargo xtask lint`.
 //!
-//! Three rules, all text-based (no rustc plumbing, no dependencies):
+//! Four rules, all text-based (no rustc plumbing, no dependencies):
 //!
 //! 1. **wall-clock** — simulated code paths (`crates/mpisim`, `crates/core`)
 //!    must not read the host clock (`Instant::now` / `SystemTime::now`):
@@ -18,6 +18,13 @@
 //! 3. **relaxed ordering** — every `Ordering::Relaxed` outside test code
 //!    needs a `// relaxed:` justification within the two preceding lines
 //!    (or on the same line) explaining why no stronger ordering is needed.
+//!
+//! 4. **scratch hygiene** — raw `dot_scatter` calls are confined to
+//!    `crates/sparse`: the function reads a caller-managed dense buffer plus
+//!    occupancy mask, and reusing such a scratch without clearing it between
+//!    pivots corrupts every subsequent dot silently. Everyone else must go
+//!    through `shrinksvm_sparse::ScratchPad`, which owns the hazard
+//!    (touched-index-list clearing, all-zero debug assertion on load).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -278,6 +285,38 @@ pub fn check_relaxed(rel_path: &str, content: &str) -> Vec<Finding> {
     findings
 }
 
+// ------------------------------------------------------------------ rule 4
+
+/// Rule 4: raw dense-scratch dots outside `crates/sparse`.
+///
+/// A `dot_scatter` call site implies a hand-managed dense buffer and
+/// occupancy mask; `ScratchPad` is the sanctioned owner of that pair (it
+/// zeroes via the recorded touched-index list and debug-asserts the buffer
+/// is all-zero on entry to `load`). Test code is exempt.
+pub fn check_scratch_hygiene(rel_path: &str, content: &str) -> Vec<Finding> {
+    if rel_path.starts_with("crates/sparse/src") {
+        return Vec::new();
+    }
+    let lines: Vec<&str> = content.lines().collect();
+    let mask = test_code_mask(&lines);
+    let mut findings = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if mask[idx] || !code_part(line).contains("dot_scatter(") {
+            continue;
+        }
+        findings.push(Finding {
+            file: rel_path.to_string(),
+            line: idx + 1,
+            rule: "scratch-hygiene",
+            message: "raw `dot_scatter` against a hand-managed dense scratch; go \
+                      through `shrinksvm_sparse::ScratchPad` (touched-list clearing \
+                      + all-zero debug assertion) instead"
+                .to_string(),
+        });
+    }
+    findings
+}
+
 // ------------------------------------------------------------------ driver
 
 /// Recursively collect `.rs` files under `root` (absolute), returned as
@@ -320,7 +359,7 @@ pub fn run_lint(repo: &Path, update_allowlist: bool) -> std::io::Result<Vec<Find
         findings.extend(check_wall_clock(rel, content));
     }
 
-    // Rules 2 and 3 over the library trees.
+    // Rules 2, 3 and 4 over the library trees.
     let mut lib_files = Vec::new();
     for root in LIBRARY_ROOTS {
         collect_rs(repo, &repo.join(root), &mut lib_files);
@@ -332,6 +371,7 @@ pub fn run_lint(repo: &Path, update_allowlist: bool) -> std::io::Result<Vec<Find
             counts.insert(rel.clone(), n);
         }
         findings.extend(check_relaxed(rel, content));
+        findings.extend(check_scratch_hygiene(rel, content));
     }
     let allow_file = repo.join(ALLOWLIST_PATH);
     if update_allowlist {
@@ -447,6 +487,30 @@ mod tests {
         let src = "#[cfg(test)]\nmod tests {\n    fn t(c: &AtomicU64) {\n        \
                    c.load(Ordering::Relaxed);\n    }\n}\n";
         assert!(check_relaxed("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_dot_scatter_outside_sparse_is_flagged() {
+        let src = "fn f() {\n    let d = ops::dot_scatter(a, &dense, &occ);\n}\n";
+        let hits = check_scratch_hygiene("crates/core/src/dist/solver.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 2);
+        assert_eq!(hits[0].rule, "scratch-hygiene");
+    }
+
+    #[test]
+    fn dot_scatter_inside_sparse_and_in_tests_is_exempt() {
+        let src = "fn f() {\n    let d = ops::dot_scatter(a, &dense, &occ);\n}\n";
+        assert!(check_scratch_hygiene("crates/sparse/src/scratch.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        \
+                        let d = ops::dot_scatter(a, &dense, &occ);\n    }\n}\n";
+        assert!(check_scratch_hygiene("crates/core/src/x.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn dot_scatter_in_comments_is_not_flagged() {
+        let src = "// see ops::dot_scatter( for the bit-identity argument\nlet x = 1;\n";
+        assert!(check_scratch_hygiene("crates/core/src/x.rs", src).is_empty());
     }
 
     #[test]
