@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 
 use shrinksvm_mpisim::{CommStats, CostParams, FaultPlan, Universe, ValidationReport};
 use shrinksvm_obs::timeline::{Event, Timeline};
-use shrinksvm_obs::{BenchReport, MetricsRegistry};
+use shrinksvm_obs::{attrib, BenchReport, MetricsRegistry, PerfDoctor};
 use shrinksvm_sparse::Dataset;
 
 use crate::dist::checkpoint::{CheckpointCtx, CheckpointPolicy, CheckpointStore};
@@ -58,6 +58,13 @@ pub struct DistRunResult {
     /// epoch series (active-set size, KKT gap) are recorded once on
     /// rank 0.
     pub metrics: MetricsRegistry,
+    /// Trace-analysis report of the final attempt (`None` without
+    /// [`DistSolver::with_tracing`]): the exact critical path through the
+    /// event DAG, the five-bucket makespan attribution (crash-recovery
+    /// cost from aborted attempts fills the recovery bucket), and the
+    /// what-if projections. Render with [`PerfDoctor::render_text`] /
+    /// [`PerfDoctor::to_json`].
+    pub perf: Option<PerfDoctor>,
 }
 
 impl DistRunResult {
@@ -93,6 +100,11 @@ impl DistRunResult {
         r.extras.insert("recon_time".to_string(), self.recon_time);
         r.extras
             .insert("n_sv".to_string(), self.model.n_sv() as f64);
+        if let Some(doc) = &self.perf {
+            for (k, v) in attrib::bench_extras(doc) {
+                r.extras.insert(k.to_string(), v);
+            }
+        }
         r
     }
 }
@@ -268,7 +280,7 @@ impl<'a> DistSolver<'a> {
                 });
                 cfg.resume = store.last();
             }
-            let (outcomes, report, mut timeline) =
+            let (outcomes, report, mut timeline, deps) =
                 match universe.run_try_observed(|comm| train_rank(comm, ds, &cfg)) {
                     Ok(result) => result,
                     Err(notice) => {
@@ -339,6 +351,17 @@ impl<'a> DistSolver<'a> {
                 }
                 timeline.normalize();
             }
+            // Trace analysis of the final attempt. A failure here is a
+            // simulator bug (the dep log must replay bit-for-bit), so it
+            // dies loudly rather than shipping wrong numbers.
+            let perf = if self.tracing {
+                match PerfDoctor::analyze(&deps, recovery_cost) {
+                    Ok(doc) => Some(doc),
+                    Err(e) => panic!("PerfDoctor analysis failed: {e}"),
+                }
+            } else {
+                None
+            };
             let first = &values[0];
             let traces: Vec<_> = values.iter().map(|v| v.trace.clone()).collect();
             let trace = merge_rank_traces(
@@ -363,6 +386,7 @@ impl<'a> DistSolver<'a> {
                 report,
                 timeline,
                 metrics,
+                perf,
             });
         }
     }

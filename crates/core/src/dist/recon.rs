@@ -74,8 +74,10 @@ pub(crate) fn reconstruct(st: &mut RankState<'_>, comm: &mut Comm) -> ReconEvent
         }
         let evals = block.len() as u64 * omega.len() as u64;
         st.trace.kernel_evals += evals;
-        comm.advance_compute(
+        comm.advance_compute_classed(
             madds as f64 * st.charge.lambda_per_nnz + evals as f64 * st.charge.kernel_overhead,
+            "recon",
+            None,
         );
         if step + 1 < p {
             cur = comm.ring_shift(&cur);

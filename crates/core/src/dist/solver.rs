@@ -553,19 +553,24 @@ impl<'a> RankState<'a> {
 
     /// Obtain `K(active, pivot)` over the active span — served from the row
     /// cache when enabled, else freshly computed. Returns
-    /// `(row, sim_cost, evals)`:
+    /// `(row, sim_cost, alt_cost, evals)`:
     ///
     /// * miss / cache off: the threaded fill's critical-path cost, plus a
     ///   `2·nnz_pivot` scatter/unscatter setup under [`DotKind::Scatter`];
     /// * hit: one [`ComputeCharge::cache_lookup`] plus the dense fma sweep
     ///   (`max_chunk · fma_per_elem`) — the λ the cache saved is exactly
     ///   what is *not* charged, so simulated time reflects the reuse.
+    ///
+    /// `alt_cost` is always the hit-path cost: what this acquisition would
+    /// charge under an infinitely large, fully warm kernel cache. It feeds
+    /// the PerfDoctor `infinite_cache` what-if projection and never touches
+    /// the clock.
     fn acquire_pivot_row(
         &mut self,
         gidx: u64,
         pivot: RowView<'_>,
         pivot_sq: f64,
-    ) -> (Arc<Vec<f64>>, f64, u64) {
+    ) -> (Arc<Vec<f64>>, f64, f64, u64) {
         let m = self.active_list.len();
         let charge = self.charge;
         let mut cache = self.row_cache.take();
@@ -582,6 +587,9 @@ impl<'a> RankState<'a> {
             Arc::new(v)
         };
         self.row_cache = cache;
+        let t = self.pool.nthreads().min(m).max(1);
+        let max_chunk = if m == 0 { 0 } else { m.div_ceil(t) };
+        let hit_cost = charge.cache_lookup + max_chunk as f64 * charge.fma_per_elem;
         match fill_parts {
             Some(parts) => {
                 let setup = if self.dots == DotKind::Scatter && m > 0 {
@@ -596,26 +604,25 @@ impl<'a> RankState<'a> {
                     })
                     .fold(0.0, f64::max);
                 let evals: u64 = parts.iter().map(|p| p.1).sum();
-                (row, setup + crit, evals)
+                (row, setup + crit, hit_cost, evals)
             }
-            None => {
-                let t = self.pool.nthreads().min(m).max(1);
-                let max_chunk = if m == 0 { 0 } else { m.div_ceil(t) };
-                (
-                    row,
-                    charge.cache_lookup + max_chunk as f64 * charge.fma_per_elem,
-                    0,
-                )
-            }
+            None => (row, hit_cost, hit_cost, 0),
         }
     }
 
     /// `k_uu, k_ll, k_ul` for the routed pair — memoized when caching is
     /// enabled, since the worst-violator pair is frequently reselected
     /// across consecutive iterations. Returns
-    /// `(k_uu, k_ll, k_ul, sim_cost, evals)`. Kernel values are pure
-    /// functions of the pair indices, so memoized entries never go stale.
-    fn pivot_triple(&mut self, sup: &PairSample, slow: &PairSample) -> (f64, f64, f64, f64, u64) {
+    /// `(k_uu, k_ll, k_ul, sim_cost, alt_cost, evals)`, where `alt_cost`
+    /// is the memo-hit cost (one cache lookup) — the infinite-cache
+    /// what-if charge. Kernel values are pure functions of the pair
+    /// indices, so memoized entries never go stale.
+    #[allow(clippy::type_complexity)]
+    fn pivot_triple(
+        &mut self,
+        sup: &PairSample,
+        slow: &PairSample,
+    ) -> (f64, f64, f64, f64, f64, u64) {
         let kind = self.kind;
         let compute = || {
             let (rup, rlow) = (sup.row(), slow.row());
@@ -640,13 +647,34 @@ impl<'a> RankState<'a> {
                 compute()
             });
             if computed {
-                (row[0], row[1], row[2], 3.0 * self.charge.kernel_overhead, 3)
+                (
+                    row[0],
+                    row[1],
+                    row[2],
+                    3.0 * self.charge.kernel_overhead,
+                    self.charge.cache_lookup,
+                    3,
+                )
             } else {
-                (row[0], row[1], row[2], self.charge.cache_lookup, 0)
+                (
+                    row[0],
+                    row[1],
+                    row[2],
+                    self.charge.cache_lookup,
+                    self.charge.cache_lookup,
+                    0,
+                )
             }
         } else {
             let v = compute();
-            (v[0], v[1], v[2], 3.0 * self.charge.kernel_overhead, 3)
+            (
+                v[0],
+                v[1],
+                v[2],
+                3.0 * self.charge.kernel_overhead,
+                self.charge.cache_lookup,
+                3,
+            )
         }
     }
 
@@ -701,7 +729,8 @@ impl<'a> RankState<'a> {
             // Route the pair and solve the two-variable subproblem on every
             // rank identically (Eq. 6/7).
             let (sup, slow) = self.route_pair(comm, up.index as usize, low.index as usize);
-            let (k_uu, k_ll, k_ul, triple_cost, triple_evals) = self.pivot_triple(&sup, &slow);
+            let (k_uu, k_ll, k_ul, triple_cost, triple_alt, triple_evals) =
+                self.pivot_triple(&sup, &slow);
             let c_up = if sup.y > 0.0 { self.c_pos } else { self.c_neg };
             let c_lo = if slow.y > 0.0 { self.c_pos } else { self.c_neg };
             let sol = solve_pair_weighted(
@@ -742,18 +771,22 @@ impl<'a> RankState<'a> {
             let m = self.active_list.len();
             let sweep_t0 = comm.clock();
             let mut sweep_cost = triple_cost;
+            let mut sweep_alt = triple_alt;
             let mut evals = triple_evals;
             let row_up = if cu != 0.0 {
-                let (r, cost, ev) = self.acquire_pivot_row(up.index, sup.row(), sup.sq_norm);
+                let (r, cost, alt, ev) = self.acquire_pivot_row(up.index, sup.row(), sup.sq_norm);
                 sweep_cost += cost;
+                sweep_alt += alt;
                 evals += ev;
                 Some(r)
             } else {
                 None
             };
             let row_low = if cl != 0.0 {
-                let (r, cost, ev) = self.acquire_pivot_row(low.index, slow.row(), slow.sq_norm);
+                let (r, cost, alt, ev) =
+                    self.acquire_pivot_row(low.index, slow.row(), slow.sq_norm);
                 sweep_cost += cost;
+                sweep_alt += alt;
                 evals += ev;
                 Some(r)
             } else {
@@ -823,7 +856,11 @@ impl<'a> RankState<'a> {
             }
             self.trace.sum_active_local += m as u128;
             self.trace.kernel_evals += evals;
-            comm.advance_compute(sweep_cost);
+            // One classed charge: identical clock arithmetic to
+            // advance_compute (the hot-path byte-identity tests pin this),
+            // with the always-hit alternative riding along for the
+            // PerfDoctor infinite-cache projection.
+            comm.advance_compute_classed(sweep_cost, "fused_sweep", Some(sweep_alt));
             comm.trace_span("fused_sweep", "solver", sweep_t0, comm.clock());
 
             if shrink_pass {

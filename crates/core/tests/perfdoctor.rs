@@ -1,0 +1,150 @@
+//! PerfDoctor acceptance suite on the 4-rank bench problem.
+//!
+//! The ISSUE-level guarantees, checked end-to-end through the real
+//! distributed solver (not synthetic dependency logs):
+//!
+//! * the critical-path walk reproduces the makespan **bit-for-bit** — the
+//!   hop chain telescopes from 0.0 to the makespan with no gaps;
+//! * the five attribution buckets (compute, transfer, idle, retransmit,
+//!   recovery) reconcile to total rank-time `p · makespan + recovery`
+//!   within the checked tolerance;
+//! * two same-seed runs emit **byte-identical** PerfDoctor JSON.
+
+use shrinksvm_core::dist::{DistRunResult, DistSolver};
+use shrinksvm_core::kernel::KernelKind;
+use shrinksvm_core::params::SvmParams;
+use shrinksvm_core::shrink::ShrinkPolicy;
+use shrinksvm_datagen::gaussian;
+use shrinksvm_obs::json;
+
+/// The bench_smoke configuration: 240 samples, 4 features, 4 ranks.
+fn traced_run() -> DistRunResult {
+    let ds = gaussian::two_blobs(240, 4, 3.0, 42);
+    let params = SvmParams::new(2.0, KernelKind::rbf_from_sigma_sq(1.5))
+        .with_epsilon(1e-3)
+        .with_shrink(ShrinkPolicy::best());
+    DistSolver::new(&ds, params)
+        .with_processes(4)
+        .with_tracing()
+        .train()
+        .expect("traced bench run")
+}
+
+#[test]
+fn critical_path_reproduces_the_makespan_bit_for_bit() {
+    let run = traced_run();
+    let doc = run.perf.as_ref().expect("tracing attaches a PerfDoctor");
+
+    assert_eq!(
+        doc.makespan.to_bits(),
+        run.makespan.to_bits(),
+        "analyzer makespan must equal the solver makespan exactly"
+    );
+    let path = &doc.critical_path;
+    assert!(path.start == 0.0 && path.start.is_sign_positive());
+    assert_eq!(
+        path.end.to_bits(),
+        run.makespan.to_bits(),
+        "path must terminate exactly at the makespan"
+    );
+    assert_eq!(
+        path.total().to_bits(),
+        run.makespan.to_bits(),
+        "hop chain must telescope to the makespan bitwise"
+    );
+    // Contiguity: each hop starts exactly where the previous ended.
+    for w in path.hops.windows(2) {
+        assert_eq!(
+            w[0].t1.to_bits(),
+            w[1].t0.to_bits(),
+            "gap between hops {:?} and {:?}",
+            w[0],
+            w[1]
+        );
+    }
+    assert!(!path.hops.is_empty(), "a real run has a nonempty path");
+    // The solver's fused sweep must show up as on-path compute.
+    assert!(
+        path.by_op.keys().any(|k| k.contains("fused_sweep")),
+        "ops on path: {:?}",
+        path.by_op.keys().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn attribution_buckets_reconcile_to_total_rank_time() {
+    let run = traced_run();
+    let doc = run.perf.as_ref().expect("perf doctor");
+    let attr = &doc.attribution;
+
+    assert_eq!(attr.per_rank.len(), 4);
+    let tol = 1e-9 * run.makespan.max(1e-9);
+
+    // Per-rank: the four event buckets fill that rank's [0, makespan].
+    let mut summed = 0.0;
+    for (r, b) in attr.per_rank.iter().enumerate() {
+        assert!(
+            b.compute >= 0.0 && b.transfer >= 0.0 && b.idle >= 0.0 && b.retransmit >= 0.0,
+            "negative bucket on rank {r}: {b:?}"
+        );
+        assert!(
+            (b.total() - run.makespan).abs() <= tol,
+            "rank {r} buckets sum to {} not makespan {}",
+            b.total(),
+            run.makespan
+        );
+        summed += b.total();
+    }
+    // Totals row equals the per-rank sum, and the five buckets (four
+    // event buckets + recovery) reconcile to p·makespan + recovery.
+    assert!((attr.totals.total() - summed).abs() <= 4.0 * tol);
+    let five_bucket_sum = attr.totals.total() + attr.recovery;
+    assert!(
+        (five_bucket_sum - attr.total_rank_time(run.makespan)).abs() <= 4.0 * tol,
+        "five buckets {} vs total rank-time {}",
+        five_bucket_sum,
+        attr.total_rank_time(run.makespan)
+    );
+    assert!(attr.reconcile_error <= 4.0 * tol);
+    // A faultless run charges nothing to retransmit or recovery.
+    assert_eq!(attr.totals.retransmit, 0.0);
+    assert_eq!(attr.recovery, 0.0);
+}
+
+#[test]
+fn perfdoctor_json_is_byte_identical_across_same_seed_runs() {
+    let a = traced_run();
+    let b = traced_run();
+    let (da, db) = (a.perf.expect("perf a"), b.perf.expect("perf b"));
+    let (ja, jb) = (da.to_json(), db.to_json());
+    assert_eq!(ja, jb, "same-seed PerfDoctor JSON must be byte-identical");
+    json::check(&ja).expect("PerfDoctor JSON well-formed");
+    // And the text rendering, which feeds CI artifacts, is stable too.
+    assert_eq!(da.render_text(), db.render_text());
+}
+
+#[test]
+fn projections_bound_the_makespan_sensibly() {
+    let run = traced_run();
+    let doc = run.perf.expect("perf doctor");
+    let p = &doc.projections;
+    // What-if worlds only remove cost, so no projection exceeds reality.
+    let slack = 1e-12 * run.makespan.max(1.0);
+    assert!(p.zero_network <= run.makespan + slack, "{p:?}");
+    assert!(p.perfect_balance <= run.makespan + slack, "{p:?}");
+    assert!(p.infinite_cache <= run.makespan + slack, "{p:?}");
+    // And none of them collapses to zero: compute is still charged.
+    assert!(p.zero_network > 0.0 && p.perfect_balance > 0.0 && p.infinite_cache > 0.0);
+}
+
+#[test]
+fn untraced_runs_carry_no_perf_report() {
+    let ds = gaussian::two_blobs(120, 3, 4.0, 7);
+    let params =
+        SvmParams::new(1.0, KernelKind::rbf_from_sigma_sq(2.0)).with_shrink(ShrinkPolicy::best());
+    let run = DistSolver::new(&ds, params)
+        .with_processes(2)
+        .train()
+        .expect("untraced run");
+    assert!(run.perf.is_none());
+}

@@ -34,10 +34,13 @@ impl Comm {
     }
 
     /// Record a `[t0, now]` span for a finished collective on this rank's
-    /// timeline track (no-op unless the universe traces).
-    fn coll_exit(&mut self, name: &str, t0: f64) {
+    /// timeline track, plus its interval in the dependency log so
+    /// critical-path hops inside it carry the collective's name (both
+    /// no-ops unless the universe traces).
+    fn coll_exit(&mut self, name: &'static str, t0: f64) {
         let t1 = self.clock();
         self.trace_span(name, "coll", t0, t1);
+        self.dep_coll(name, t0, t1);
     }
 
     /// Dissemination barrier: `⌈log₂ p⌉` rounds of shifted exchanges.

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use shrinksvm_analyze::{FaultEvent, VectorClock, Violation, WaitEdge};
+use shrinksvm_obs::critpath::{DepEvent, DepRecorder};
 use shrinksvm_obs::timeline::{Event, TrackRecorder};
 
 use crate::cost::CostParams;
@@ -77,6 +78,10 @@ pub struct Comm {
     /// Simulated-time event recorder for this rank's timeline track
     /// (present only under [`crate::Universe::with_tracing`]).
     tracer: Option<TrackRecorder>,
+    /// Cross-rank dependency recorder — every clock mutation with the
+    /// exact charge values, so the event DAG can be replayed bit-for-bit
+    /// (present only under [`crate::Universe::with_tracing`]).
+    dep: Option<DepRecorder>,
 }
 
 /// What a rank hands back to the universe after its closure returns, so
@@ -118,13 +123,16 @@ impl Comm {
             send_seq: vec![0; size],
             slow_recorded: vec![false; slow_recorded],
             tracer: None,
+            dep: None,
         }
     }
 
-    /// Start recording this rank's timeline track (universe-internal; ranks
-    /// are constructed untraced and switched on before the closure runs).
+    /// Start recording this rank's timeline track and dependency log
+    /// (universe-internal; ranks are constructed untraced and switched on
+    /// before the closure runs).
     pub(crate) fn enable_tracing(&mut self) {
         self.tracer = Some(TrackRecorder::new(self.rank as u32));
+        self.dep = Some(DepRecorder::new());
     }
 
     /// Hand over the recorded timeline events (empty without tracing).
@@ -133,6 +141,20 @@ impl Comm {
             .take()
             .map(TrackRecorder::finish)
             .unwrap_or_default()
+    }
+
+    /// Hand over the recorded dependency events (empty without tracing).
+    pub(crate) fn take_dep_events(&mut self) -> Vec<DepEvent> {
+        self.dep.take().map(DepRecorder::finish).unwrap_or_default()
+    }
+
+    /// Record a finished collective's interval in the dependency log so
+    /// critical-path hops inside `[t0, t1]` are labeled with `name`
+    /// (no-op without tracing).
+    pub(crate) fn dep_coll(&mut self, name: &'static str, t0: f64, t1: f64) {
+        if let Some(dep) = &mut self.dep {
+            dep.coll(name, t0, t1);
+        }
     }
 
     /// This rank's id in `0..size`.
@@ -174,8 +196,25 @@ impl Comm {
     /// and due crash rules kill the rank.
     #[inline]
     pub fn advance_compute(&mut self, secs: f64) {
+        self.advance_compute_classed(secs, "compute", None);
+    }
+
+    /// [`Comm::advance_compute`] with dependency-log annotations: `class`
+    /// names the charge in critical-path reports, and `alt_secs` is what
+    /// the same work would have cost under an infinitely large kernel
+    /// cache (for the what-if projection; `None` means the cache could
+    /// not have helped). Exactly one clock addition happens either way,
+    /// so charging through this method is bit-identical to
+    /// [`Comm::advance_compute`].
+    pub fn advance_compute_classed(
+        &mut self,
+        secs: f64,
+        class: &'static str,
+        alt_secs: Option<f64>,
+    ) {
         debug_assert!(secs >= 0.0, "compute time cannot be negative");
         let mut secs = secs;
+        let mut alt = alt_secs.unwrap_or(secs);
         if let Some(plan) = &self.faults {
             if let Some((idx, factor)) = plan.slow_factor(self.rank, self.clock) {
                 if !self.slow_recorded[idx] {
@@ -189,6 +228,8 @@ impl Comm {
                 let extra = secs * (factor - 1.0);
                 self.stats.slowdown_time += extra;
                 secs += extra;
+                // The all-hit alternative would be slowed identically.
+                alt += alt * (factor - 1.0);
             }
         }
         let before = self.clock;
@@ -197,6 +238,9 @@ impl Comm {
         if secs > 0.0 {
             if let Some(tr) = &mut self.tracer {
                 tr.span("compute", "compute", before, before + secs);
+            }
+            if let Some(dep) = &mut self.dep {
+                dep.compute(before, secs, alt, class);
             }
         }
         self.maybe_crash();
@@ -234,6 +278,7 @@ impl Comm {
 
     pub(crate) fn send_internal(&mut self, dst: usize, tag: u64, payload: &[u8]) {
         assert!(dst < self.size, "send to rank {dst} of {}", self.size);
+        let before = self.clock;
         self.clock += self.cost.send_overhead;
         self.maybe_crash();
         self.stats.msgs_sent += 1;
@@ -246,6 +291,9 @@ impl Comm {
         };
         let link_seq = self.send_seq[dst];
         self.send_seq[dst] += 1;
+        if let Some(dep) = &mut self.dep {
+            dep.send(before, self.cost.send_overhead, dst as u32, tag, link_seq);
+        }
         self.endpoints.outgoing[dst]
             .send(Message {
                 tag,
@@ -489,7 +537,9 @@ impl Comm {
         self.stats.retries += 1;
         self.stats.retry_time += backoff;
         if let Some(tr) = &mut self.tracer {
-            tr.instant("retransmit", "p2p", msg.depart);
+            // cat "fault" routes the instant to the dedicated fault track
+            // in the Chrome export, next to the fault-ledger projections.
+            tr.instant("retransmit", "fault", msg.depart);
         }
     }
 
@@ -530,7 +580,19 @@ impl Comm {
     /// Book a matched message: advance the clock per the cost model (plus
     /// any injected in-flight penalty) and return its payload.
     fn accept(&mut self, src: usize, msg: Message) -> Vec<u8> {
-        let arrive = msg.depart + self.cost.wire_time(msg.payload.len()) + msg.penalty;
+        let wire = self.cost.wire_time(msg.payload.len());
+        let arrive = msg.depart + wire + msg.penalty;
+        if let Some(dep) = &mut self.dep {
+            dep.recv(
+                self.clock,
+                src as u32,
+                msg.tag,
+                msg.link_seq,
+                msg.depart,
+                wire,
+                msg.penalty,
+            );
+        }
         if arrive > self.clock {
             let wait = arrive - self.clock;
             // The stretch before the sender even departed is imbalance

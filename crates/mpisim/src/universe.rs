@@ -4,6 +4,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use shrinksvm_analyze::{FaultEvent, ValidationReport, Violation};
+use shrinksvm_obs::critpath::{DepEvent, DepLog};
 use shrinksvm_obs::timeline::{Event, Timeline};
 
 use crate::comm::{Comm, RankFinal};
@@ -32,6 +33,11 @@ pub struct RankOutcome<T> {
     /// Traffic and compute counters.
     pub stats: CommStats,
 }
+
+/// Everything a fully-observed run returns: per-rank outcomes, the
+/// validation report, the merged [`Timeline`], and the replayable
+/// dependency log.
+pub type ObservedRun<T> = (Vec<RankOutcome<T>>, ValidationReport, Timeline, DepLog);
 
 /// A set of `p` simulated ranks sharing a cost model (`MPI_COMM_WORLD`
 /// analog). Construct once, [`Universe::run`] any number of programs.
@@ -197,7 +203,7 @@ impl Universe {
         F: Fn(&mut Comm) -> T + Send + Sync,
     {
         self.run_try_observed(f)
-            .map(|(outcomes, report, _timeline)| (outcomes, report))
+            .map(|(outcomes, report, _timeline, _deps)| (outcomes, report))
     }
 
     /// Like [`Universe::run`], but also return the merged simulated-time
@@ -209,7 +215,7 @@ impl Universe {
         F: Fn(&mut Comm) -> T + Send + Sync,
     {
         match self.run_try_observed(f) {
-            Ok((outcomes, report, timeline)) => {
+            Ok((outcomes, report, timeline, _deps)) => {
                 if !report.is_clean() {
                     panic!("{report}");
                 }
@@ -220,14 +226,14 @@ impl Universe {
     }
 
     /// Like [`Universe::run_try`], but also return the merged
-    /// simulated-time [`Timeline`]: every rank's recorded track in rank
+    /// simulated-time [`Timeline`] — every rank's recorded track in rank
     /// order, with the fault ledger's injected events overlaid as instant
-    /// markers on the affected rank's track. Without
-    /// [`Universe::with_tracing`] the timeline is empty.
-    pub fn run_try_observed<T, F>(
-        &self,
-        f: F,
-    ) -> Result<(Vec<RankOutcome<T>>, ValidationReport, Timeline), CrashNotice>
+    /// markers on the affected rank's track — plus the merged cross-rank
+    /// [`DepLog`] (matched send→recv edges and collective intervals with
+    /// exact charge values), which
+    /// [`PerfDoctor::analyze`](shrinksvm_obs::PerfDoctor::analyze) replays
+    /// bit-for-bit. Without [`Universe::with_tracing`] both are empty.
+    pub fn run_try_observed<T, F>(&self, f: F) -> Result<ObservedRun<T>, CrashNotice>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Send + Sync,
@@ -239,6 +245,7 @@ impl Universe {
         let mut outcomes: Vec<Option<RankOutcome<T>>> = (0..p).map(|_| None).collect();
         let mut finals: Vec<RankFinal> = Vec::with_capacity(if self.validate { p } else { 0 });
         let mut tracks: Vec<Vec<Event>> = (0..p).map(|_| Vec::new()).collect();
+        let mut dep_tracks: Vec<Vec<DepEvent>> = (0..p).map(|_| Vec::new()).collect();
         let mut crashed: Option<CrashNotice> = None;
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(p);
@@ -261,6 +268,7 @@ impl Universe {
                     };
                     let value = f(&mut comm);
                     let events = comm.take_trace_events();
+                    let deps = comm.take_dep_events();
                     let outcome = RankOutcome {
                         value,
                         clock: comm.clock(),
@@ -273,18 +281,19 @@ impl Universe {
                     } else {
                         None
                     };
-                    (outcome, fin, events)
+                    (outcome, fin, events, deps)
                 }));
             }
             let mut joined: Vec<Option<Box<dyn std::any::Any + Send>>> = Vec::with_capacity(p);
             for (rank, h) in handles.into_iter().enumerate() {
                 match h.join() {
-                    Ok((outcome, fin, events)) => {
+                    Ok((outcome, fin, events, deps)) => {
                         outcomes[rank] = Some(outcome);
                         if let Some(fin) = fin {
                             finals.push(fin);
                         }
                         tracks[rank] = events;
+                        dep_tracks[rank] = deps;
                         joined.push(None);
                     }
                     Err(payload) => joined.push(Some(payload)),
@@ -317,21 +326,21 @@ impl Universe {
             audit_rank(&mut report, fin);
         }
         report.normalize();
-        let timeline = if self.tracing {
+        let (timeline, deps) = if self.tracing {
             let mut tl = Timeline::from_tracks(tracks);
             for e in &report.faults {
                 tl.push(ledger_instant(e));
             }
             tl.normalize();
-            tl
+            (tl, DepLog::from_ranks(dep_tracks))
         } else {
-            Timeline::new()
+            (Timeline::new(), DepLog::new())
         };
         let outcomes = outcomes
             .into_iter()
             .map(|o| o.expect("rank completed"))
             .collect();
-        Ok((outcomes, report, timeline))
+        Ok((outcomes, report, timeline, deps))
     }
 
     /// Convenience: run and return the maximum simulated clock across ranks
@@ -559,12 +568,58 @@ mod tests {
     }
 
     #[test]
+    fn dep_log_replays_the_makespan_bit_for_bit() {
+        use shrinksvm_obs::PerfDoctor;
+        let run = || {
+            Universe::new(4)
+                .with_cost(CostParams::fdr())
+                .with_tracing()
+                .run_try_observed(|c| {
+                    c.advance_compute(1e-3 * (1.0 + c.rank() as f64));
+                    let _ = c.allreduce_f64_sum(c.rank() as f64);
+                    c.advance_compute(5e-4);
+                    c.barrier();
+                })
+                .expect("fault-free")
+        };
+        let (outcomes, _, _, deps) = run();
+        assert!(!deps.is_empty());
+        let makespan = outcomes.iter().map(|o| o.clock).fold(0.0f64, f64::max);
+        let doc = PerfDoctor::analyze(&deps, 0.0).expect("analyzable");
+        // The identity replay and the critical-path walk both reproduce
+        // the simulated makespan exactly, no tolerance.
+        assert_eq!(doc.makespan.to_bits(), makespan.to_bits());
+        assert_eq!(doc.critical_path.total().to_bits(), makespan.to_bits());
+        // Collective hops are labeled with the collective's name.
+        assert!(
+            doc.critical_path
+                .by_op
+                .keys()
+                .any(|k| k.contains("allreduce") || k.contains("barrier")),
+            "{:?}",
+            doc.critical_path.by_op
+        );
+        // Same seed, same bytes.
+        let (_, _, _, deps2) = run();
+        let doc2 = PerfDoctor::analyze(&deps2, 0.0).expect("analyzable");
+        assert_eq!(doc.to_json(), doc2.to_json());
+    }
+
+    #[test]
+    fn untraced_runs_return_empty_dep_log() {
+        let (_, _, _, deps) = Universe::new(2)
+            .run_try_observed(|c| c.barrier())
+            .expect("clean");
+        assert!(deps.is_empty());
+    }
+
+    #[test]
     fn injected_faults_appear_on_the_timeline() {
         use crate::fault::FaultPlan;
         // One guaranteed drop on the 0→1 link: the ledger entry must show
         // up as a fault instant on rank 1's track.
         let plan = FaultPlan::new(17).drop_messages(Some(0), Some(1), 1.0, 0.0, f64::MAX, 1);
-        let (_, _, tl) = Universe::new(2)
+        let (_, _, tl, _) = Universe::new(2)
             .with_faults(plan)
             .with_tracing()
             .run_try_observed(|c| {

@@ -339,3 +339,52 @@ fn survived_faults_leave_validation_clean() {
     assert!(report.is_clean(), "{report}");
     assert!(out.iter().all(|o| o.value == 4));
 }
+
+/// Fault events render on a dedicated Chrome-trace track (`tid = tracks +
+/// rank`), labeled via thread-name metadata, so Perfetto shows the fault
+/// timeline above the rank's compute/comm spans instead of interleaved
+/// with them. Regular spans stay on `tid = rank`.
+#[test]
+fn fault_events_get_a_dedicated_chrome_trace_track() {
+    let plan = FaultPlan::new(31).drop_messages(Some(0), Some(1), 1.0, 0.0, FOREVER, 1);
+    let (out, _, tl, _) = Universe::new(2)
+        .with_faults(plan)
+        .with_tracing()
+        .run_try_observed(|c| {
+            if c.rank() == 0 {
+                c.advance_compute(1e-3);
+                c.send(1, 5, &[9, 9, 9]);
+                vec![]
+            } else {
+                c.recv(0, 5)
+            }
+        })
+        .expect("single drop is survivable");
+    assert_eq!(out[1].value, vec![9, 9, 9]);
+    assert_eq!(out[1].stats.retries, 1);
+
+    let json = tl.to_chrome_json();
+    // Rank 1 saw the drop: its fault track is tid = tracks + rank = 3,
+    // named in the metadata, and both the ledger projection and the
+    // retransmit instant live there with cat "fault".
+    assert!(
+        json.contains("\"tid\":3,\"args\":{\"name\":\"rank 1 faults\"}"),
+        "{json}"
+    );
+    for fault_evt in ["drop(src=0)", "retransmit"] {
+        let evt = json
+            .split('{')
+            .find(|chunk| chunk.contains(fault_evt))
+            .unwrap_or_else(|| panic!("no {fault_evt} event in {json}"));
+        assert!(evt.contains("\"cat\":\"fault\""), "{evt}");
+        assert!(evt.contains("\"tid\":3"), "{evt}");
+    }
+    // Rank 0 had no faults: no metadata row for its fault track, and its
+    // compute span stays on the plain rank track tid = 0.
+    assert!(!json.contains("rank 0 faults"), "{json}");
+    let compute = json
+        .split('{')
+        .find(|chunk| chunk.contains("\"compute\"") && chunk.contains("\"ph\":\"X\""))
+        .expect("compute span present");
+    assert!(compute.contains("\"tid\":0"), "{compute}");
+}

@@ -1,13 +1,17 @@
-//! Minimal hand-rolled JSON: a writer helper and a well-formedness
-//! checker, both dependency-free.
+//! Minimal hand-rolled JSON: a writer helper, a well-formedness checker
+//! and a small DOM parser, all dependency-free.
 //!
 //! The writer side is a pair of formatting helpers ([`escape_into`],
 //! [`write_f64`]) used by the trace/report emitters; everything is written
 //! with plain `String` pushes so byte-identical inputs produce
-//! byte-identical documents. The reader side ([`check`]) is a strict
-//! recursive-descent parser that validates syntax only (it builds no DOM),
-//! used by tests and CI to prove emitted traces and reports are loadable
-//! by real tools.
+//! byte-identical documents. The reader side is two layers: [`check`] is a
+//! strict recursive-descent validator that builds no DOM, used by tests
+//! and CI to prove emitted traces and reports are loadable by real tools;
+//! [`parse`] builds a [`Value`] tree for consumers that need the data
+//! (the `bench-diff` regression gate). `parse` accepts exactly the
+//! grammar `check` accepts, with one documented leniency: a lone UTF-16
+//! surrogate in a `\u` escape (which `check` allows — it only validates
+//! hex digits) decodes to U+FFFD rather than failing.
 
 /// Append `s` to `out` as a JSON string literal (quotes included).
 pub fn escape_into(out: &mut String, s: &str) {
@@ -217,6 +221,276 @@ fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
     Ok(())
 }
 
+/// A parsed JSON document.
+///
+/// Objects preserve source order and duplicate keys; [`Value::get`]
+/// returns the *last* occurrence, matching how most real parsers resolve
+/// duplicates.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Number(f64),
+    /// A string, with escapes decoded.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in source order, duplicates preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` on other variants or missing
+    /// keys. Duplicate keys resolve to the last occurrence.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a `Number`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse `text` as exactly one JSON document into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns a message naming the byte offset and what was expected when
+/// the document is malformed (same grammar as [`check`]).
+pub fn parse(text: &str) -> Result<Value, String> {
+    let b = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    let v = parse_value(b, &mut pos, 0)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos, depth),
+        Some(b'[') => parse_array(b, pos, depth),
+        Some(b'"') => parse_string(b, pos).map(Value::String),
+        Some(b't') => literal(b, pos, b"true").map(|()| Value::Bool(true)),
+        Some(b'f') => literal(b, pos, b"false").map(|()| Value::Bool(false)),
+        Some(b'n') => literal(b, pos, b"null").map(|()| Value::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:#04x} at {pos}")),
+        None => Err(format!("unexpected end of input at byte {pos}")),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    *pos += 1; // consume '{'
+    let mut members = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(members));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        let v = parse_value(b, pos, depth + 1)?;
+        members.push((key, v));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        skip_ws(b, pos);
+        items.push(parse_value(b, pos, depth + 1)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let mut v = 0u32;
+    for _ in 0..4 {
+        match b.get(*pos) {
+            Some(h) if h.is_ascii_hexdigit() => {
+                v = (v << 4) | (*h as char).to_digit(16).unwrap_or(0);
+                *pos += 1;
+            }
+            _ => return Err(format!("bad \\u escape at byte {pos}")),
+        }
+    }
+    Ok(v)
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    let mut out = String::new();
+    *pos += 1; // consume opening quote
+    let start = *pos;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => {
+                        out.push('"');
+                        *pos += 1;
+                    }
+                    Some(b'\\') => {
+                        out.push('\\');
+                        *pos += 1;
+                    }
+                    Some(b'/') => {
+                        out.push('/');
+                        *pos += 1;
+                    }
+                    Some(b'b') => {
+                        out.push('\u{8}');
+                        *pos += 1;
+                    }
+                    Some(b'f') => {
+                        out.push('\u{c}');
+                        *pos += 1;
+                    }
+                    Some(b'n') => {
+                        out.push('\n');
+                        *pos += 1;
+                    }
+                    Some(b'r') => {
+                        out.push('\r');
+                        *pos += 1;
+                    }
+                    Some(b't') => {
+                        out.push('\t');
+                        *pos += 1;
+                    }
+                    Some(b'u') => {
+                        *pos += 1;
+                        let hi = parse_hex4(b, pos)?;
+                        let cp = if (0xd800..0xdc00).contains(&hi) {
+                            // High surrogate: consume a following
+                            // \uXXXX low surrogate if present.
+                            if b.get(*pos) == Some(&b'\\') && b.get(*pos + 1) == Some(&b'u') {
+                                let save = *pos;
+                                *pos += 2;
+                                let lo = parse_hex4(b, pos)?;
+                                if (0xdc00..0xe000).contains(&lo) {
+                                    0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                                } else {
+                                    // Valid escape but not a low
+                                    // surrogate: rewind and replace the
+                                    // lone high surrogate.
+                                    *pos = save;
+                                    0xfffd
+                                }
+                            } else {
+                                0xfffd
+                            }
+                        } else if (0xdc00..0xe000).contains(&hi) {
+                            0xfffd // lone low surrogate
+                        } else {
+                            hi
+                        };
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            c if c < 0x20 => return Err(format!("raw control byte {c:#04x} in string at {pos}")),
+            _ => {
+                // Copy one UTF-8 scalar; the input is a &str so byte
+                // boundaries are always valid.
+                let len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                out.push_str(
+                    std::str::from_utf8(&b[*pos..*pos + len])
+                        .map_err(|_| format!("bad UTF-8 in string starting at byte {start}"))?,
+                );
+                *pos += len;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    number(b, pos)?;
+    let text =
+        std::str::from_utf8(&b[start..*pos]).map_err(|_| format!("bad number bytes at {start}"))?;
+    text.parse::<f64>()
+        .map(Value::Number)
+        .map_err(|e| format!("unparseable number at byte {start}: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,5 +565,43 @@ mod tests {
         let mut out = String::new();
         escape_into(&mut out, "weird \\ \" \n chars \u{7f} é");
         check(&out).unwrap();
+    }
+
+    #[test]
+    fn parse_builds_the_expected_tree() {
+        let v = parse(r#"{"a":[1,2.5,{"b":null}],"c":"x\n","d":true}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Value::as_str), Some("x\n"));
+        assert_eq!(v.get("d").and_then(Value::as_bool), Some(true));
+        match v.get("a") {
+            Some(Value::Array(items)) => {
+                assert_eq!(items[0].as_f64(), Some(1.0));
+                assert_eq!(items[1].as_f64(), Some(2.5));
+                assert_eq!(items[2].get("b"), Some(&Value::Null));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_what_check_rejects() {
+        for doc in ["", "{", "[1,]", "{\"a\":}", "01", "1.", "{} {}"] {
+            assert!(parse(doc).is_err(), "{doc:?} parsed");
+        }
+    }
+
+    #[test]
+    fn parse_decodes_surrogate_pairs() {
+        let v = parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn duplicate_keys_resolve_to_the_last() {
+        let v = parse(r#"{"k":1,"k":2}"#).unwrap();
+        assert_eq!(v.get("k").and_then(Value::as_f64), Some(2.0));
+        match &v {
+            Value::Object(members) => assert_eq!(members.len(), 2),
+            other => panic!("expected object, got {other:?}"),
+        }
     }
 }

@@ -1,26 +1,36 @@
 //! `shrinksvm-obs`: dependency-free telemetry for the shrinksvm workspace.
 //!
-//! Three pieces, all keyed on *simulated* time so identical seeds produce
+//! Five pieces, all keyed on *simulated* time so identical seeds produce
 //! byte-identical artifacts:
 //!
 //! - [`timeline`] — a per-rank span/event timeline ([`TrackRecorder`],
 //!   [`Timeline`]) exported as Chrome trace-event JSON (Perfetto /
 //!   `chrome://tracing` loadable) or a plain-text per-rank listing.
+//! - [`critpath`] — the cross-rank dependency log ([`DepLog`]) recorded
+//!   alongside the timeline, its bit-exact identity replay, the exact
+//!   critical-path walk and what-if projections.
+//! - [`attrib`] — five-bucket makespan attribution and the [`PerfDoctor`]
+//!   text + JSON report built on the replay.
 //! - [`metrics`] — a [`MetricsRegistry`] of counters, gauges, fixed-bucket
 //!   histograms and epoch-keyed sample series with a deterministic text
 //!   snapshot.
 //! - [`report`] — [`BenchReport`], the machine-readable `BENCH_<name>.json`
 //!   summary every benchmark run emits.
 //!
-//! [`json`] holds the shared hand-rolled JSON writer helpers plus a strict
+//! [`json`] holds the shared hand-rolled JSON writer helpers, a strict
 //! well-formedness checker used by tests and CI to validate emitted
-//! documents without external dependencies.
+//! documents, and a small parser ([`json::parse`]) used by the
+//! `bench-diff` regression gate — all without external dependencies.
 
+pub mod attrib;
+pub mod critpath;
 pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod timeline;
 
+pub use attrib::{Attribution, PerfDoctor, RankBuckets, PERF_SCHEMA_VERSION};
+pub use critpath::{CriticalPath, DepEvent, DepLog, DepRecorder, Hop, HopKind, Projections};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use report::{BenchReport, BENCH_SCHEMA_VERSION};
 pub use timeline::{Event, Timeline, TrackRecorder};

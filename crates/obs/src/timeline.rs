@@ -218,14 +218,70 @@ impl Timeline {
         self.events.is_empty()
     }
 
+    /// The Chrome `tid` an event renders on. Injected-fault events
+    /// (`cat == "fault"`: retransmit instants, fault-ledger projections,
+    /// recovery restarts) get a dedicated per-rank track *above* the rank
+    /// compute tracks (`tid = tracks + rank`) so Perfetto does not
+    /// interleave them with the rank's spans; everything else renders on
+    /// `tid = rank`.
+    fn chrome_tid(&self, track: u32, cat: &str) -> u32 {
+        if cat == "fault" {
+            self.tracks + track
+        } else {
+            track
+        }
+    }
+
     /// Render as Chrome trace-event JSON (the `{"traceEvents": [...]}`
     /// object form). Timestamps are microseconds (`ts`/`dur`), `pid` 0 and
-    /// `tid` = rank, per the trace-event format; load the file in Perfetto
-    /// or `chrome://tracing`.
+    /// `tid` = rank (fault events get `tid` = tracks + rank — see
+    /// [`Timeline::chrome_tid`]), per the trace-event format; load the
+    /// file in Perfetto or `chrome://tracing`. Thread-name metadata
+    /// records label every `tid` in use.
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::with_capacity(64 + self.events.len() * 96);
         out.push_str("{\"traceEvents\":[");
         let mut first = true;
+        // Thread-name metadata first: one per rank track, plus one per
+        // fault track that actually has events (computed from the
+        // normalized event list, so the set is deterministic).
+        let mut fault_tracks: Vec<u32> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Span { track, cat, .. } | Event::Instant { track, cat, .. }
+                    if cat == "fault" =>
+                {
+                    Some(*track)
+                }
+                _ => None,
+            })
+            .collect();
+        fault_tracks.sort_unstable();
+        fault_tracks.dedup();
+        for track in 0..self.tracks {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{track},\
+                 \"args\":{{\"name\":\"rank {track}\"}}}}"
+            );
+        }
+        for track in &fault_tracks {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let tid = self.tracks + track;
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"rank {track} faults\"}}}}"
+            );
+        }
         for e in &self.events {
             if !first {
                 out.push(',');
@@ -239,6 +295,7 @@ impl Timeline {
                     t0,
                     t1,
                 } => {
+                    let tid = self.chrome_tid(*track, cat);
                     out.push_str("{\"name\":");
                     escape_into(&mut out, name);
                     out.push_str(",\"cat\":");
@@ -247,7 +304,7 @@ impl Timeline {
                     write_f64(&mut out, t0 * 1e6);
                     out.push_str(",\"dur\":");
                     write_f64(&mut out, (t1 - t0) * 1e6);
-                    let _ = write!(out, ",\"pid\":0,\"tid\":{track}}}");
+                    let _ = write!(out, ",\"pid\":0,\"tid\":{tid}}}");
                 }
                 Event::Instant {
                     track,
@@ -255,13 +312,14 @@ impl Timeline {
                     cat,
                     t,
                 } => {
+                    let tid = self.chrome_tid(*track, cat);
                     out.push_str("{\"name\":");
                     escape_into(&mut out, name);
                     out.push_str(",\"cat\":");
                     escape_into(&mut out, cat);
                     out.push_str(",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
                     write_f64(&mut out, t * 1e6);
-                    let _ = write!(out, ",\"pid\":0,\"tid\":{track}}}");
+                    let _ = write!(out, ",\"pid\":0,\"tid\":{tid}}}");
                 }
                 Event::Counter {
                     track,
@@ -390,6 +448,28 @@ mod tests {
             Event::Span { t0, t1, .. } => assert_eq!((*t0, *t1), (2.0, 2.0)),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn fault_events_render_on_a_dedicated_track() {
+        let tl = sample(); // 2 rank tracks; fault instant on rank 0
+        let doc = tl.to_chrome_json();
+        // rank 0's fault instant moves to tid 2 (= tracks + rank)...
+        assert!(
+            doc.contains("\"name\":\"drop\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\"ts\":750000,\"pid\":0,\"tid\":2"),
+            "{doc}"
+        );
+        // ...while rank 0's compute span stays on tid 0.
+        assert!(
+            doc.contains("\"name\":\"compute\",\"cat\":\"compute\",\"ph\":\"X\",\"ts\":0,\"dur\":1500000,\"pid\":0,\"tid\":0"),
+            "{doc}"
+        );
+        // Thread names label both the rank tracks and the fault track.
+        for meta in ["\"rank 0\"", "\"rank 1\"", "\"rank 0 faults\""] {
+            assert!(doc.contains(meta), "missing {meta} in {doc}");
+        }
+        // No fault events on rank 1, so no fault-track label for it.
+        assert!(!doc.contains("\"rank 1 faults\""), "{doc}");
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Fuzz-style edge-case suite for the dependency-free JSON layer.
+//!
+//! The checker (`json::check`) guards every artifact the repo writes and
+//! the parser (`json::parse`) now feeds the bench-diff regression gate, so
+//! this suite hammers the corners a hand-rolled recursive-descent pass
+//! gets wrong: nesting right at the recursion bound, broken `\u` escapes
+//! and lone surrogates, signed-zero and exponent round-trips, duplicate
+//! keys, and — with a tiny in-test xorshift generator (the crate is
+//! dependency-free by design) — random mutations of well-formed documents
+//! that must never panic, only return `Err` or a valid tree.
+
+use shrinksvm_obs::json::{check, parse, write_f64, Value};
+
+/// `n` nested containers around a scalar, e.g. `[[[0]]]` for n = 3.
+fn nested(open: char, close: char, n: usize, core: &str) -> String {
+    let mut s = String::new();
+    for _ in 0..n {
+        s.push(open);
+        if open == '{' {
+            s.push_str("\"k\":");
+        }
+    }
+    s.push_str(core);
+    for _ in 0..n {
+        s.push(close);
+    }
+    s
+}
+
+// ------------------------------------------------------------ depth bound
+
+#[test]
+fn nesting_at_the_recursion_bound_is_accepted_and_one_past_is_not() {
+    // value() admits depth ≤ MAX_DEPTH (128). The outermost container is
+    // checked at depth 0 and the innermost scalar at depth n, so exactly
+    // 128 nested containers are legal and 129 are not.
+    for (open, close) in [('[', ']'), ('{', '}')] {
+        let at = nested(open, close, 128, "0");
+        let past = nested(open, close, 129, "0");
+        assert!(check(&at).is_ok(), "{open}x128 must pass");
+        assert!(check(&past).is_err(), "{open}x129 must fail");
+        assert!(parse(&at).is_ok(), "parse {open}x128 must pass");
+        assert!(parse(&past).is_err(), "parse {open}x129 must fail");
+    }
+}
+
+#[test]
+fn deep_mixed_nesting_does_not_overflow_the_stack() {
+    let doc = nested('[', ']', 64, &nested('{', '}', 64, "true"));
+    assert!(check(&doc).is_ok());
+    assert!(parse(&doc).is_ok());
+}
+
+// ------------------------------------------------------------ \u escapes
+
+#[test]
+fn surrogate_pair_decodes_and_lone_surrogates_are_replaced() {
+    // U+1F600 as a surrogate pair.
+    let v = parse("\"\\uD83D\\uDE00\"").expect("pair parses");
+    assert_eq!(v.as_str(), Some("😀"));
+
+    // A lone high surrogate (nothing after) and a lone low surrogate both
+    // decode leniently to U+FFFD rather than failing the whole document.
+    assert_eq!(
+        parse("\"\\uD83D\"").expect("lone high").as_str(),
+        Some("\u{FFFD}")
+    );
+    assert_eq!(
+        parse("\"\\uDE00\"").expect("lone low").as_str(),
+        Some("\u{FFFD}")
+    );
+    // High surrogate followed by a non-surrogate escape: replacement char,
+    // then the literal second character survives.
+    assert_eq!(
+        parse("\"\\uD83Dx\"").expect("high then x").as_str(),
+        Some("\u{FFFD}x")
+    );
+    assert_eq!(
+        parse("\"\\uD83D\\u0041\"").expect("high then A").as_str(),
+        Some("\u{FFFD}A")
+    );
+}
+
+#[test]
+fn malformed_unicode_escapes_are_rejected_not_panicked() {
+    for bad in [
+        "\"\\u\"",      // no digits
+        "\"\\u12\"",    // short
+        "\"\\u12G4\"",  // non-hex
+        "\"\\uD83D\\u", // truncated second escape
+        "\"\\q\"",      // unknown escape
+        "\"\\\"",       // escape then EOF
+    ] {
+        assert!(check(bad).is_err(), "{bad:?} must fail check");
+        assert!(parse(bad).is_err(), "{bad:?} must fail parse");
+    }
+}
+
+#[test]
+fn control_characters_in_strings_are_rejected() {
+    assert!(check("\"a\u{0001}b\"").is_err());
+    assert!(parse("\"a\nb\"").is_err(), "raw newline must be escaped");
+    assert!(parse("\"a\\nb\"").is_ok(), "escaped newline is fine");
+}
+
+// ------------------------------------------------------------ numbers
+
+#[test]
+fn negative_zero_round_trips_through_writer_and_parser() {
+    let mut s = String::new();
+    write_f64(&mut s, -0.0);
+    assert_eq!(s, "-0", "Rust Display renders the sign");
+    let back = parse(&s).expect("writer output parses").as_f64();
+    assert_eq!(back.map(f64::to_bits), Some((-0.0f64).to_bits()));
+}
+
+#[test]
+fn exponent_forms_round_trip_bit_for_bit() {
+    for v in [
+        1.5e-6,
+        1.0 / 6.8e9,
+        f64::MIN_POSITIVE,
+        f64::MAX,
+        -2.2250738585072014e-308,
+        1e308,
+        123_456_789.123_456_78,
+        0.1 + 0.2, // classic non-representable sum
+    ] {
+        let mut s = String::new();
+        write_f64(&mut s, v);
+        let back = parse(&s)
+            .unwrap_or_else(|e| panic!("{s}: {e}"))
+            .as_f64()
+            .expect("number");
+        assert_eq!(back.to_bits(), v.to_bits(), "{v} -> {s} -> {back}");
+    }
+}
+
+#[test]
+fn number_grammar_corners() {
+    for ok in ["0", "-0", "0.5", "1e4", "1E+4", "2.5e-308", "[1,2e2,3.0]"] {
+        assert!(check(ok).is_ok(), "{ok} must pass");
+        assert!(parse(ok).is_ok(), "{ok} must parse");
+    }
+    for bad in [
+        "01", "+1", ".5", "1.", "1e", "1e+", "-", "0x10", "NaN", "Infinity",
+    ] {
+        assert!(check(bad).is_err(), "{bad} must fail check");
+        assert!(parse(bad).is_err(), "{bad} must fail parse");
+    }
+}
+
+#[test]
+fn nonfinite_values_write_as_null() {
+    for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let mut s = String::new();
+        write_f64(&mut s, v);
+        assert_eq!(s, "null");
+        assert!(matches!(parse(&s), Ok(Value::Null)));
+    }
+}
+
+// ------------------------------------------------------------ objects
+
+#[test]
+fn duplicate_keys_are_preserved_and_get_returns_the_last() {
+    let v = parse("{\"a\":1,\"a\":2,\"b\":3,\"a\":4}").expect("dupes parse");
+    assert_eq!(v.get("a").and_then(Value::as_f64), Some(4.0));
+    let Value::Object(pairs) = &v else {
+        panic!("expected object")
+    };
+    assert_eq!(pairs.len(), 4, "all occurrences kept in order");
+}
+
+#[test]
+fn empty_and_whitespace_heavy_documents() {
+    assert!(parse("").is_err());
+    assert!(parse("   \t\n ").is_err());
+    assert!(parse(" \n{ \"a\" : [ ] , \"b\" : { } }\t").is_ok());
+    assert!(parse("{} {}").is_err(), "trailing garbage must fail");
+    assert!(parse("[1,]").is_err(), "trailing comma must fail");
+    assert!(parse("{\"a\":}").is_err(), "missing value must fail");
+}
+
+// ------------------------------------------------------- mutation fuzzing
+
+/// Minimal xorshift64* so the suite stays dependency-free and seeded.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[test]
+fn random_mutations_never_panic_and_parse_agrees_with_check() {
+    let seeds: &[&str] = &[
+        "{\"schema\":1,\"modeled_time\":1.5e-6,\"extras\":{\"a\":-0.5}}",
+        "[[1,2,3],{\"k\":\"v\\n\"},true,false,null,-0,1e300]",
+        "{\"s\":\"\\uD83D\\uDE00 snowman \\u2603\",\"n\":[0.1,0.2]}",
+    ];
+    let mutations = [
+        b'{', b'}', b'[', b']', b'"', b',', b':', b'\\', b'u', b'0', b'e', b'-',
+    ];
+    let mut rng = XorShift(0x5EED_CAFE_F00D_D00D);
+    for seed in seeds {
+        for _ in 0..400 {
+            let mut bytes = seed.as_bytes().to_vec();
+            // 1–3 point mutations: overwrite, insert, or delete a byte.
+            for _ in 0..=(rng.next() % 3) {
+                let at = (rng.next() as usize) % bytes.len();
+                match rng.next() % 3 {
+                    0 => bytes[at] = mutations[(rng.next() as usize) % mutations.len()],
+                    1 => bytes.insert(at, mutations[(rng.next() as usize) % mutations.len()]),
+                    _ => {
+                        bytes.remove(at);
+                    }
+                }
+            }
+            let Ok(text) = String::from_utf8(bytes) else {
+                continue;
+            };
+            // Must not panic; and parse succeeds iff check does (parse is
+            // strictly the same grammar, lenient only *inside* accepted
+            // surrogate escapes).
+            let c = check(&text);
+            let p = parse(&text);
+            assert_eq!(
+                c.is_ok(),
+                p.is_ok(),
+                "checker/parser disagree on {text:?}: check={c:?} parse={:?}",
+                p.map(|_| ())
+            );
+        }
+    }
+}

@@ -13,8 +13,12 @@
 //! Every configuration must produce a **byte-identical** model (the layer
 //! is pure performance), and the full stack must cut the simulated
 //! makespan by at least 1.5× — both asserted here, so this binary doubles
-//! as the CI perf gate. All numbers are simulated time, so the whole
-//! comparison is run twice and `BENCH_hotpath.json` is asserted
+//! as the CI perf gate. The optimized configuration runs with tracing on
+//! (observation only: it cannot move simulated time) and its PerfDoctor
+//! analysis — exact critical path, makespan attribution, what-if
+//! projections — is written as `PERF_hotpath.{json,txt}`. All numbers are
+//! simulated time, so the whole comparison is run twice and both
+//! `BENCH_hotpath.json` and `PERF_hotpath.json` are asserted
 //! byte-identical before being written.
 //!
 //! ```text
@@ -72,7 +76,13 @@ fn model_bytes(m: &SvmModel) -> Vec<u8> {
     b
 }
 
-fn run_once() -> String {
+struct Artifacts {
+    bench: String,
+    perf_json: String,
+    perf_text: String,
+}
+
+fn run_once() -> Artifacts {
     let ds = gaussian::two_blobs(400, 12, 3.0, 7);
     let params = SvmParams::new(4.0, KernelKind::rbf_from_sigma_sq(2.0))
         .with_epsilon(1e-3)
@@ -82,10 +92,14 @@ fn run_once() -> String {
     let mut makespans = Vec::new();
     let mut last = None;
     for cfg in &CONFIGS {
+        // Trace every configuration: tracing is observation-only (it
+        // cannot move simulated time — the A/B makespans stay honest),
+        // and it attaches the PerfDoctor analysis to the run.
         let run = DistSolver::new(&ds, params.clone().with_cache_bytes(cfg.cache_bytes))
             .with_processes(4)
             .with_threads(cfg.threads)
             .with_dots(cfg.dots)
+            .with_tracing()
             .train()
             .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
         assert!(run.converged, "{} converged", cfg.name);
@@ -134,7 +148,15 @@ fn run_once() -> String {
         "kernel_cache_misses".to_string(),
         optimized.metrics.counter("kernel_cache_misses") as f64,
     );
-    report.to_json()
+    let perf = optimized
+        .perf
+        .as_ref()
+        .expect("traced runs attach a PerfDoctor");
+    Artifacts {
+        bench: report.to_json(),
+        perf_json: perf.to_json(),
+        perf_text: perf.render_text(),
+    }
 }
 
 fn main() {
@@ -145,13 +167,24 @@ fn main() {
 
     let a = run_once();
     let b = run_once();
-    assert_eq!(a, b, "bench report must be deterministic");
-    json::check(&a).expect("bench JSON well-formed");
+    assert_eq!(a.bench, b.bench, "bench report must be deterministic");
+    assert_eq!(
+        a.perf_json, b.perf_json,
+        "PerfDoctor report must be deterministic"
+    );
+    json::check(&a.bench).expect("bench JSON well-formed");
+    json::check(&a.perf_json).expect("perf JSON well-formed");
 
     std::fs::create_dir_all(&out).expect("create out dir");
-    std::fs::write(out.join("BENCH_hotpath.json"), &a).expect("write bench report");
+    std::fs::write(out.join("BENCH_hotpath.json"), &a.bench).expect("write bench report");
+    std::fs::write(out.join("PERF_hotpath.json"), &a.perf_json).expect("write perf json");
+    std::fs::write(out.join("PERF_hotpath.txt"), &a.perf_text).expect("write perf text");
 
-    println!("{a}");
-    println!("wrote {}", out.join("BENCH_hotpath.json").display());
+    println!("{}", a.bench);
+    println!("{}", a.perf_text);
+    println!(
+        "wrote {} and PERF_hotpath.{{json,txt}}",
+        out.join("BENCH_hotpath.json").display()
+    );
     println!("determinism: two same-seed runs produced byte-identical reports ✓");
 }

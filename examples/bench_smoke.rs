@@ -11,6 +11,10 @@
 //!   size, KKT gap, kernel-cache hit rate, shrink/reconstruction counts)
 //! * `BENCH_smoke.json` — machine-readable run report (modeled time,
 //!   speedup vs the Original no-shrinking policy, comm/compute split)
+//! * `PERF_smoke.json` / `PERF_smoke.txt` — PerfDoctor trace analysis:
+//!   the exact critical path through the run's event DAG, the
+//!   compute/transfer/idle/retransmit/recovery attribution, and what-if
+//!   projections (zero-latency network, infinite cache, perfect balance)
 //!
 //! Everything is keyed on *simulated* time, so the run is executed twice
 //! and the artifacts are asserted byte-identical before being written —
@@ -31,6 +35,8 @@ struct Artifacts {
     trace_text: String,
     metrics: String,
     bench: String,
+    perf_json: String,
+    perf_text: String,
 }
 
 fn run_once() -> Artifacts {
@@ -63,11 +69,14 @@ fn run_once() -> Artifacts {
         report.speedup_vs_original = Some(original.makespan / run.makespan);
     }
 
+    let perf = run.perf.as_ref().expect("traced runs attach a PerfDoctor");
     Artifacts {
         trace_json: run.timeline.to_chrome_json(),
         trace_text: run.timeline.render_text(),
         metrics: metrics.snapshot(),
         bench: report.to_json(),
+        perf_json: perf.to_json(),
+        perf_text: perf.render_text(),
     }
 }
 
@@ -89,19 +98,29 @@ fn main() {
         "metrics snapshot must be deterministic"
     );
     assert_eq!(a.bench, b.bench, "bench report must be deterministic");
+    assert_eq!(
+        a.perf_json, b.perf_json,
+        "PerfDoctor report must be deterministic"
+    );
+    assert_eq!(a.perf_text, b.perf_text, "PerfDoctor text must be stable");
 
     json::check(&a.trace_json).expect("trace JSON well-formed");
     json::check(&a.bench).expect("bench JSON well-formed");
+    json::check(&a.perf_json).expect("perf JSON well-formed");
 
     std::fs::create_dir_all(&out).expect("create out dir");
     std::fs::write(out.join("trace_smoke.json"), &a.trace_json).expect("write trace json");
     std::fs::write(out.join("trace_smoke.txt"), &a.trace_text).expect("write trace text");
     std::fs::write(out.join("metrics_smoke.txt"), &a.metrics).expect("write metrics");
     std::fs::write(out.join("BENCH_smoke.json"), &a.bench).expect("write bench report");
+    std::fs::write(out.join("PERF_smoke.json"), &a.perf_json).expect("write perf json");
+    std::fs::write(out.join("PERF_smoke.txt"), &a.perf_text).expect("write perf text");
 
     println!("{}", a.metrics);
+    println!("{}", a.perf_text);
     println!(
-        "artifacts written to {}: trace_smoke.json ({} events), metrics_smoke.txt, BENCH_smoke.json",
+        "artifacts written to {}: trace_smoke.json ({} events), metrics_smoke.txt, \
+         BENCH_smoke.json, PERF_smoke.{{json,txt}}",
         out.display(),
         a.trace_json.matches("\"ph\"").count(),
     );

@@ -25,6 +25,11 @@
 //!    pivots corrupts every subsequent dot silently. Everyone else must go
 //!    through `shrinksvm_sparse::ScratchPad`, which owns the hazard
 //!    (touched-index-list clearing, all-zero debug assertion on load).
+//!
+//! The crate also hosts the bench-history regression gate,
+//! `cargo xtask bench-diff <baseline> <candidate>` — see [`bench_diff`].
+
+pub mod bench_diff;
 
 use std::collections::BTreeMap;
 use std::fmt;

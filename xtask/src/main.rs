@@ -38,8 +38,41 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("bench-diff") => {
+            let (Some(baseline), Some(candidate)) = (args.get(1), args.get(2)) else {
+                eprintln!("usage: cargo xtask bench-diff <baseline> <candidate>");
+                eprintln!("       (two BENCH_*.json files, or two directories of them)");
+                return ExitCode::FAILURE;
+            };
+            match xtask::bench_diff::run_bench_diff(
+                std::path::Path::new(baseline),
+                std::path::Path::new(candidate),
+            ) {
+                Ok(report) => {
+                    for line in &report.lines {
+                        println!("{line}");
+                    }
+                    let regressions = report.regressions();
+                    if regressions.is_empty() {
+                        println!(
+                            "bench-diff: clean ({} metric(s) checked)",
+                            report.lines.len()
+                        );
+                        ExitCode::SUCCESS
+                    } else {
+                        eprintln!("bench-diff: {} regression(s)", regressions.len());
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("bench-diff: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => {
             eprintln!("usage: cargo xtask lint [--update-allowlist]");
+            eprintln!("       cargo xtask bench-diff <baseline> <candidate>");
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,102 @@
+//! End-to-end exercise of `cargo xtask bench-diff` against real solver
+//! runs: the gate must pass a byte-identical re-run and flag a run whose
+//! LogGP latency was deliberately inflated.
+
+use std::path::PathBuf;
+
+use shrinksvm_core::dist::DistSolver;
+use shrinksvm_core::kernel::KernelKind;
+use shrinksvm_core::params::SvmParams;
+use shrinksvm_core::shrink::ShrinkPolicy;
+use shrinksvm_datagen::gaussian;
+use shrinksvm_mpisim::CostParams;
+use xtask::bench_diff::run_bench_diff;
+
+/// Train the tiny 2-rank problem under `cost` and return its bench
+/// report JSON.
+fn bench_json(cost: CostParams) -> String {
+    let ds = gaussian::two_blobs(120, 3, 4.0, 7);
+    let params = SvmParams::new(1.0, KernelKind::rbf_from_sigma_sq(2.0))
+        .with_epsilon(1e-3)
+        .with_shrink(ShrinkPolicy::best());
+    let run = DistSolver::new(&ds, params)
+        .with_processes(2)
+        .with_cost(cost)
+        .train()
+        .expect("train");
+    let mut doc = run.bench_report("gate").to_json();
+    doc.push('\n');
+    doc
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xtask_bench_diff_e2e_{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mk temp dir");
+    dir
+}
+
+#[test]
+fn identical_rerun_passes_and_latency_bump_is_flagged() {
+    let baseline = bench_json(CostParams::fdr());
+    let rerun = bench_json(CostParams::fdr());
+    assert_eq!(baseline, rerun, "same-seed runs must be byte-identical");
+
+    // A 1000x latency bump models a perf regression on the wire: the
+    // solver converges to the same model (simulated time is observation,
+    // not schedule here — 2 ranks, deterministic SMO), but the makespan
+    // and transfer charges blow up far past every tolerance.
+    let slow_cost = CostParams {
+        latency: CostParams::fdr().latency * 1000.0,
+        ..CostParams::fdr()
+    };
+    let slow = bench_json(slow_cost);
+    assert_ne!(baseline, slow, "latency bump must move the modeled time");
+
+    let dir = fresh_dir("files");
+    let bp = dir.join("BENCH_gate.json");
+    let rp = dir.join("BENCH_gate_rerun.json");
+    let sp = dir.join("BENCH_gate_slow.json");
+    std::fs::write(&bp, &baseline).expect("write baseline");
+    std::fs::write(&rp, &rerun).expect("write rerun");
+    std::fs::write(&sp, &slow).expect("write slow");
+
+    let clean = run_bench_diff(&bp, &rp).expect("diff runs");
+    assert!(
+        clean.regressions().is_empty(),
+        "identical re-run must pass: {:?}",
+        clean.regressions()
+    );
+
+    let flagged = run_bench_diff(&bp, &sp).expect("diff runs");
+    assert!(
+        flagged
+            .regressions()
+            .iter()
+            .any(|l| l.metric.ends_with("/modeled_time")),
+        "latency bump must regress the makespan: {:?}",
+        flagged.lines
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dir_mode_gates_a_whole_baseline_tree() {
+    let baseline = bench_json(CostParams::fdr());
+    let bd = fresh_dir("tree_base");
+    let cd = fresh_dir("tree_cand");
+    std::fs::write(bd.join("BENCH_gate.json"), &baseline).expect("write");
+    std::fs::write(cd.join("BENCH_gate.json"), &baseline).expect("write");
+
+    let clean = run_bench_diff(&bd, &cd).expect("diff runs");
+    assert!(clean.regressions().is_empty(), "{:?}", clean.regressions());
+
+    // Drop the candidate report: a vanished benchmark is a failure.
+    std::fs::remove_file(cd.join("BENCH_gate.json")).expect("rm");
+    let missing = run_bench_diff(&bd, &cd).expect("diff runs");
+    assert_eq!(missing.regressions().len(), 1);
+
+    std::fs::remove_dir_all(&bd).ok();
+    std::fs::remove_dir_all(&cd).ok();
+}
