@@ -13,6 +13,9 @@
 //! Rows are stored behind `Arc` so a caller can hold the two rows of the
 //! current working pair while later fetches evict freely underneath.
 
+// lint: ordered — the only iteration over this map (resize_rows) sorts
+// the collected indices; lookups are order-blind O(1) on the hot path.
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -54,6 +57,7 @@ impl CacheStats {
 
 /// An LRU cache of full kernel rows.
 #[derive(Debug)]
+#[allow(clippy::disallowed_types)]
 pub struct KernelCache {
     map: HashMap<usize, usize>,
     nodes: Vec<Node>,
@@ -66,6 +70,7 @@ pub struct KernelCache {
 
 impl KernelCache {
     /// A cache holding at most `capacity_rows` rows (each `row_len` values).
+    #[allow(clippy::disallowed_types)]
     pub fn with_capacity_rows(capacity_rows: usize) -> Self {
         KernelCache {
             map: HashMap::new(),
@@ -153,7 +158,8 @@ impl KernelCache {
     /// past the end of a cached row.
     pub fn resize_rows(&mut self, keep: &[usize]) {
         debug_assert!(keep.windows(2).all(|w| w[0] < w[1]));
-        let idxs: Vec<usize> = self.map.values().copied().collect();
+        let mut idxs: Vec<usize> = self.map.values().copied().collect();
+        idxs.sort_unstable();
         for idx in idxs {
             let old = &self.nodes[idx].data;
             let new: Vec<f64> = keep.iter().map(|&p| old[p]).collect();

@@ -136,6 +136,8 @@ impl Checkpoint {
         writeln!(w, "iterations {} stage {}", self.iterations, self.stage)?;
         writeln!(w, "betas {:e} {:e}", self.last_betas.0, self.last_betas.1)?;
         writeln!(w, "n {} ranks {}", self.n, self.ranks.len())?;
+        // Checkpoint serialization is a host-side disk mirror; the recovery
+        // cost model charges restore, not writes. lint: uncharged
         for s in &self.ranks {
             let cd = s
                 .shrink_countdown
@@ -153,6 +155,7 @@ impl Checkpoint {
             }
             writeln!(w)?;
             write!(w, "grad")?;
+            // lint: uncharged — same host-side serialization as above.
             for g in &s.grad {
                 write!(w, " {g:e}")?;
             }
@@ -207,6 +210,8 @@ impl Checkpoint {
         // Cap preallocations by what the declared sample count implies —
         // a garbled count cannot force a huge allocation.
         let mut ranks = Vec::with_capacity(nranks.min(n.max(1)));
+        // Host-side parse of the on-disk format; the simulated restore
+        // path charges its own recovery cost. lint: uncharged
         for _ in 0..nranks {
             let rline = next("rank line")?;
             let (rank, lo, len, cd) = match rline.split_whitespace().collect::<Vec<_>>().as_slice()

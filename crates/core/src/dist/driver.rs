@@ -244,6 +244,7 @@ impl<'a> DistSolver<'a> {
     /// driver disarms the fired crash rule, restores the last consistent
     /// checkpoint and retrains (optionally degraded to one rank fewer).
     pub fn train(self) -> Result<DistRunResult, CoreError> {
+        #[allow(clippy::disallowed_methods)]
         // allow-wall-clock: host-side metric (reported wall_time), not simulated time
         let start = Instant::now();
         let ds = self.ds;

@@ -305,9 +305,12 @@ impl<'a> RankState<'a> {
         debug_assert_eq!(ck.n, self.ds.len(), "checkpoint is for another dataset");
         let my_lo = self.lo;
         let my_hi = self.lo + self.local_n();
+        // Recovery copy-in; the fault path bills this through the driver's
+        // recovery cost, not per-element compute. lint: uncharged
         for s in &ck.ranks {
             let start = my_lo.max(s.lo);
             let end = my_hi.min(s.lo + s.alpha.len());
+            // lint: uncharged — same recovery copy-in as above.
             for g in start..end {
                 let (li, si) = (g - my_lo, g - s.lo);
                 self.alpha[li] = s.alpha[si];
@@ -916,6 +919,8 @@ impl<'a> RankState<'a> {
         let tol = bound_tol(self.c());
         let mut sum = 0.0;
         let mut count = 0u64;
+        // One-shot O(n_local) scan after convergence, outside the
+        // per-iteration timing the makespan model charges. lint: uncharged
         for li in 0..self.local_n() {
             if classify(self.y(li), self.alpha[li], self.c_of(li)) == IndexSet::I0 {
                 sum += self.grad[li];

@@ -110,6 +110,7 @@ impl MachineModel {
             sink += ke.k(a, b);
         }
         let mut nnz_touched = 0usize;
+        #[allow(clippy::disallowed_methods)]
         // allow-wall-clock: calibrating real kernel throughput on the host
         let start = Instant::now();
         for &(a, b) in &pairs {

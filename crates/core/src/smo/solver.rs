@@ -86,6 +86,7 @@ impl<'a> SmoSolver<'a> {
             ));
         }
 
+        #[allow(clippy::disallowed_methods)]
         // allow-wall-clock: host-side metric (reported solve time), not simulated time
         let start = Instant::now();
         let c_pos = self.params.c_for(1.0);

@@ -227,6 +227,8 @@ fn sample_skewed(rng: &mut SmallRng, n: usize, k: usize, skew: f64) -> Vec<u32> 
     }
     debug_assert!(k <= n);
     let mut out: Vec<u32> = Vec::with_capacity(k);
+    // lint: ordered — membership-only rejection set; `out` carries the order
+    #[allow(clippy::disallowed_types)]
     let mut seen = std::collections::HashSet::with_capacity(k * 2);
     let mut tries = 0usize;
     while out.len() < k {
@@ -267,6 +269,8 @@ fn sample_distinct(rng: &mut SmallRng, n: usize, k: usize) -> Vec<u32> {
     } else {
         // sparse case: rejection with a scratch set
         let mut out = Vec::with_capacity(k);
+        // lint: ordered — membership-only rejection set; `out` carries the order
+        #[allow(clippy::disallowed_types)]
         let mut seen = std::collections::HashSet::with_capacity(k * 2);
         while out.len() < k {
             let c = rng.gen_range(0..n as u32);

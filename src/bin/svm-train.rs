@@ -166,6 +166,8 @@ fn main() {
         },
     };
 
+    #[allow(clippy::disallowed_methods)]
+    // allow-wall-clock: CLI-facing elapsed-time print, outside simulation
     let start = std::time::Instant::now();
     let (model, iterations, converged) = if policy.is_some() || o.processes.is_some() {
         // distributed path: cache-free, MVP selection, shrinking heuristics

@@ -1,0 +1,127 @@
+//! The unified ratchet (D4): per-crate budgets for `unwrap`, `expect`,
+//! `unsafe`, and `Ordering::Relaxed` sites, frozen in
+//! `xtask/lint_budgets.toml`. Counts may only go down; when they do, the
+//! file must be regenerated (`cargo xtask lint --update-budgets`) so the
+//! debt burns down monotonically.
+//!
+//! The file is a small TOML subset parsed by hand (the engine is
+//! dependency-free): `["crate key"]` table headers and `key = <integer>`
+//! pairs, `#` comments. The renderer emits the same subset with sorted
+//! keys so regeneration is deterministic.
+
+use std::collections::BTreeMap;
+
+/// The four ratcheted counters.
+pub const COUNTERS: &[&str] = &["unwrap", "expect", "unsafe", "relaxed"];
+
+/// Per-crate counter values (`counter name -> count`).
+pub type CrateCounts = BTreeMap<String, usize>;
+
+/// The whole table: crate key (`crates/core`, `src`) → counters.
+pub type BudgetTable = BTreeMap<String, CrateCounts>;
+
+/// Parse `lint_budgets.toml` text. Unknown keys are kept (forward
+/// compatibility); malformed lines are ignored rather than fatal — a
+/// hand-edited budget that drops a line simply reverts that counter to
+/// the zero default, which fails closed.
+pub fn parse(text: &str) -> BudgetTable {
+    let mut table = BudgetTable::new();
+    let mut current: Option<String> = None;
+    for raw in text.lines() {
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(inner) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let name = inner.trim().trim_matches('"').to_string();
+            table.entry(name.clone()).or_default();
+            current = Some(name);
+            continue;
+        }
+        if let (Some(cur), Some(eq)) = (&current, line.find('=')) {
+            let key = line[..eq].trim();
+            if let Ok(v) = line[eq + 1..].trim().parse::<usize>() {
+                table
+                    .entry(cur.clone())
+                    .or_default()
+                    .insert(key.to_string(), v);
+            }
+        }
+    }
+    table
+}
+
+/// Render a table back to budget-file text. Crates whose counters are all
+/// zero are omitted — absence means "budget zero", so a first violation
+/// in a clean crate fails immediately.
+pub fn render(table: &BudgetTable) -> String {
+    let mut out = String::from(
+        "# lint_budgets.toml — per-crate ceilings for unwrap/expect/unsafe/Ordering::Relaxed\n\
+         # sites outside #[cfg(test)]. Counts may only decrease; regenerate after paying\n\
+         # debt down with: cargo xtask lint --update-budgets\n",
+    );
+    for (name, counts) in table {
+        if counts.values().all(|&v| v == 0) {
+            continue;
+        }
+        out.push_str(&format!("\n[\"{name}\"]\n"));
+        for &c in COUNTERS {
+            let v = counts.get(c).copied().unwrap_or(0);
+            if v > 0 {
+                out.push_str(&format!("{c} = {v}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Look up one counter's budget; missing crate or key means zero.
+pub fn budget_of(table: &BudgetTable, crate_key: &str, counter: &str) -> usize {
+    table
+        .get(crate_key)
+        .and_then(|c| c.get(counter))
+        .copied()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_sections_and_values() {
+        let t = parse(
+            "# header\n[\"crates/core\"]\nunwrap = 9 # why\nexpect = 5\n\n[\"src\"]\nunsafe = 1\n",
+        );
+        assert_eq!(budget_of(&t, "crates/core", "unwrap"), 9);
+        assert_eq!(budget_of(&t, "crates/core", "expect"), 5);
+        assert_eq!(budget_of(&t, "crates/core", "relaxed"), 0);
+        assert_eq!(budget_of(&t, "src", "unsafe"), 1);
+        assert_eq!(budget_of(&t, "crates/missing", "unwrap"), 0);
+    }
+
+    #[test]
+    fn render_roundtrips() {
+        let mut t = BudgetTable::new();
+        t.entry("crates/threads".into())
+            .or_default()
+            .insert("relaxed".into(), 9);
+        t.entry("crates/zero".into())
+            .or_default()
+            .insert("unwrap".into(), 0);
+        let text = render(&t);
+        let back = parse(&text);
+        assert_eq!(budget_of(&back, "crates/threads", "relaxed"), 9);
+        assert!(!back.contains_key("crates/zero"), "all-zero crates omitted");
+    }
+
+    #[test]
+    fn unquoted_headers_accepted() {
+        let t = parse("[src]\nunwrap = 2\n");
+        assert_eq!(budget_of(&t, "src", "unwrap"), 2);
+    }
+}

@@ -1,0 +1,584 @@
+//! Per-file structural index over the token stream: function items with
+//! impl-type qualifiers and body spans, `#[cfg(test)]` masking, `use`
+//! alias resolution, struct fields with hash-container types, and a
+//! line → comment map for the justification escape hatches.
+//!
+//! This is not a Rust parser — it is a conservative item scanner built on
+//! brace matching, which is exactly enough for name-level call-graph
+//! construction and token-scoped rules. Anything it cannot classify it
+//! leaves out of the index (and the rules over-approximate elsewhere, so
+//! omissions degrade toward fewer false *negatives* in reachability, not
+//! silent passes of banned calls in simulated trees).
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::manifest;
+
+/// One `fn` item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing impl's type name, when the fn is a method/associated fn.
+    pub qual: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token range of the signature: `[fn_kw, body_open)`.
+    pub sig: (usize, usize),
+    /// Token range of the body: `[body_open, body_close]` (braces
+    /// included). Zero-length for bodyless trait declarations.
+    pub body: (usize, usize),
+    /// True when the item is under `#[cfg(test)]` / `#[test]`.
+    pub is_test: bool,
+}
+
+impl FnItem {
+    /// `Type::name` or `name`.
+    pub fn qualified(&self) -> String {
+        match &self.qual {
+            Some(q) => format!("{q}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The structural index of one file.
+pub struct FileIndex {
+    /// Repo-relative path.
+    pub path: String,
+    /// The full token stream (comments included).
+    pub toks: Vec<Tok>,
+    /// Every `fn` item found.
+    pub fns: Vec<FnItem>,
+    /// Per-token flag: true inside a `#[cfg(test)]` / `#[test]` item.
+    pub test_mask: Vec<bool>,
+    /// Type names that denote nondeterministic hash containers in this
+    /// file (the std names plus any `use … as` aliases of them).
+    pub hash_names: BTreeSet<String>,
+    /// Struct field names declared with a hash-container type.
+    pub hash_fields: BTreeSet<String>,
+    /// `use` aliases: alias → original (last path segment).
+    pub uses: BTreeMap<String, String>,
+    /// Comment text per line (a line can hold several).
+    pub comments: BTreeMap<usize, Vec<String>>,
+}
+
+impl FileIndex {
+    /// Lex and index one file.
+    pub fn build(path: &str, src: &str) -> FileIndex {
+        let toks = lex(src);
+        let mut comments: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        for t in &toks {
+            if t.kind == TokKind::Comment {
+                comments.entry(t.line).or_default().push(t.text.clone());
+            }
+        }
+        let test_mask = compute_test_mask(&toks);
+        let impls = find_impls(&toks);
+        let fns = find_fns(&toks, &impls, &test_mask);
+        let uses = collect_uses(&toks);
+        let mut hash_names: BTreeSet<String> =
+            manifest::HASH_TYPES.iter().map(|s| s.to_string()).collect();
+        for (alias, orig) in &uses {
+            if manifest::HASH_TYPES.contains(&orig.as_str()) {
+                hash_names.insert(alias.clone());
+            }
+        }
+        let hash_fields = collect_hash_fields(&toks, &hash_names);
+        FileIndex {
+            path: path.to_string(),
+            toks,
+            fns,
+            test_mask,
+            hash_names,
+            hash_fields,
+            uses,
+            comments,
+        }
+    }
+
+    /// True when any comment on `line` or the `above` lines preceding it
+    /// contains `needle`.
+    pub fn justified(&self, line: usize, above: usize, needle: &str) -> bool {
+        let lo = line.saturating_sub(above);
+        self.comments
+            .range(lo..=line)
+            .any(|(_, cs)| cs.iter().any(|c| c.contains(needle)))
+    }
+
+    /// Index of the next code (non-comment) token at or after `i`.
+    pub fn next_code(&self, i: usize) -> Option<usize> {
+        (i..self.toks.len()).find(|&j| self.toks[j].is_code())
+    }
+
+    /// Index of the previous code token strictly before `i`.
+    pub fn prev_code(&self, i: usize) -> Option<usize> {
+        (0..i).rev().find(|&j| self.toks[j].is_code())
+    }
+}
+
+/// An `impl` block: its type name and brace-inclusive body token range.
+struct ImplBlock {
+    type_name: String,
+    body: (usize, usize),
+}
+
+/// True when the code token at `i` sits in item position (start of file,
+/// or after `}` / `;` / `]` / `unsafe` / `pub(...)`).
+fn item_position(toks: &[Tok], i: usize) -> bool {
+    let mut j = i;
+    loop {
+        let Some(p) = (0..j).rev().find(|&k| toks[k].is_code()) else {
+            return true;
+        };
+        let t = &toks[p];
+        if t.is_punct("}") || t.is_punct(";") || t.is_punct("]") || t.is_punct("{") {
+            return true;
+        }
+        if t.is_ident("unsafe") || t.is_ident("pub") {
+            j = p;
+            continue;
+        }
+        if t.is_punct(")") {
+            // step over a `pub(crate)`-style visibility group
+            let mut depth = 0i64;
+            let mut k = p;
+            loop {
+                if toks[k].is_punct(")") {
+                    depth += 1;
+                } else if toks[k].is_punct("(") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+            }
+            j = k;
+            continue;
+        }
+        return false;
+    }
+}
+
+/// Find the matching close brace for the open brace at `open` (token
+/// index). Returns the last token index when unbalanced.
+fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Mark every token belonging to a `#[cfg(test)]`- or `#[test]`-gated
+/// item (attribute included, through the item's closing `}` or `;`).
+fn compute_test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_punct("#") && toks.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        // bracket-match the attribute
+        let mut depth = 0i64;
+        let mut close = i + 1;
+        for (j, t) in toks.iter().enumerate().skip(i + 1) {
+            if t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    close = j;
+                    break;
+                }
+            }
+        }
+        let attr = &toks[i + 2..close];
+        let is_test_attr = {
+            let idents: Vec<&str> = attr
+                .iter()
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.as_str())
+                .collect();
+            idents == ["test"] || (idents.contains(&"cfg") && idents.contains(&"test"))
+        };
+        if !is_test_attr {
+            i = close + 1;
+            continue;
+        }
+        // the gated item runs to its first top-level `{`'s match, or `;`
+        let mut j = close + 1;
+        let end = loop {
+            match toks.get(j) {
+                None => break toks.len() - 1,
+                Some(t) if t.is_punct("{") => break match_brace(toks, j),
+                Some(t) if t.is_punct(";") => break j,
+                _ => j += 1,
+            }
+        };
+        for m in &mut mask[i..=end.min(toks.len() - 1)] {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// Collect `impl` blocks with their resolved type names.
+fn find_impls(toks: &[Tok]) -> Vec<ImplBlock> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("impl") || !item_position(toks, i) {
+            continue;
+        }
+        // header: tokens up to the body `{` at angle-depth 0, stopping the
+        // name scan at `where`
+        let mut angle = 0i64;
+        let mut j = i + 1;
+        let mut after_for: Option<usize> = None;
+        let mut body_open = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if !t.is_code() {
+                j += 1;
+                continue;
+            }
+            if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") {
+                angle -= 1;
+            } else if angle == 0 && t.is_ident("for") {
+                after_for = Some(j + 1);
+            } else if angle == 0 && t.is_punct("{") {
+                body_open = Some(j);
+                break;
+            } else if angle == 0 && t.is_punct(";") {
+                break; // `impl Trait for Type;` — no body
+            }
+            j += 1;
+        }
+        let Some(open) = body_open else { continue };
+        let name_from = after_for.unwrap_or(i + 1);
+        // the type name is the last angle-depth-0 ident before `{`/`where`
+        let mut angle = 0i64;
+        let mut name = None;
+        for t in &toks[name_from..open] {
+            if !t.is_code() {
+                continue;
+            }
+            if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") {
+                angle -= 1;
+            } else if angle == 0 && t.is_ident("where") {
+                break;
+            } else if angle == 0
+                && t.kind == TokKind::Ident
+                && !matches!(t.text.as_str(), "mut" | "dyn" | "const")
+            {
+                name = Some(t.text.clone());
+            }
+        }
+        if let Some(type_name) = name {
+            out.push(ImplBlock {
+                type_name,
+                body: (open, match_brace(toks, open)),
+            });
+        }
+    }
+    out
+}
+
+/// Collect every `fn` item with its signature and body spans.
+fn find_fns(toks: &[Tok], impls: &[ImplBlock], test_mask: &[bool]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        let Some(ni) = (i + 1..toks.len()).find(|&j| toks[j].is_code()) else {
+            continue;
+        };
+        if toks[ni].kind != TokKind::Ident {
+            continue; // `fn(` pointer type
+        }
+        // body: first `{` at paren/bracket depth 0 after the name, or `;`
+        let mut paren = 0i64;
+        let mut bracket = 0i64;
+        let mut j = ni + 1;
+        let mut body = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_code() {
+                match t.text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    "{" if paren == 0 && bracket == 0 => {
+                        body = Some((j, match_brace(toks, j)));
+                        break;
+                    }
+                    ";" if paren == 0 && bracket == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let body = body.unwrap_or((j.min(toks.len()), j.min(toks.len())));
+        let qual = impls
+            .iter()
+            .filter(|b| b.body.0 < i && i < b.body.1)
+            .min_by_key(|b| b.body.1 - b.body.0) // innermost
+            .map(|b| b.type_name.clone());
+        out.push(FnItem {
+            name: toks[ni].text.clone(),
+            qual,
+            line: toks[i].line,
+            sig: (i, body.0),
+            body,
+            is_test: test_mask[i],
+        });
+    }
+    out
+}
+
+/// Resolve `use` declarations into alias → original-name pairs.
+/// Handles plain paths, `as` renames, and one level of `{…}` groups
+/// (nested groups are walked too — the tree is flattened by tracking the
+/// last ident seen before each `,`/`}`/`as`).
+fn collect_uses(toks: &[Tok]) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_ident("use") && item_position(toks, i)) {
+            i += 1;
+            continue;
+        }
+        // walk to `;`, recording (last ident, optional rename) at each leaf
+        let mut last: Option<String> = None;
+        let mut renaming = false;
+        let mut j = i + 1;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_code() {
+                match (t.kind, t.text.as_str()) {
+                    (TokKind::Ident, "as") => renaming = true,
+                    (TokKind::Ident, name) => {
+                        if renaming {
+                            if let Some(orig) = last.take() {
+                                map.insert(name.to_string(), orig);
+                            }
+                            renaming = false;
+                            last = None;
+                        } else {
+                            last = Some(name.to_string());
+                        }
+                    }
+                    (TokKind::Punct, "," | "}") => {
+                        if let Some(orig) = last.take() {
+                            map.insert(orig.clone(), orig);
+                        }
+                    }
+                    (TokKind::Punct, ";") => {
+                        if let Some(orig) = last.take() {
+                            map.insert(orig.clone(), orig);
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    map
+}
+
+/// Struct fields declared with a hash-container type.
+fn collect_hash_fields(toks: &[Tok], hash_names: &BTreeSet<String>) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_ident("struct") && item_position(toks, i)) {
+            i += 1;
+            continue;
+        }
+        // find the struct body (skip tuple/unit structs)
+        let mut j = i + 1;
+        let open = loop {
+            match toks.get(j) {
+                None => break None,
+                Some(t) if t.is_punct("{") => break Some(j),
+                Some(t) if t.is_punct(";") || t.is_punct("(") => break None,
+                _ => {
+                    j += 1;
+                    continue;
+                }
+            }
+        };
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        let close = match_brace(toks, open);
+        // fields at brace depth 1: `name : Type … ,`
+        let mut depth = 0i64;
+        let mut k = open;
+        while k < close {
+            let t = &toks[k];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+            } else if depth == 1
+                && t.kind == TokKind::Ident
+                && toks.get(k + 1).is_some_and(|n| n.is_punct(":"))
+            {
+                // scan the field's type to the `,` at depth 1 (or `}`)
+                let mut m = k + 2;
+                let mut d2 = 0i64;
+                let mut is_hash = false;
+                while m < close {
+                    let u = &toks[m];
+                    if u.is_punct("{") || u.is_punct("(") || u.is_punct("[") {
+                        d2 += 1;
+                    } else if u.is_punct("}") || u.is_punct(")") || u.is_punct("]") {
+                        d2 -= 1;
+                    } else if d2 == 0 && u.is_punct(",") {
+                        break;
+                    } else if u.kind == TokKind::Ident && hash_names.contains(&u.text) {
+                        is_hash = true;
+                    }
+                    m += 1;
+                }
+                if is_hash {
+                    out.insert(t.text.clone());
+                }
+                k = m;
+                continue;
+            }
+            k += 1;
+        }
+        i = close + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fns_with_impl_qualifiers() {
+        let src = "
+            pub fn free() {}
+            impl<'a> RankState<'a> { fn method(&self) { helper(); } }
+            impl fmt::Display for Finding { fn fmt(&self) {} }
+        ";
+        let ix = FileIndex::build("a.rs", src);
+        let quals: Vec<String> = ix.fns.iter().map(FnItem::qualified).collect();
+        assert_eq!(quals, ["free", "RankState::method", "Finding::fmt"]);
+    }
+
+    #[test]
+    fn impl_trait_return_type_is_not_an_impl_block() {
+        let src = "fn make() -> impl Iterator<Item = u8> { (0..3) } fn other() {}";
+        let ix = FileIndex::build("a.rs", src);
+        assert_eq!(ix.fns.len(), 2);
+        assert!(ix.fns.iter().all(|f| f.qual.is_none()));
+    }
+
+    #[test]
+    fn cfg_test_masks_the_whole_item() {
+        let src = "
+            fn lib() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { y.unwrap(); }
+            }
+        ";
+        let ix = FileIndex::build("a.rs", src);
+        let lib = ix.fns.iter().find(|f| f.name == "lib").unwrap();
+        let t = ix.fns.iter().find(|f| f.name == "t").unwrap();
+        assert!(!lib.is_test);
+        assert!(t.is_test);
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = "#[cfg(all(test, feature = \"x\"))] fn t() {}";
+        let ix = FileIndex::build("a.rs", src);
+        assert!(ix.fns[0].is_test);
+    }
+
+    #[test]
+    fn use_aliases_resolve() {
+        let src = "
+            use std::collections::HashMap as Fast;
+            use std::collections::{BTreeMap, HashSet};
+            use crate::smo::solve_pair;
+        ";
+        let ix = FileIndex::build("a.rs", src);
+        assert_eq!(ix.uses.get("Fast").map(String::as_str), Some("HashMap"));
+        assert_eq!(ix.uses.get("HashSet").map(String::as_str), Some("HashSet"));
+        assert_eq!(
+            ix.uses.get("solve_pair").map(String::as_str),
+            Some("solve_pair")
+        );
+        assert!(ix.hash_names.contains("Fast"));
+        assert!(!ix.hash_names.contains("BTreeMap"));
+    }
+
+    #[test]
+    fn hash_fields_found() {
+        let src = "
+            struct Cache { map: HashMap<usize, usize>, nodes: Vec<Node>, cap: usize }
+            struct Plain { items: Vec<u8> }
+        ";
+        let ix = FileIndex::build("a.rs", src);
+        assert!(ix.hash_fields.contains("map"));
+        assert!(!ix.hash_fields.contains("nodes"));
+        assert!(!ix.hash_fields.contains("items"));
+    }
+
+    #[test]
+    fn justification_window() {
+        let src = "// relaxed: fine here\nx.load(O);\n\n\ny.load(O);";
+        let ix = FileIndex::build("a.rs", src);
+        assert!(ix.justified(2, 1, "relaxed:"));
+        assert!(!ix.justified(5, 2, "relaxed:"));
+    }
+
+    #[test]
+    fn bodyless_trait_fn() {
+        let src = "trait T { fn decl(&self); fn with_default(&self) { self.decl() } }";
+        let ix = FileIndex::build("a.rs", src);
+        assert_eq!(ix.fns.len(), 2);
+        let decl = &ix.fns[0];
+        assert_eq!(decl.body.0, decl.body.1, "declaration has no body");
+    }
+
+    #[test]
+    fn where_clause_does_not_steal_the_impl_name() {
+        let src = "impl<T> Wrapper<T> where T: Clone { fn m(&self) {} }";
+        let ix = FileIndex::build("a.rs", src);
+        assert_eq!(ix.fns[0].qualified(), "Wrapper::m");
+    }
+}

@@ -1,0 +1,458 @@
+//! A hand-rolled Rust lexer for the lint engine.
+//!
+//! Produces a flat token stream with 1-based line numbers. The point of
+//! lexing (rather than grepping lines) is that rules stop firing inside
+//! places that are not code: string literals, raw strings, char literals,
+//! and comments all become single opaque tokens, and lifetimes (`'a`) are
+//! distinguished from char literals (`'a'`) so quote tracking never
+//! desynchronizes. Comments are *kept* in the stream — the justification
+//! escape hatches (`// allow-wall-clock:`, `// relaxed:`, `// lint:
+//! ordered`, `// lint: uncharged`) live in comments, so rules need them —
+//! but every structural pass skips them via [`Tok::is_code`].
+//!
+//! The lexer is intentionally forgiving: it never errors. Unterminated
+//! literals run to end of file, and unknown bytes become one-character
+//! punct tokens. A lint engine must degrade gracefully on code that
+//! `rustc` itself would reject mid-edit.
+
+/// Token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`, stored without `r#`).
+    Ident,
+    /// Lifetime such as `'a` (stored with the leading quote).
+    Lifetime,
+    /// Numeric literal (any base, with suffix).
+    Num,
+    /// String literal of any flavor: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// Punctuation. One character each, except `::` which is fused.
+    Punct,
+    /// Line or block comment, text included (`//…` / `/*…*/`).
+    Comment,
+}
+
+/// One token: kind, verbatim text, and the 1-based line it starts on.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Verbatim source text (for `Str`, includes the quotes and prefix).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+}
+
+impl Tok {
+    /// True for tokens that participate in program structure (everything
+    /// except comments).
+    pub fn is_code(&self) -> bool {
+        self.kind != TokKind::Comment
+    }
+
+    /// True when this is an `Ident` with exactly this text.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True when this is a `Punct` with exactly this text.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+}
+
+/// Lex `src` into tokens. Never fails; see the module docs for the
+/// degradation rules.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        b: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.b.len() {
+            let c = self.b[self.pos];
+            match c {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' | b'c' if self.raw_or_byte_string() => {}
+                c if c.is_ascii_digit() => self.number(),
+                c if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => self.ident(),
+                b':' if self.peek(1) == Some(b':') => {
+                    self.push(TokKind::Punct, self.pos, self.pos + 2, self.line);
+                    self.pos += 2;
+                }
+                _ => {
+                    self.push(TokKind::Punct, self.pos, self.pos + 1, self.line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, end: usize, line: usize) {
+        let text = String::from_utf8_lossy(&self.b[start..end.min(self.b.len())]).into_owned();
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.b.len() && self.b[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokKind::Comment, start, self.pos, self.line);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.b.len() && depth > 0 {
+            match self.b[self.pos] {
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokKind::Comment, start, self.pos, line);
+    }
+
+    /// Cooked string body starting at the opening quote; `start` marks where
+    /// the token began (possibly at a `b`/`c` prefix).
+    fn string(&mut self, start: usize) {
+        let line = self.line;
+        self.pos += 1; // opening quote
+        while self.pos < self.b.len() {
+            match self.b[self.pos] {
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\\' => self.pos += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokKind::Str, start, self.pos, line);
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`, `b'x'`, and raw
+    /// identifiers `r#ident`. Returns false when the current position is a
+    /// plain identifier starting with r/b/c.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let start = self.pos;
+        let mut i = self.pos;
+        // consume the prefix letters (at most two: b, br, cr, r)
+        let mut saw_r = false;
+        for _ in 0..2 {
+            match self.b.get(i) {
+                Some(b'r') => {
+                    saw_r = true;
+                    i += 1;
+                    break; // r is always last in a prefix
+                }
+                Some(b'b' | b'c') if !saw_r => i += 1,
+                _ => break,
+            }
+        }
+        let hashes_start = i;
+        while self.b.get(i) == Some(&b'#') {
+            i += 1;
+        }
+        let nhash = i - hashes_start;
+        match self.b.get(i) {
+            Some(b'"') if saw_r => {
+                // raw string: runs to `"` followed by nhash `#`s
+                let line = self.line;
+                self.pos = i + 1;
+                while self.pos < self.b.len() {
+                    if self.b[self.pos] == b'\n' {
+                        self.line += 1;
+                        self.pos += 1;
+                        continue;
+                    }
+                    if self.b[self.pos] == b'"'
+                        && self.b[self.pos + 1..]
+                            .iter()
+                            .take(nhash)
+                            .filter(|&&h| h == b'#')
+                            .count()
+                            == nhash
+                    {
+                        self.pos += 1 + nhash;
+                        self.push(TokKind::Str, start, self.pos, line);
+                        return true;
+                    }
+                    self.pos += 1;
+                }
+                self.push(TokKind::Str, start, self.pos, line);
+                true
+            }
+            Some(b'"') if nhash == 0 => {
+                // b"…" / c"…" cooked string with prefix
+                self.pos = i;
+                self.string(start);
+                true
+            }
+            Some(b'\'') if nhash == 0 && i == self.pos + 1 && self.b[self.pos] == b'b' => {
+                // byte char b'x'
+                self.pos = i;
+                self.char_literal(start);
+                true
+            }
+            _ if saw_r && nhash > 0 => {
+                // raw identifier r#ident: lex the ident part
+                self.pos = hashes_start + nhash;
+                let is = self.pos;
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80)
+                {
+                    self.pos += 1;
+                }
+                self.push(TokKind::Ident, is, self.pos, self.line);
+                true
+            }
+            _ => false, // plain identifier like `result` or `bytes`
+        }
+    }
+
+    /// At a `'`: char literal or lifetime. A backslash or a
+    /// single-char-then-quote form is a char literal; otherwise lifetime.
+    fn char_or_lifetime(&mut self) {
+        match self.peek(1) {
+            Some(b'\\') => self.char_literal(self.pos),
+            Some(c) if c == b'_' || c.is_ascii_alphabetic() => {
+                // scan the ident run after the quote
+                let mut j = self.pos + 1;
+                while self
+                    .b
+                    .get(j)
+                    .is_some_and(|&c| c == b'_' || c.is_ascii_alphanumeric())
+                {
+                    j += 1;
+                }
+                if self.b.get(j) == Some(&b'\'') {
+                    self.char_literal(self.pos); // 'a' (multi-char is invalid Rust anyway)
+                } else {
+                    let start = self.pos;
+                    self.pos = j;
+                    self.push(TokKind::Lifetime, start, j, self.line);
+                }
+            }
+            _ => self.char_literal(self.pos), // '∂', ' ', or stray quote
+        }
+    }
+
+    fn char_literal(&mut self, start: usize) {
+        let line = self.line;
+        self.pos += 1; // opening quote (or the b prefix consumed by caller)
+        if self.b.get(self.pos) == Some(&b'\'') {
+            self.pos += 1; // b' then ' — empty, tolerate
+        }
+        while self.pos < self.b.len() {
+            match self.b[self.pos] {
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\\' => self.pos += 2,
+                b'\n' => break, // stray quote: don't eat the rest of the file
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokKind::Char, start, self.pos, line);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        // fraction: a `.` only when followed by a digit (so `0..n` and
+        // `1.max(2)` split correctly)
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+            {
+                self.pos += 1;
+            }
+        }
+        // exponent sign: `1e-3` — the e was consumed above, take `+`/`-`
+        if matches!(self.b.get(self.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+            && matches!(self.peek(0), Some(b'+' | b'-'))
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.pos += 1;
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        self.push(TokKind::Num, start, self.pos, self.line);
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80)
+        {
+            self.pos += 1;
+        }
+        self.push(TokKind::Ident, start, self.pos, self.line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("fn f(x: u8) -> u8 { x }");
+        assert_eq!(t[0], (TokKind::Ident, "fn".into()));
+        assert_eq!(t[1], (TokKind::Ident, "f".into()));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Punct && s == "{"));
+    }
+
+    #[test]
+    fn double_colon_is_fused() {
+        let t = kinds("Instant::now()");
+        assert_eq!(t[0], (TokKind::Ident, "Instant".into()));
+        assert_eq!(t[1], (TokKind::Punct, "::".into()));
+        assert_eq!(t[2], (TokKind::Ident, "now".into()));
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let t = kinds(r#"let s = "Instant::now() .unwrap()";"#);
+        assert!(t.iter().all(|(k, s)| *k == TokKind::Str || s != "now"));
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let t = kinds(r###"let s = r#"quote " inside"#; x"###);
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == TokKind::Str && s.contains("quote")));
+        assert_eq!(t.last().unwrap(), &(TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let t = kinds(r##"b"bytes" c"cstr" br#"raw"# after"##);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 3);
+        assert_eq!(t.last().unwrap(), &(TokKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(), 2);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn static_lifetime() {
+        let t = kinds("&'static str");
+        assert_eq!(t[1], (TokKind::Lifetime, "'static".into()));
+    }
+
+    #[test]
+    fn comments_kept_with_lines() {
+        let toks = lex("a // one\n/* two\nlines */ b");
+        let comments: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Comment).collect();
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0].line, 1);
+        assert_eq!(comments[1].line, 2);
+        assert_eq!(toks.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let t = kinds("0..10 1.5e-3 0xff_u32 1.max(2)");
+        let nums: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1.5e-3", "0xff_u32", "1", "2"]);
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Ident && s == "max"));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let t = kinds("let r#fn = 1;");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Ident && s == "fn"));
+    }
+
+    #[test]
+    fn unterminated_string_runs_to_eof() {
+        let t = kinds("let s = \"oops\nmore text");
+        assert!(t.iter().any(|(k, _)| *k == TokKind::Str));
+    }
+
+    #[test]
+    fn line_numbers_accurate() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+}

@@ -1,37 +1,38 @@
-//! Repo-specific lint rules, run as `cargo xtask lint`.
+//! The determinism static analyzer, run as `cargo xtask lint`.
 //!
-//! Four rules, all text-based (no rustc plumbing, no dependencies):
+//! A dependency-free static-analysis engine (no rustc plumbing, no
+//! proc-macros) with three layers:
 //!
-//! 1. **wall-clock** — simulated code paths (`crates/mpisim`, `crates/core`)
-//!    must not read the host clock (`Instant::now` / `SystemTime::now`):
-//!    simulated time comes from the LogGP cost model, and a host-clock read
-//!    silently measures the simulator instead of the simulated machine.
-//!    Legitimate wall-time sites (host-side metrics) carry a justification
-//!    comment containing `allow-wall-clock:` on the same or previous line.
+//! 1. **[`lexer`]** — a hand-rolled Rust lexer that understands line and
+//!    nested block comments, cooked/raw/byte strings, char-vs-lifetime
+//!    ambiguity, and raw identifiers. Every rule reads tokens, so string
+//!    literals and comments can never false-positive.
+//! 2. **[`index`]** — a per-file item pass: function spans (signature +
+//!    body), impl-type qualifiers, `#[cfg(test)]` masking, `use`-alias
+//!    resolution, hash-typed struct fields, and comment positions (the
+//!    justification escape hatches live in comments).
+//! 3. **[`reach`]** — conservative name-level call-graph reachability
+//!    from the simulated entry points (`Universe::run*`,
+//!    `DistSolver::train*`, `train_rank`, `RankState::run_phase`), with
+//!    witness chains for diagnostics.
 //!
-//! 2. **unwrap ratchet** — library code must not grow new `.unwrap()` /
-//!    `.expect(` sites outside `#[cfg(test)]`. Existing sites are frozen in
-//!    `xtask/lint_allow_unwrap.txt` (path → count); the count may only go
-//!    down, and the file must be updated when it does, so the debt burns
-//!    down monotonically. Regenerate with `cargo xtask lint --update-allowlist`.
-//!
-//! 3. **relaxed ordering** — every `Ordering::Relaxed` outside test code
-//!    needs a `// relaxed:` justification within the two preceding lines
-//!    (or on the same line) explaining why no stronger ordering is needed.
-//!
-//! 4. **scratch hygiene** — raw `dot_scatter` calls are confined to
-//!    `crates/sparse`: the function reads a caller-managed dense buffer plus
-//!    occupancy mask, and reusing such a scratch without clearing it between
-//!    pivots corrupts every subsequent dot silently. Everyone else must go
-//!    through `shrinksvm_sparse::ScratchPad`, which owns the hazard
-//!    (touched-index-list clearing, all-zero debug assertion on load).
+//! The rule pack lives in [`rules`] (wall-clock, nondet-iter,
+//! charge-coverage, budgets, relaxed-ordering, scratch-hygiene), the
+//! shared path/vocabulary manifest in [`manifest`], the per-crate ratchet
+//! table in [`budgets`], and the `--json` report writer in [`report`].
 //!
 //! The crate also hosts the bench-history regression gate,
 //! `cargo xtask bench-diff <baseline> <candidate>` — see [`bench_diff`].
 
 pub mod bench_diff;
+pub mod budgets;
+pub mod index;
+pub mod lexer;
+pub mod manifest;
+pub mod reach;
+pub mod report;
+pub mod rules;
 
-use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -39,7 +40,7 @@ use std::path::{Path, PathBuf};
 /// One lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Repo-relative path.
+    /// Repo-relative path (or a crate key for file-level budget findings).
     pub file: String,
     /// 1-based line, or 0 for file-level findings.
     pub line: usize,
@@ -63,266 +64,45 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Crates whose `src/` trees count as *simulated* code paths (rule 1).
-const SIMULATED_PATHS: &[&str] = &["crates/mpisim/src", "crates/core/src", "crates/obs/src"];
-
-/// Roots whose `.rs` files are library code for rules 2 and 3. `xtask`
-/// itself and the CLI binaries under `src/bin` are tools, not libraries.
-const LIBRARY_ROOTS: &[&str] = &[
-    "crates/analyze/src",
-    "crates/core/src",
-    "crates/datagen/src",
-    "crates/mpisim/src",
-    "crates/obs/src",
-    "crates/sparse/src",
-    "crates/threads/src",
-    "src/lib.rs",
-];
-
-/// Where the unwrap ratchet lives, relative to the repo root.
-pub const ALLOWLIST_PATH: &str = "xtask/lint_allow_unwrap.txt";
-
-// ------------------------------------------------------------------ helpers
-
-/// Strip `//` comments from one line (naive: does not parse string
-/// literals, which is fine for counting well-formed call sites).
-fn code_part(line: &str) -> &str {
-    match line.find("//") {
-        Some(idx) => &line[..idx],
-        None => line,
-    }
+/// Everything one lint run produces.
+pub struct LintOutcome {
+    /// Violations, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Observed per-crate ratchet counts (what `--update-budgets` freezes).
+    pub budgets_used: budgets::BudgetTable,
+    /// The machine-readable report (`report::SCHEMA`), ready to write.
+    pub report: String,
 }
 
-/// Return a per-line mask, `true` where the line belongs to a
-/// `#[cfg(test)]` item (module or function) including its attribute line.
-/// Brace counting on code (comment-stripped) text; good enough for
-/// idiomatic rustfmt'd sources.
-fn test_code_mask(lines: &[&str]) -> Vec<bool> {
-    let mut mask = vec![false; lines.len()];
-    let mut i = 0;
-    while i < lines.len() {
-        if code_part(lines[i]).contains("#[cfg(test)]") {
-            let start = i;
-            // Scan forward to the item's first `{`, then to its match.
-            let mut depth = 0i64;
-            let mut opened = false;
-            let mut j = i;
-            while j < lines.len() {
-                for ch in code_part(lines[j]).chars() {
-                    match ch {
-                        '{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        '}' => depth -= 1,
-                        _ => {}
-                    }
-                }
-                if opened && depth <= 0 {
-                    break;
-                }
-                j += 1;
-            }
-            let end = j.min(lines.len() - 1);
-            for m in &mut mask[start..=end] {
-                *m = true;
-            }
-            i = end + 1;
-        } else {
-            i += 1;
-        }
-    }
-    mask
-}
-
-// ------------------------------------------------------------------ rule 1
-
-/// Rule 1: host-clock reads in simulated code paths.
-pub fn check_wall_clock(rel_path: &str, content: &str) -> Vec<Finding> {
-    if !SIMULATED_PATHS.iter().any(|p| rel_path.starts_with(p)) {
-        return Vec::new();
-    }
-    let lines: Vec<&str> = content.lines().collect();
-    let mut findings = Vec::new();
-    for (idx, line) in lines.iter().enumerate() {
-        let code = code_part(line);
-        if !(code.contains("Instant::now") || code.contains("SystemTime::now")) {
-            continue;
-        }
-        let justified = line.contains("allow-wall-clock:")
-            || (idx > 0 && lines[idx - 1].contains("allow-wall-clock:"));
-        if !justified {
-            findings.push(Finding {
-                file: rel_path.to_string(),
-                line: idx + 1,
-                rule: "wall-clock",
-                message: "host-clock read in a simulated code path; use the simulated \
-                          clock, or justify with a `// allow-wall-clock: ...` comment"
-                    .to_string(),
-            });
-        }
-    }
-    findings
-}
-
-// ------------------------------------------------------------------ rule 2
-
-/// Count `.unwrap()` / `.expect(` call sites outside test code.
-pub fn count_unwraps(content: &str) -> usize {
-    let lines: Vec<&str> = content.lines().collect();
-    let mask = test_code_mask(&lines);
-    lines
+/// Run the engine over in-memory `(repo-relative path, source)` pairs.
+/// This is the seam the fixture suite drives; [`run_lint`] feeds it the
+/// real tree. `enforce_budgets` gates the D4 ratchet comparison (off when
+/// regenerating the budget file).
+pub fn analyze_files(
+    files: &[(String, String)],
+    budget_table: &budgets::BudgetTable,
+    enforce_budgets: bool,
+) -> LintOutcome {
+    let indexes: Vec<index::FileIndex> = files
         .iter()
-        .zip(&mask)
-        .filter(|(_, in_test)| !**in_test)
-        .map(|(line, _)| {
-            let code = code_part(line);
-            code.matches(".unwrap()").count() + code.matches(".expect(").count()
-        })
-        .sum()
+        .map(|(p, s)| index::FileIndex::build(p, s))
+        .collect();
+    let reach = reach::analyze(&indexes);
+    let (findings, budgets_used) =
+        rules::check_all(&indexes, &reach, budget_table, enforce_budgets);
+    let stats = report::EngineStats {
+        files: indexes.len(),
+        functions: reach.functions,
+        reachable_functions: reach.reachable_count,
+        entry_points: manifest::ENTRY_POINTS.len(),
+    };
+    let report = report::render(&stats, &budgets_used, budget_table, &findings);
+    LintOutcome {
+        findings,
+        budgets_used,
+        report,
+    }
 }
-
-/// Parse the ratchet allowlist: `path count` per line, `#` comments.
-pub fn parse_allowlist(text: &str) -> BTreeMap<String, usize> {
-    let mut map = BTreeMap::new();
-    for line in text.lines() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut parts = line.split_whitespace();
-        if let (Some(path), Some(count)) = (parts.next(), parts.next()) {
-            if let Ok(n) = count.parse::<usize>() {
-                map.insert(path.to_string(), n);
-            }
-        }
-    }
-    map
-}
-
-/// Rule 2: compare actual per-file unwrap counts against the ratchet.
-/// `counts` maps repo-relative path → non-test unwrap/expect sites.
-pub fn check_unwrap_ratchet(
-    counts: &BTreeMap<String, usize>,
-    allow: &BTreeMap<String, usize>,
-) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    for (path, &actual) in counts {
-        let allowed = allow.get(path).copied().unwrap_or(0);
-        if actual > allowed {
-            findings.push(Finding {
-                file: path.clone(),
-                line: 0,
-                rule: "unwrap-ratchet",
-                message: format!(
-                    "{actual} unwrap/expect site(s) outside tests, allowlist permits \
-                     {allowed}; return a Result or justify and re-freeze with \
-                     `cargo xtask lint --update-allowlist`"
-                ),
-            });
-        } else if actual < allowed {
-            findings.push(Finding {
-                file: path.clone(),
-                line: 0,
-                rule: "unwrap-ratchet",
-                message: format!(
-                    "debt went down ({allowed} -> {actual}) — lock it in: run \
-                     `cargo xtask lint --update-allowlist`"
-                ),
-            });
-        }
-    }
-    for path in allow.keys() {
-        if !counts.contains_key(path) {
-            findings.push(Finding {
-                file: path.clone(),
-                line: 0,
-                rule: "unwrap-ratchet",
-                message: "allowlisted file no longer exists (or has no sites); run \
-                          `cargo xtask lint --update-allowlist`"
-                    .to_string(),
-            });
-        }
-    }
-    findings
-}
-
-/// Render the allowlist file content from actual counts.
-pub fn render_allowlist(counts: &BTreeMap<String, usize>) -> String {
-    let mut out = String::from(
-        "# unwrap/expect ratchet: per-file count of non-test .unwrap()/.expect( sites.\n\
-         # Counts may only decrease. Regenerate: cargo xtask lint --update-allowlist\n",
-    );
-    for (path, count) in counts {
-        if *count > 0 {
-            out.push_str(&format!("{path} {count}\n"));
-        }
-    }
-    out
-}
-
-// ------------------------------------------------------------------ rule 3
-
-/// Rule 3: unjustified `Ordering::Relaxed` outside test code.
-pub fn check_relaxed(rel_path: &str, content: &str) -> Vec<Finding> {
-    let lines: Vec<&str> = content.lines().collect();
-    let mask = test_code_mask(&lines);
-    let mut findings = Vec::new();
-    for (idx, line) in lines.iter().enumerate() {
-        if mask[idx] || !code_part(line).contains("Ordering::Relaxed") {
-            continue;
-        }
-        let justified = line.contains("// relaxed:")
-            || lines[idx.saturating_sub(2)..idx]
-                .iter()
-                .any(|l| l.trim_start().starts_with("// relaxed:"));
-        if !justified {
-            findings.push(Finding {
-                file: rel_path.to_string(),
-                line: idx + 1,
-                rule: "relaxed-ordering",
-                message: "Ordering::Relaxed without a `// relaxed:` justification \
-                          within the two preceding lines"
-                    .to_string(),
-            });
-        }
-    }
-    findings
-}
-
-// ------------------------------------------------------------------ rule 4
-
-/// Rule 4: raw dense-scratch dots outside `crates/sparse`.
-///
-/// A `dot_scatter` call site implies a hand-managed dense buffer and
-/// occupancy mask; `ScratchPad` is the sanctioned owner of that pair (it
-/// zeroes via the recorded touched-index list and debug-asserts the buffer
-/// is all-zero on entry to `load`). Test code is exempt.
-pub fn check_scratch_hygiene(rel_path: &str, content: &str) -> Vec<Finding> {
-    if rel_path.starts_with("crates/sparse/src") {
-        return Vec::new();
-    }
-    let lines: Vec<&str> = content.lines().collect();
-    let mask = test_code_mask(&lines);
-    let mut findings = Vec::new();
-    for (idx, line) in lines.iter().enumerate() {
-        if mask[idx] || !code_part(line).contains("dot_scatter(") {
-            continue;
-        }
-        findings.push(Finding {
-            file: rel_path.to_string(),
-            line: idx + 1,
-            rule: "scratch-hygiene",
-            message: "raw `dot_scatter` against a hand-managed dense scratch; go \
-                      through `shrinksvm_sparse::ScratchPad` (touched-list clearing \
-                      + all-zero debug assertion) instead"
-                .to_string(),
-        });
-    }
-    findings
-}
-
-// ------------------------------------------------------------------ driver
 
 /// Recursively collect `.rs` files under `root` (absolute), returned as
 /// (repo-relative path, content), sorted for deterministic output.
@@ -350,44 +130,22 @@ fn collect_rs(repo: &Path, root: &Path, out: &mut Vec<(String, String)>) {
     }
 }
 
-/// Run every rule over the repo. When `update_allowlist` is set, rewrite
-/// the ratchet file from the observed counts instead of reporting drift.
-pub fn run_lint(repo: &Path, update_allowlist: bool) -> std::io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
-
-    // Rule 1 over the simulated trees.
-    let mut sim_files = Vec::new();
-    for root in SIMULATED_PATHS {
-        collect_rs(repo, &repo.join(root), &mut sim_files);
+/// Run every rule over the repo. When `update_budgets` is set, rewrite
+/// `xtask/lint_budgets.toml` from the observed counts, then re-check
+/// against the fresh table (so the returned outcome is the post-update
+/// verdict).
+pub fn run_lint(repo: &Path, update_budgets: bool) -> std::io::Result<LintOutcome> {
+    let mut files = Vec::new();
+    for root in manifest::LIBRARY_ROOTS {
+        collect_rs(repo, &repo.join(root), &mut files);
     }
-    for (rel, content) in &sim_files {
-        findings.extend(check_wall_clock(rel, content));
+    let budgets_file = repo.join(manifest::BUDGETS_PATH);
+    if update_budgets {
+        let observed = analyze_files(&files, &budgets::BudgetTable::new(), false);
+        fs::write(&budgets_file, budgets::render(&observed.budgets_used))?;
     }
-
-    // Rules 2, 3 and 4 over the library trees.
-    let mut lib_files = Vec::new();
-    for root in LIBRARY_ROOTS {
-        collect_rs(repo, &repo.join(root), &mut lib_files);
-    }
-    let mut counts = BTreeMap::new();
-    for (rel, content) in &lib_files {
-        let n = count_unwraps(content);
-        if n > 0 {
-            counts.insert(rel.clone(), n);
-        }
-        findings.extend(check_relaxed(rel, content));
-        findings.extend(check_scratch_hygiene(rel, content));
-    }
-    let allow_file = repo.join(ALLOWLIST_PATH);
-    if update_allowlist {
-        fs::write(&allow_file, render_allowlist(&counts))?;
-    } else {
-        let allow = parse_allowlist(&fs::read_to_string(&allow_file).unwrap_or_default());
-        findings.extend(check_unwrap_ratchet(&counts, &allow));
-    }
-
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(findings)
+    let table = budgets::parse(&fs::read_to_string(&budgets_file).unwrap_or_default());
+    Ok(analyze_files(&files, &table, true))
 }
 
 #[cfg(test)]
@@ -395,134 +153,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn wall_clock_flagged_in_simulated_paths_only() {
-        let src = "fn f() {\n    let t = Instant::now();\n}\n";
-        let hits = check_wall_clock("crates/mpisim/src/comm.rs", src);
-        assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].line, 2);
-        assert!(check_wall_clock("crates/sparse/src/io.rs", src).is_empty());
+    fn analyze_files_smoke() {
+        let files = vec![(
+            "crates/mpisim/src/x.rs".to_string(),
+            "pub fn f() { let t = std::time::Instant::now(); let _ = t; }\n".to_string(),
+        )];
+        let out = analyze_files(&files, &budgets::BudgetTable::new(), true);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, "wall-clock");
+        assert_eq!(out.findings[0].line, 1);
+        assert!(out.report.contains("\"clean\":false"));
     }
 
     #[test]
-    fn wall_clock_justification_suppresses() {
-        let src = "// allow-wall-clock: host-side metric, not simulated time\n\
-                   let t = Instant::now();\n";
-        assert!(check_wall_clock("crates/core/src/x.rs", src).is_empty());
-        let same_line = "let t = Instant::now(); // allow-wall-clock: metric\n";
-        assert!(check_wall_clock("crates/core/src/x.rs", same_line).is_empty());
-    }
-
-    #[test]
-    fn system_time_counts_as_wall_clock() {
-        let src = "let t = SystemTime::now();\n";
-        assert_eq!(check_wall_clock("crates/core/src/x.rs", src).len(), 1);
-    }
-
-    #[test]
-    fn unwraps_in_test_modules_are_not_counted() {
-        let src = "fn lib() { x.unwrap(); }\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n\
-                       fn t() { y.unwrap(); z.expect(\"msg\"); }\n\
-                   }\n";
-        assert_eq!(count_unwraps(src), 1);
-    }
-
-    #[test]
-    fn unwraps_in_comments_are_not_counted() {
-        let src = "// call .unwrap() here? no.\nlet a = b.expect(\"boom\");\n";
-        assert_eq!(count_unwraps(src), 1);
-    }
-
-    #[test]
-    fn ratchet_flags_growth_and_shrink() {
-        let mut counts = BTreeMap::new();
-        counts.insert("a.rs".to_string(), 3);
-        counts.insert("b.rs".to_string(), 1);
-        let allow = parse_allowlist("# frozen\na.rs 2\nb.rs 1\nc.rs 4\n");
-        let findings = check_unwrap_ratchet(&counts, &allow);
-        assert_eq!(findings.len(), 2, "{findings:?}");
-        assert!(findings
-            .iter()
-            .any(|f| f.file == "a.rs" && f.message.contains("3")));
-        assert!(findings.iter().any(|f| f.file == "c.rs"));
-    }
-
-    #[test]
-    fn ratchet_passes_at_exact_counts() {
-        let mut counts = BTreeMap::new();
-        counts.insert("a.rs".to_string(), 2);
-        let allow = parse_allowlist("a.rs 2\n");
-        assert!(check_unwrap_ratchet(&counts, &allow).is_empty());
-    }
-
-    #[test]
-    fn render_roundtrips_through_parse() {
-        let mut counts = BTreeMap::new();
-        counts.insert("a.rs".to_string(), 2);
-        counts.insert("zero.rs".to_string(), 0);
-        let text = render_allowlist(&counts);
-        let parsed = parse_allowlist(&text);
-        assert_eq!(parsed.len(), 1);
-        assert_eq!(parsed["a.rs"], 2);
-    }
-
-    #[test]
-    fn relaxed_without_justification_is_flagged() {
-        let src = "fn f(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed);\n}\n";
-        let hits = check_relaxed("crates/threads/src/x.rs", src);
-        assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].line, 2);
-    }
-
-    #[test]
-    fn relaxed_justified_nearby_passes() {
-        let above = "// relaxed: independent counter, no ordering needed\n\
-                     c.fetch_add(1, Ordering::Relaxed);\n";
-        assert!(check_relaxed("x.rs", above).is_empty());
-        let inline = "c.load(Ordering::Relaxed) // relaxed: monotonic probe\n";
-        assert!(check_relaxed("x.rs", inline).is_empty());
-        let too_far = "// relaxed: way up here\n\nlet _ = 0;\n\
-                       c.fetch_add(1, Ordering::Relaxed);\n";
-        assert_eq!(check_relaxed("x.rs", too_far).len(), 1);
-    }
-
-    #[test]
-    fn relaxed_in_test_code_is_exempt() {
-        let src = "#[cfg(test)]\nmod tests {\n    fn t(c: &AtomicU64) {\n        \
-                   c.load(Ordering::Relaxed);\n    }\n}\n";
-        assert!(check_relaxed("x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn raw_dot_scatter_outside_sparse_is_flagged() {
-        let src = "fn f() {\n    let d = ops::dot_scatter(a, &dense, &occ);\n}\n";
-        let hits = check_scratch_hygiene("crates/core/src/dist/solver.rs", src);
-        assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].line, 2);
-        assert_eq!(hits[0].rule, "scratch-hygiene");
-    }
-
-    #[test]
-    fn dot_scatter_inside_sparse_and_in_tests_is_exempt() {
-        let src = "fn f() {\n    let d = ops::dot_scatter(a, &dense, &occ);\n}\n";
-        assert!(check_scratch_hygiene("crates/sparse/src/scratch.rs", src).is_empty());
-        let test_src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        \
-                        let d = ops::dot_scatter(a, &dense, &occ);\n    }\n}\n";
-        assert!(check_scratch_hygiene("crates/core/src/x.rs", test_src).is_empty());
-    }
-
-    #[test]
-    fn dot_scatter_in_comments_is_not_flagged() {
-        let src = "// see ops::dot_scatter( for the bit-identity argument\nlet x = 1;\n";
-        assert!(check_scratch_hygiene("crates/core/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn test_mask_covers_attribute_through_closing_brace() {
-        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() {}\n}\nfn c() {}\n";
-        let lines: Vec<&str> = src.lines().collect();
-        let mask = test_code_mask(&lines);
-        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    fn clean_tree_produces_clean_report() {
+        let files = vec![(
+            "crates/sparse/src/x.rs".to_string(),
+            "pub fn f() -> usize { 1 }\n".to_string(),
+        )];
+        let out = analyze_files(&files, &budgets::BudgetTable::new(), true);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert!(out.report.contains("\"clean\":true"));
     }
 }

@@ -15,22 +15,37 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => {
-            let update = args.iter().any(|a| a == "--update-allowlist");
+            let update = args.iter().any(|a| a == "--update-budgets");
+            let json_path = args
+                .iter()
+                .position(|a| a == "--json")
+                .and_then(|i| args.get(i + 1))
+                .map(PathBuf::from);
             match xtask::run_lint(&repo_root(), update) {
-                Ok(findings) if findings.is_empty() => {
+                Ok(outcome) => {
+                    if let Some(path) = &json_path {
+                        if let Err(e) = std::fs::write(path, &outcome.report) {
+                            eprintln!("lint: cannot write {}: {e}", path.display());
+                            return ExitCode::FAILURE;
+                        }
+                        println!("lint: report written to {}", path.display());
+                    }
                     if update {
-                        println!("lint: allowlist regenerated ({})", xtask::ALLOWLIST_PATH);
-                    } else {
+                        println!(
+                            "lint: budgets regenerated ({})",
+                            xtask::manifest::BUDGETS_PATH
+                        );
+                    }
+                    if outcome.findings.is_empty() {
                         println!("lint: clean");
+                        ExitCode::SUCCESS
+                    } else {
+                        for f in &outcome.findings {
+                            eprintln!("{f}");
+                        }
+                        eprintln!("lint: {} finding(s)", outcome.findings.len());
+                        ExitCode::FAILURE
                     }
-                    ExitCode::SUCCESS
-                }
-                Ok(findings) => {
-                    for f in &findings {
-                        eprintln!("{f}");
-                    }
-                    eprintln!("lint: {} finding(s)", findings.len());
-                    ExitCode::FAILURE
                 }
                 Err(e) => {
                     eprintln!("lint: io error: {e}");
@@ -71,7 +86,7 @@ fn main() -> ExitCode {
             }
         }
         _ => {
-            eprintln!("usage: cargo xtask lint [--update-allowlist]");
+            eprintln!("usage: cargo xtask lint [--json <path>] [--update-budgets]");
             eprintln!("       cargo xtask bench-diff <baseline> <candidate>");
             ExitCode::FAILURE
         }

@@ -1,0 +1,296 @@
+//! Conservative call-graph reachability from the simulated entry points.
+//!
+//! The graph is name-level: a call site `foo(…)` edges to every indexed
+//! function named `foo`, `Type::foo(…)` narrows by impl type when the
+//! type is known (use-aliases resolved), and `.foo(…)` method calls edge
+//! to every method named `foo`. This over-approximates — distinct types
+//! with same-named methods merge — which is the right direction for a
+//! determinism lint: a function is only exempt from the simulated-path
+//! rules when *no* plausible chain reaches it. Test items (`#[cfg(test)]`
+//! / `#[test]`) are excluded from both the node set and the entry set.
+//!
+//! Each reachable function carries a witness chain (entry → … → fn) used
+//! in diagnostics, so a surprising verdict can be audited by reading the
+//! chain, not re-deriving the graph.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use crate::index::FileIndex;
+use crate::lexer::TokKind;
+use crate::manifest::{EntryPoint, ENTRY_POINTS};
+
+/// Reachability verdict for every function in the analyzed file set.
+pub struct Reachability {
+    /// `flags[file][fn]` — true when reachable from an entry point.
+    flags: Vec<Vec<bool>>,
+    /// Witness chains, parallel to `flags` (empty string when unreachable).
+    chains: Vec<Vec<String>>,
+    /// Total non-test functions in the graph.
+    pub functions: usize,
+    /// How many of them are reachable.
+    pub reachable_count: usize,
+}
+
+impl Reachability {
+    /// Is `fns[fn_i]` of `files[file_i]` reachable from an entry point?
+    pub fn is_reachable(&self, file_i: usize, fn_i: usize) -> bool {
+        self.flags[file_i][fn_i]
+    }
+
+    /// Witness chain (`entry -> … -> fn`) for a reachable function.
+    pub fn chain(&self, file_i: usize, fn_i: usize) -> &str {
+        &self.chains[file_i][fn_i]
+    }
+}
+
+/// Rust keywords and control forms that look like `ident (` call sites
+/// but are not.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "in", "as", "move", "else", "unsafe", "box",
+    "ref", "mut", "dyn", "impl", "fn", "use", "let", "struct", "enum", "union", "trait", "where",
+    "pub", "crate", "super", "break", "continue", "yield", "await", "const", "static", "type",
+];
+
+/// Compute reachability over the indexed files from [`ENTRY_POINTS`].
+pub fn analyze(files: &[FileIndex]) -> Reachability {
+    // global function table
+    let mut ids: Vec<(usize, usize)> = Vec::new(); // gid -> (file, fn)
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_qual: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (ki, f) in file.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let gid = ids.len();
+            ids.push((fi, ki));
+            by_name.entry(&f.name).or_default().push(gid);
+            if let Some(q) = &f.qual {
+                by_qual.entry((q, &f.name)).or_default().push(gid);
+            }
+        }
+    }
+
+    // edges
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); ids.len()];
+    for (gid, &(fi, ki)) in ids.iter().enumerate() {
+        let file = &files[fi];
+        let f = &file.fns[ki];
+        let (lo, hi) = f.body;
+        let toks = &file.toks;
+        let mut j = lo;
+        while j < hi {
+            if toks[j].kind != TokKind::Ident || !toks.get(j + 1).is_some_and(|t| t.is_punct("(")) {
+                j += 1;
+                continue;
+            }
+            let name = toks[j].text.as_str();
+            let prev = file.prev_code(j).map(|p| &toks[p]);
+            let callees: Option<&Vec<usize>> = match prev {
+                Some(p) if p.is_punct(".") => by_name.get(name), // method call
+                Some(p) if p.is_punct("::") => {
+                    // qualified: resolve the segment before `::` via uses
+                    let qual = file
+                        .prev_code(file.prev_code(j).unwrap_or(j))
+                        .map(|q| toks[q].text.as_str())
+                        .map(|q| file.uses.get(q).map_or(q, String::as_str));
+                    match qual {
+                        Some(q) => by_qual.get(&(q, name)).or_else(|| by_name.get(name)),
+                        None => by_name.get(name),
+                    }
+                }
+                Some(p) if p.is_ident("fn") => None, // a definition, not a call
+                _ if NON_CALL_KEYWORDS.contains(&name) => None,
+                _ => by_name.get(name), // bare call
+            };
+            if let Some(cs) = callees {
+                edges[gid].extend(cs.iter().copied());
+            }
+            j += 1;
+        }
+    }
+
+    // entry set
+    let matches_entry = |qual: &Option<String>, name: &str, e: &EntryPoint| {
+        name.starts_with(e.prefix)
+            && match (e.qual, qual) {
+                (Some(eq), Some(q)) => eq == q,
+                (Some(_), None) => false,
+                (None, _) => true,
+            }
+    };
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut pred: Vec<Option<usize>> = vec![None; ids.len()];
+    let mut seen = vec![false; ids.len()];
+    for (gid, &(fi, ki)) in ids.iter().enumerate() {
+        let f = &files[fi].fns[ki];
+        if ENTRY_POINTS
+            .iter()
+            .any(|e| matches_entry(&f.qual, &f.name, e))
+        {
+            seen[gid] = true;
+            queue.push_back(gid);
+        }
+    }
+
+    // BFS
+    while let Some(g) = queue.pop_front() {
+        for &n in &edges[g] {
+            if !seen[n] {
+                seen[n] = true;
+                pred[n] = Some(g);
+                queue.push_back(n);
+            }
+        }
+    }
+
+    // project back to per-file flags + witness chains
+    let mut flags: Vec<Vec<bool>> = files.iter().map(|f| vec![false; f.fns.len()]).collect();
+    let mut chains: Vec<Vec<String>> = files
+        .iter()
+        .map(|f| vec![String::new(); f.fns.len()])
+        .collect();
+    let qualified = |gid: usize| {
+        let (fi, ki) = ids[gid];
+        files[fi].fns[ki].qualified()
+    };
+    let reachable_count = seen.iter().filter(|&&s| s).count();
+    for (gid, &(fi, ki)) in ids.iter().enumerate() {
+        if !seen[gid] {
+            continue;
+        }
+        flags[fi][ki] = true;
+        let mut path = vec![qualified(gid)];
+        let mut cur = gid;
+        while let Some(p) = pred[cur] {
+            path.push(qualified(p));
+            cur = p;
+        }
+        path.reverse();
+        chains[fi][ki] = path.join(" -> ");
+    }
+
+    Reachability {
+        flags,
+        chains,
+        functions: ids.len(),
+        reachable_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files(srcs: &[(&str, &str)]) -> Vec<FileIndex> {
+        srcs.iter().map(|(p, s)| FileIndex::build(p, s)).collect()
+    }
+
+    #[test]
+    fn direct_and_transitive_reachability() {
+        let fs = files(&[(
+            "crates/core/src/x.rs",
+            "impl DistSolver {
+                 pub fn train(&self) { step(); }
+             }
+             fn step() { leaf(); }
+             fn leaf() {}
+             fn orphan() {}",
+        )]);
+        let r = analyze(&fs);
+        let idx = |name: &str| fs[0].fns.iter().position(|f| f.name == name).unwrap();
+        assert!(r.is_reachable(0, idx("train")));
+        assert!(r.is_reachable(0, idx("step")));
+        assert!(r.is_reachable(0, idx("leaf")));
+        assert!(!r.is_reachable(0, idx("orphan")));
+        assert_eq!(r.chain(0, idx("leaf")), "DistSolver::train -> step -> leaf");
+    }
+
+    #[test]
+    fn entry_prefix_matches_variants() {
+        let fs = files(&[(
+            "crates/mpisim/src/u.rs",
+            "impl Universe {
+                 pub fn run_try_observed(&self) { helper(); }
+             }
+             fn helper() {}
+             impl Other { fn run(&self) { other_leaf(); } }
+             fn other_leaf() {}",
+        )]);
+        let r = analyze(&fs);
+        let idx = |name: &str| fs[0].fns.iter().position(|f| f.name == name).unwrap();
+        assert!(r.is_reachable(0, idx("helper")));
+        // Other::run is not Universe::run — its callee stays unreachable
+        assert!(!r.is_reachable(0, idx("other_leaf")));
+    }
+
+    #[test]
+    fn method_calls_edge_across_files() {
+        let fs = files(&[
+            (
+                "crates/core/src/a.rs",
+                "pub fn train_rank() { let s = State::new(); s.sweep(); }",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "impl State { pub fn new() -> Self { State } pub fn sweep(&self) { inner(); } }
+                 fn inner() {}",
+            ),
+        ]);
+        let r = analyze(&fs);
+        let idx = |fi: usize, name: &str| fs[fi].fns.iter().position(|f| f.name == name).unwrap();
+        assert!(r.is_reachable(1, idx(1, "sweep")));
+        assert!(r.is_reachable(1, idx(1, "inner")));
+    }
+
+    #[test]
+    fn test_functions_are_not_entries_or_nodes() {
+        let fs = files(&[(
+            "crates/core/src/a.rs",
+            "#[cfg(test)]
+             mod tests {
+                 fn train_rank() { tainted(); }
+             }
+             fn tainted() {}",
+        )]);
+        let r = analyze(&fs);
+        let idx = fs[0].fns.iter().position(|f| f.name == "tainted").unwrap();
+        assert!(!r.is_reachable(0, idx));
+    }
+
+    #[test]
+    fn use_alias_resolves_qualified_calls() {
+        let fs = files(&[
+            (
+                "crates/core/src/a.rs",
+                "use crate::u::Universe as U;
+                 pub fn train_rank() { U::run_inner(); }",
+            ),
+            (
+                "crates/core/src/u.rs",
+                "impl Universe { pub fn run_inner() { leaf(); } }
+                 fn leaf() {}",
+            ),
+        ]);
+        let r = analyze(&fs);
+        let idx = fs[1].fns.iter().position(|f| f.name == "leaf").unwrap();
+        assert!(r.is_reachable(1, idx));
+    }
+
+    #[test]
+    fn macro_invocations_are_not_calls() {
+        let fs = files(&[(
+            "crates/core/src/a.rs",
+            "pub fn train_rank() { println!(\"x\"); }
+             fn println() { tainted(); }
+             fn tainted() {}",
+        )]);
+        let r = analyze(&fs);
+        let idx = fs[0].fns.iter().position(|f| f.name == "tainted").unwrap();
+        assert!(
+            !r.is_reachable(0, idx),
+            "println! must not edge to fn println"
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Machine-readable lint report (`cargo xtask lint --json <path>`).
+//!
+//! Schema `shrinksvm-lint-report/v1`:
+//!
+//! ```json
+//! {
+//!   "schema": "shrinksvm-lint-report/v1",
+//!   "clean": true,
+//!   "engine": {"files": 42, "functions": 310, "reachable_functions": 120,
+//!              "entry_points": 4},
+//!   "budgets": [{"crate": "crates/core", "counter": "unwrap",
+//!                "used": 9, "budget": 9}],
+//!   "findings": [{"file": "crates/core/src/cache.rs", "line": 7,
+//!                 "rule": "nondet-iter", "message": "…"}]
+//! }
+//! ```
+//!
+//! Serialization goes through `shrinksvm_obs::json::escape_into` — the
+//! same writer the benchmark reports use — and the emitted text is
+//! checked against `shrinksvm_obs::json::check` in tests, so the artifact
+//! CI uploads is guaranteed parseable.
+
+use shrinksvm_obs::json::escape_into;
+
+use crate::budgets::{self, BudgetTable};
+use crate::Finding;
+
+/// Schema tag; bump on any field change.
+pub const SCHEMA: &str = "shrinksvm-lint-report/v1";
+
+/// Engine-side statistics surfaced for observability.
+pub struct EngineStats {
+    pub files: usize,
+    pub functions: usize,
+    pub reachable_functions: usize,
+    pub entry_points: usize,
+}
+
+/// Render the full report to a JSON string (trailing newline included).
+pub fn render(
+    stats: &EngineStats,
+    actual: &BudgetTable,
+    table: &BudgetTable,
+    findings: &[Finding],
+) -> String {
+    let mut s = String::with_capacity(4096);
+    s.push_str("{\"schema\":");
+    escape_into(&mut s, SCHEMA);
+    s.push_str(",\"clean\":");
+    s.push_str(if findings.is_empty() { "true" } else { "false" });
+
+    s.push_str(",\"engine\":{");
+    s.push_str(&format!(
+        "\"files\":{},\"functions\":{},\"reachable_functions\":{},\"entry_points\":{}",
+        stats.files, stats.functions, stats.reachable_functions, stats.entry_points
+    ));
+    s.push('}');
+
+    s.push_str(",\"budgets\":[");
+    let mut first = true;
+    for (crate_key, counts) in actual {
+        for &counter in budgets::COUNTERS {
+            let used = counts.get(counter).copied().unwrap_or(0);
+            let budget = budgets::budget_of(table, crate_key, counter);
+            if used == 0 && budget == 0 {
+                continue;
+            }
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str("{\"crate\":");
+            escape_into(&mut s, crate_key);
+            s.push_str(",\"counter\":");
+            escape_into(&mut s, counter);
+            s.push_str(&format!(",\"used\":{used},\"budget\":{budget}}}"));
+        }
+    }
+    s.push(']');
+
+    s.push_str(",\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"file\":");
+        escape_into(&mut s, &f.file);
+        s.push_str(&format!(",\"line\":{},\"rule\":", f.line));
+        escape_into(&mut s, f.rule);
+        s.push_str(",\"message\":");
+        escape_into(&mut s, &f.message);
+        s.push('}');
+    }
+    s.push_str("]}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrinksvm_obs::json::{check, parse};
+
+    fn stats() -> EngineStats {
+        EngineStats {
+            files: 3,
+            functions: 12,
+            reachable_functions: 5,
+            entry_points: 4,
+        }
+    }
+
+    #[test]
+    fn report_validates_under_obs_json_check() {
+        let mut actual = BudgetTable::new();
+        actual
+            .entry("crates/core".into())
+            .or_default()
+            .insert("unwrap".into(), 9);
+        let findings = vec![Finding {
+            file: "crates/core/src/x.rs".into(),
+            line: 7,
+            rule: "wall-clock",
+            message: "a \"quoted\" message with \\ and control \u{1} chars".into(),
+        }];
+        let text = render(&stats(), &actual, &BudgetTable::new(), &findings);
+        check(&text).expect("report must be valid JSON");
+        let v = parse(&text).expect("parse");
+        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some(SCHEMA));
+        assert_eq!(v.get("clean").and_then(|c| c.as_bool()), Some(false));
+        assert_eq!(
+            v.get("engine")
+                .and_then(|e| e.get("entry_points"))
+                .and_then(|n| n.as_f64()),
+            Some(4.0)
+        );
+    }
+
+    #[test]
+    fn clean_report_has_empty_findings() {
+        let text = render(&stats(), &BudgetTable::new(), &BudgetTable::new(), &[]);
+        check(&text).expect("valid");
+        assert!(text.contains("\"clean\":true"));
+        assert!(text.contains("\"findings\":[]"));
+    }
+}

@@ -1,0 +1,6 @@
+// Known-bad (against a zero budget): one unwrap outside tests. The same
+// file passes when the budget table grants the crate one unwrap.
+
+pub fn parse(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

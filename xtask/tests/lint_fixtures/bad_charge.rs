@@ -1,0 +1,26 @@
+// Known-bad: a loop over gradient state in the dist tree whose function
+// never charges simulated compute. The second function is the control:
+// same loop, but the function calls an advance_compute* charge.
+
+pub struct Rank {
+    grad: Vec<f64>,
+}
+
+impl Rank {
+    pub fn norm(&self) -> f64 {
+        let mut s = 0.0;
+        for g in &self.grad {
+            s += g * g;
+        }
+        s.sqrt()
+    }
+
+    pub fn charged_norm(&self, comm: &mut Comm) -> f64 {
+        let mut s = 0.0;
+        for g in &self.grad {
+            s += g * g;
+        }
+        comm.advance_compute(self.grad.len() as u64);
+        s.sqrt()
+    }
+}

@@ -1,0 +1,35 @@
+// Known-bad: hash-container iteration in a simulated tree with no
+// ordering step — once via a hash-typed struct field, once via a
+// hash-typed parameter, once via a bare for-header.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    slots: HashMap<u32, f64>,
+}
+
+impl Registry {
+    pub fn total(&self) -> f64 {
+        let mut acc = 0.0;
+        for (_k, v) in self.slots.iter() {
+            acc += v;
+        }
+        acc
+    }
+}
+
+pub fn count_values(map: HashMap<u32, u32>) -> u32 {
+    let mut n = 0;
+    for v in map.values() {
+        n += v;
+    }
+    n
+}
+
+pub fn drain_set(set: &mut HashSet<u64>) -> u64 {
+    let mut acc = 0;
+    for v in set {
+        acc += *v;
+    }
+    acc
+}

@@ -1,0 +1,14 @@
+// Known-bad: an unjustified Ordering::Relaxed (first fn) next to a
+// justified one (second fn). Exactly the first site is flagged; both
+// count toward the crate's relaxed budget.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn bump_justified(c: &AtomicU64) {
+    // relaxed: independent event counter, no cross-thread ordering
+    c.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,5 @@
+// Known-bad: a raw dot_scatter call outside crates/sparse.
+
+pub fn dot(row: RowView<'_>, dense: &[f64], occ: &[u64]) -> f64 {
+    ops::dot_scatter(row, dense, occ)
+}

@@ -1,0 +1,15 @@
+// Known-bad: host-clock reads in a simulated tree are flagged even when
+// no entry point reaches them — simulated files are covered wholesale.
+
+pub fn tick() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

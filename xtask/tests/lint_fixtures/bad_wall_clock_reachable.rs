@@ -1,0 +1,16 @@
+// Known-bad half: `helper` is reachable from the `train_rank` entry, so
+// its host-clock read is flagged (with a witness chain) even though this
+// file sits outside the simulated trees. `orphan` is NOT reachable and
+// must stay silent — the reachability negative case.
+
+pub fn train_rank() {
+    helper();
+}
+
+fn helper() {
+    let _ = std::time::Instant::now();
+}
+
+fn orphan() -> std::time::Instant {
+    std::time::Instant::now()
+}

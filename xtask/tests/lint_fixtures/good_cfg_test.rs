@@ -1,0 +1,23 @@
+// Known-good: every rule's trigger, all inside #[cfg(test)] — test code
+// is exempt from the determinism pack and the ratchets.
+
+pub fn shipped() -> u32 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn all_sins_allowed_here() {
+        let t = std::time::Instant::now();
+        let mut m = HashMap::new();
+        m.insert(1u32, t.elapsed().as_nanos());
+        let mut grad = vec![0.0f64];
+        for v in m.values() {
+            grad[0] += *v as f64;
+        }
+        let _ = grad.first().unwrap();
+    }
+}

@@ -1,0 +1,38 @@
+// Known-good: every escape hatch and the sort-idiom discharge, in one
+// file placed in the dist tree (so D1, D2 and D3 all look at it).
+
+use std::collections::HashMap;
+
+pub fn stamp() -> std::time::Instant {
+    // allow-wall-clock: host-side profiling fence, not simulated time
+    std::time::Instant::now()
+}
+
+pub fn sorted_keys(m: &HashMap<u32, f64>) -> Vec<u32> {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+pub fn hatch_sum(m: &HashMap<u32, f64>) -> f64 {
+    let mut acc = 0.0;
+    // commutative sum, order cannot reach any output. lint: ordered
+    for (_k, v) in m.iter() {
+        acc += v;
+    }
+    acc
+}
+
+pub struct Rank {
+    grad: Vec<f64>,
+}
+
+impl Rank {
+    pub fn snapshot(&self) -> Vec<f64> {
+        // host-side debug snapshot of gradient state. lint: uncharged
+        for g in &self.grad {
+            let _ = g;
+        }
+        self.grad.clone()
+    }
+}

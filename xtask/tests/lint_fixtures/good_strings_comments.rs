@@ -1,0 +1,12 @@
+//! Known-good: banned names inside strings and comments are invisible to
+//! the token-level rules.
+
+// Prose mentions of Instant::now() and thread::sleep, plus
+// HashMap.iter() and dot_scatter( — none of these are code.
+
+pub fn describe() -> String {
+    let a = "Instant::now() inside a string, and .unwrap() too";
+    let b = r#"SystemTime::now() and map.values() in a raw string"#;
+    let c = 'x';
+    format!("{a}{b}{c} dot_scatter( Ordering::Relaxed")
+}
