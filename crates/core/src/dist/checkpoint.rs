@@ -7,14 +7,27 @@
 //! `(iteration, stage)` key — the solver is lockstep, so every rank
 //! reaches each key at the same point of the trajectory, and a crash
 //! mid-generation simply leaves that generation unpromoted. On rank death
-//! the driver restarts from the last promoted checkpoint (same rank
-//! count) or re-partitions the state across the survivors (degraded
-//! continuation): snapshots carry *global* sample indices, so restoring
-//! under a different partition is a plain overlapping copy.
+//! the driver restarts from a promoted checkpoint (same rank count) or
+//! re-partitions the state across the survivors (degraded continuation):
+//! snapshots carry *global* sample indices, so restoring under a
+//! different partition is a plain overlapping copy.
+//!
+//! The store keeps a bounded history of promoted **generations**
+//! ([`CheckpointPolicy::keep_generations`]), each carrying its serialized
+//! cut and an FNV-1a checksum computed at promotion.
+//! [`CheckpointStore::restore_verified`] walks newest → oldest, verifies
+//! each generation's bytes against its checksum, and skips damaged ones —
+//! so a corrupted checkpoint (injected by a [`FaultPlan`] `ckpt` rule, or
+//! real bit rot in a future disk-backed store) degrades recovery by one
+//! generation instead of poisoning the trajectory.
 //!
 //! The store is in-memory; [`CheckpointPolicy::disk_path`] additionally
-//! mirrors every promoted checkpoint to a versioned-header text file that
-//! [`Checkpoint::read_from`] can load back.
+//! mirrors every promoted generation to a versioned-header text file with
+//! a checksum trailer that [`Checkpoint::read_from`] verifies before
+//! parsing — truncation and bit flips are named errors, never garbage
+//! state.
+//!
+//! [`FaultPlan`]: shrinksvm_mpisim::FaultPlan
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -39,7 +52,14 @@ pub struct CheckpointPolicy {
     /// format), best-effort: a write failure is recorded on the store,
     /// not fatal to training.
     pub disk_path: Option<PathBuf>,
+    /// How many promoted generations the store retains (newest first).
+    /// Older generations are the recovery ladder's fallback when the
+    /// newest is corrupt or keeps leading to dead ends.
+    pub keep_generations: usize,
 }
+
+/// Default bound on retained checkpoint generations.
+pub const DEFAULT_KEEP_GENERATIONS: usize = 3;
 
 impl Default for CheckpointPolicy {
     fn default() -> Self {
@@ -48,6 +68,7 @@ impl Default for CheckpointPolicy {
             allow_degraded: false,
             max_recoveries: 4,
             disk_path: None,
+            keep_generations: DEFAULT_KEEP_GENERATIONS,
         }
     }
 }
@@ -77,6 +98,13 @@ impl CheckpointPolicy {
     /// Mirror promoted checkpoints to a file.
     pub fn with_disk(mut self, path: impl Into<PathBuf>) -> Self {
         self.disk_path = Some(path.into());
+        self
+    }
+
+    /// Set how many promoted generations the store retains.
+    pub fn with_keep_generations(mut self, n: usize) -> Self {
+        assert!(n >= 1, "must retain at least one generation");
+        self.keep_generations = n;
         self
     }
 }
@@ -128,9 +156,31 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
-    /// Serialize to the versioned text format. Floats use `{:e}`, which
-    /// round-trips `f64` exactly.
-    pub fn write_to<W: Write>(&self, writer: W) -> Result<(), CoreError> {
+    /// Serialize the body (header through snapshots, no integrity
+    /// trailer) — the bytes the store checksums and the disk mirror
+    /// writes. Floats use `{:e}`, which round-trips `f64` exactly.
+    pub(crate) fn body(&self) -> Result<Vec<u8>, CoreError> {
+        let mut buf = Vec::new();
+        self.write_body(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Serialize to the versioned text format: the body followed by a
+    /// `checksum <fnv1a>` trailer line over the body bytes, so a reader
+    /// can tell truncation and bit flips from a valid file.
+    pub fn write_to<W: Write>(&self, mut writer: W) -> Result<(), CoreError> {
+        let body = self.body()?;
+        writer.write_all(&body)?;
+        writeln!(
+            writer,
+            "checksum {}",
+            shrinksvm_mpisim::fault::checksum(&body)
+        )?;
+        writer.flush()?;
+        Ok(())
+    }
+
+    fn write_body<W: Write>(&self, writer: W) -> Result<(), CoreError> {
         let mut w = BufWriter::new(writer);
         writeln!(w, "shrinksvm-checkpoint v1")?;
         writeln!(w, "iterations {} stage {}", self.iterations, self.stage)?;
@@ -170,10 +220,49 @@ impl Checkpoint {
         Ok(())
     }
 
-    /// Parse the text format produced by [`Checkpoint::write_to`].
-    pub fn read_from<R: Read>(reader: R) -> Result<Self, CoreError> {
+    /// Parse the text format produced by [`Checkpoint::write_to`]: read
+    /// everything, verify the `checksum` trailer over the body bytes,
+    /// then parse the body. A truncated or bit-flipped file fails with a
+    /// named [`CoreError::CheckpointFormat`] — never a plausible-looking
+    /// wrong state.
+    pub fn read_from<R: Read>(mut reader: R) -> Result<Self, CoreError> {
         let bad = |m: String| CoreError::CheckpointFormat(m);
-        let mut lines = BufReader::new(reader).lines();
+        let mut buf = Vec::new();
+        reader.read_to_end(&mut buf)?;
+        // split off the trailer: the last (possibly newline-terminated)
+        // line must be `checksum <u64>`
+        let trimmed: &[u8] = if buf.last() == Some(&b'\n') {
+            &buf[..buf.len() - 1]
+        } else {
+            &buf[..]
+        };
+        let line_start = trimmed
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |p| p + 1);
+        let trailer = std::str::from_utf8(&trimmed[line_start..])
+            .map_err(|_| bad("checkpoint trailer is not UTF-8".to_string()))?;
+        let expect = match trailer.split_whitespace().collect::<Vec<_>>().as_slice() {
+            ["checksum", sum] => sum
+                .parse::<u64>()
+                .map_err(|_| bad(format!("bad checksum value '{sum}' in checkpoint trailer")))?,
+            _ => return Err(bad("missing checksum trailer (truncated file?)".to_string())),
+        };
+        let body = &buf[..line_start];
+        let actual = shrinksvm_mpisim::fault::checksum(body);
+        if actual != expect {
+            return Err(bad(format!(
+                "checkpoint checksum mismatch: file says {expect}, body hashes to {actual} \
+                 (torn write or bit flip)"
+            )));
+        }
+        Self::parse_body(body)
+    }
+
+    /// Parse a checkpoint body (everything before the trailer).
+    fn parse_body(body: &[u8]) -> Result<Self, CoreError> {
+        let bad = |m: String| CoreError::CheckpointFormat(m);
+        let mut lines = BufReader::new(body).lines();
         let mut next = |what: &str| -> Result<String, CoreError> {
             lines
                 .next()
@@ -296,14 +385,73 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 struct Pending {
     last_betas: (f64, f64),
     n: usize,
+    /// Max simulated clock among the posting ranks — the cut's place on
+    /// the attempt's time axis, used by the driver's waste accounting.
+    sim_time: f64,
     ranks: Vec<Option<RankSnapshot>>,
+}
+
+/// One promoted generation: the parsed cut plus its serialized bytes and
+/// the checksum computed over the *pristine* serialization (a planted
+/// corruption flips bytes after checksumming, so verification fails the
+/// way real bit rot would).
+#[derive(Debug)]
+struct Gen {
+    /// Global promote sequence number (monotone across the store's life,
+    /// never reset — so fault plans can target generations by seq).
+    seq: u64,
+    /// Driver attempt index that promoted this generation.
+    attempt: u32,
+    /// The cut's simulated time within its attempt.
+    sim_time: f64,
+    /// Serialized cut (possibly corrupted by a planted window).
+    bytes: Vec<u8>,
+    /// FNV-1a over the pristine serialization.
+    sum: u64,
+    /// The parsed, pristine cut.
+    ck: Arc<Checkpoint>,
+}
+
+impl Gen {
+    fn valid(&self) -> bool {
+        shrinksvm_mpisim::fault::checksum(&self.bytes) == self.sum
+    }
+}
+
+/// What [`CheckpointStore::restore_verified`] found: the chosen
+/// generation (if any), the corrupt generations detected while walking
+/// newest → oldest, and how many *valid* generations were deliberately
+/// skipped (the ladder's restore-older rung).
+#[derive(Clone, Debug, Default)]
+pub struct RestoreScan {
+    /// The chosen consistent cut, or `None` for a cold restart.
+    pub checkpoint: Option<Arc<Checkpoint>>,
+    /// Promote sequence number of the chosen generation.
+    pub seq: Option<u64>,
+    /// Driver attempt that promoted the chosen generation.
+    pub attempt: Option<u32>,
+    /// The chosen cut's simulated time within its attempt (0 when none).
+    pub sim_time: f64,
+    /// Sequence numbers that failed checksum verification during the
+    /// scan, newest first.
+    pub corrupt_seqs: Vec<u64>,
+    /// Valid generations deliberately skipped (≤ the requested skip; the
+    /// scan clamps to the oldest valid generation rather than falling all
+    /// the way to a cold start).
+    pub skipped_valid: usize,
 }
 
 #[derive(Debug)]
 struct StoreInner {
     p: usize,
+    attempt: u32,
     staging: BTreeMap<(u64, u32), Pending>,
-    last: Option<Arc<Checkpoint>>,
+    /// Promoted generations, oldest → newest, bounded by `keep`.
+    history: Vec<Gen>,
+    keep: usize,
+    next_seq: u64,
+    /// Planted corruption windows `[from, until)` over promote seqs.
+    corrupt_windows: Vec<(u64, u64)>,
     disk_path: Option<PathBuf>,
     disk_error: Option<String>,
 }
@@ -316,35 +464,48 @@ pub struct CheckpointStore {
 }
 
 impl CheckpointStore {
-    /// An empty store expecting snapshots from `p` ranks.
-    pub fn new(p: usize, disk_path: Option<PathBuf>) -> Self {
+    /// An empty store expecting snapshots from `p` ranks, retaining up to
+    /// `keep_generations` promoted generations.
+    pub fn new(p: usize, disk_path: Option<PathBuf>, keep_generations: usize) -> Self {
         CheckpointStore {
             inner: Mutex::new(StoreInner {
                 p,
+                attempt: 0,
                 staging: BTreeMap::new(),
-                last: None,
+                history: Vec::new(),
+                keep: keep_generations.max(1),
+                next_seq: 0,
+                corrupt_windows: Vec::new(),
                 disk_path,
                 disk_error: None,
             }),
         }
     }
 
-    /// Post one rank's snapshot for generation `(iterations, stage)`. The
-    /// generation is promoted to "last consistent checkpoint" once all `p`
-    /// ranks have posted it. Posts at or below an already-promoted key are
-    /// ignored (they are re-posts from a resumed run).
+    /// Plant checkpoint-corruption windows from a fault plan: every
+    /// generation whose promote seq falls in a `[from, until)` window has
+    /// one byte of its serialized cut flipped *after* checksumming.
+    pub fn plant_corruptions(&self, windows: &[(u64, u64)]) {
+        lock(&self.inner).corrupt_windows.extend_from_slice(windows);
+    }
+
+    /// Post one rank's snapshot for generation `(iterations, stage)` at
+    /// the rank's simulated clock `sim_time`. The generation is promoted
+    /// once all `p` ranks have posted it. Posts at or below the newest
+    /// promoted key are ignored (re-posts from a resumed run).
     pub fn post(
         &self,
         iterations: u64,
         stage: u32,
         last_betas: (f64, f64),
         n: usize,
+        sim_time: f64,
         snap: RankSnapshot,
     ) {
         let mut inner = lock(&self.inner);
         let key = (iterations, stage);
-        if let Some(last) = &inner.last {
-            if key <= (last.iterations, last.stage) {
+        if let Some(last) = inner.history.last() {
+            if key <= (last.ck.iterations, last.ck.stage) {
                 return;
             }
         }
@@ -352,8 +513,10 @@ impl CheckpointStore {
         let pending = inner.staging.entry(key).or_insert_with(|| Pending {
             last_betas,
             n,
+            sim_time,
             ranks: (0..p).map(|_| None).collect(),
         });
+        pending.sim_time = pending.sim_time.max(sim_time);
         let slot = snap.rank;
         if slot < pending.ranks.len() {
             pending.ranks[slot] = Some(snap);
@@ -371,23 +534,89 @@ impl CheckpointStore {
             });
             // Everything staged at or below the promoted key is obsolete.
             inner.staging.retain(|k, _| *k > key);
-            if let Some(path) = inner.disk_path.clone() {
-                if let Err(e) = write_checkpoint_file(&path, &ck) {
-                    inner.disk_error = Some(e.to_string());
-                }
-            }
-            inner.last = Some(ck);
+            inner.promote(ck, pending.sim_time);
         }
     }
 
-    /// The last consistent (fully-posted) checkpoint, if any.
+    /// The newest promoted checkpoint, if any — *unverified*; recovery
+    /// paths should use [`CheckpointStore::restore_verified`].
     pub fn last(&self) -> Option<Arc<Checkpoint>> {
-        lock(&self.inner).last.clone()
+        lock(&self.inner).history.last().map(|g| Arc::clone(&g.ck))
     }
 
-    /// Drop all partial generations and retarget the store at `p` ranks
-    /// (the driver calls this between recovery attempts; the promoted
-    /// checkpoint survives — its snapshots are in global indices).
+    /// Promoted generations currently retained.
+    pub fn generations(&self) -> usize {
+        lock(&self.inner).history.len()
+    }
+
+    /// The next promote sequence number (equivalently: how many
+    /// generations have ever been promoted). The driver samples this at
+    /// attempt start to tell whether an aborted attempt banked anything.
+    pub fn promote_seq(&self) -> u64 {
+        lock(&self.inner).next_seq
+    }
+
+    /// Walk the history newest → oldest, verifying each generation's
+    /// bytes against its promotion-time checksum. Corrupt generations are
+    /// recorded and passed over; of the valid ones, up to `skip_valid`
+    /// are deliberately skipped (the ladder's restore-older rung) —
+    /// clamped so the scan settles on the *oldest* valid generation
+    /// rather than discarding recoverable state, and returns a cold
+    /// restart only when no generation verifies at all.
+    pub fn restore_verified(&self, skip_valid: usize) -> RestoreScan {
+        let inner = lock(&self.inner);
+        let mut scan = RestoreScan::default();
+        let mut chosen: Option<&Gen> = None;
+        for g in inner.history.iter().rev() {
+            if chosen.is_some() && scan.skipped_valid >= skip_valid {
+                break;
+            }
+            if !g.valid() {
+                scan.corrupt_seqs.push(g.seq);
+                continue;
+            }
+            if chosen.is_some() {
+                // walking past a valid choice onto an older valid one
+                scan.skipped_valid += 1;
+            }
+            chosen = Some(g);
+        }
+        if let Some(g) = chosen {
+            scan.checkpoint = Some(Arc::clone(&g.ck));
+            scan.seq = Some(g.seq);
+            scan.attempt = Some(g.attempt);
+            scan.sim_time = g.sim_time;
+        }
+        scan
+    }
+
+    /// Drop every generation newer than `seq` (all of them when `None`),
+    /// plus all staging. The driver calls this after choosing a restore
+    /// target: the resumed run will re-post keys the dropped generations
+    /// covered, and the stale-post guard compares against the newest
+    /// *retained* generation — without the rewind, those legitimate
+    /// re-posts would be silently ignored.
+    pub fn rewind_to(&self, seq: Option<u64>) {
+        let mut inner = lock(&self.inner);
+        inner.staging.clear();
+        match seq {
+            None => inner.history.clear(),
+            Some(s) => inner.history.retain(|g| g.seq <= s),
+        }
+    }
+
+    /// Start a recovery attempt: drop all partial generations, retarget
+    /// the store at `p` ranks and stamp subsequent promotions with the
+    /// attempt index (promoted generations survive — their snapshots are
+    /// in global indices).
+    pub fn begin_attempt(&self, attempt: u32, p: usize) {
+        let mut inner = lock(&self.inner);
+        inner.staging.clear();
+        inner.p = p;
+        inner.attempt = attempt;
+    }
+
+    /// Drop all partial generations and retarget the store at `p` ranks.
     pub fn reset_ranks(&self, p: usize) {
         let mut inner = lock(&self.inner);
         inner.staging.clear();
@@ -401,8 +630,59 @@ impl CheckpointStore {
     }
 }
 
-fn write_checkpoint_file(path: &PathBuf, ck: &Checkpoint) -> Result<(), CoreError> {
-    ck.write_to(std::fs::File::create(path)?)
+impl StoreInner {
+    /// Promote a fully-posted cut: serialize, checksum the pristine
+    /// bytes, apply any planted corruption window, mirror to disk, and
+    /// append to the bounded history.
+    fn promote(&mut self, ck: Arc<Checkpoint>, sim_time: f64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut bytes = match ck.body() {
+            Ok(b) => b,
+            Err(e) => {
+                // Serialization to memory cannot realistically fail; if it
+                // does, record it like a mirror failure and keep the
+                // parsed cut usable (empty bytes hash consistently).
+                self.disk_error.get_or_insert(e.to_string());
+                Vec::new()
+            }
+        };
+        let sum = shrinksvm_mpisim::fault::checksum(&bytes);
+        if self
+            .corrupt_windows
+            .iter()
+            .any(|&(from, until)| seq >= from && seq < until)
+        {
+            bytes = shrinksvm_mpisim::fault::corrupt_copy(&bytes, seq);
+        }
+        if let Some(path) = self.disk_path.clone() {
+            if let Err(e) = write_checkpoint_file(&path, &bytes, sum) {
+                self.disk_error = Some(e.to_string());
+            }
+        }
+        self.history.push(Gen {
+            seq,
+            attempt: self.attempt,
+            sim_time,
+            bytes,
+            sum,
+            ck,
+        });
+        if self.history.len() > self.keep {
+            self.history.remove(0);
+        }
+    }
+}
+
+/// Mirror a generation's (possibly corrupted) bytes with the pristine
+/// checksum trailer — so a corrupted in-memory generation yields a disk
+/// file [`Checkpoint::read_from`] rejects, exactly like real bit rot.
+fn write_checkpoint_file(path: &PathBuf, bytes: &[u8], sum: u64) -> Result<(), CoreError> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(bytes)?;
+    writeln!(w, "checksum {sum}")?;
+    w.flush()?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -422,44 +702,113 @@ mod tests {
 
     #[test]
     fn promotion_requires_all_ranks() {
-        let store = CheckpointStore::new(2, None);
-        store.post(4, 0, (0.1, 0.9), 4, snap(0, 0, &[1.0, 2.0]));
+        let store = CheckpointStore::new(2, None, 3);
+        store.post(4, 0, (0.1, 0.9), 4, 1.0, snap(0, 0, &[1.0, 2.0]));
         assert!(
             store.last().is_none(),
             "half-posted generation must not promote"
         );
-        store.post(4, 0, (0.1, 0.9), 4, snap(1, 2, &[3.0, 4.0]));
+        store.post(4, 0, (0.1, 0.9), 4, 1.5, snap(1, 2, &[3.0, 4.0]));
         let ck = store.last().expect("fully-posted generation promotes");
         assert_eq!(ck.iterations, 4);
         assert_eq!(ck.ranks.len(), 2);
         assert_eq!(ck.ranks[1].alpha, vec![3.0, 4.0]);
+        // the cut's sim_time is the max posting clock
+        let scan = store.restore_verified(0);
+        assert_eq!(scan.sim_time, 1.5);
+        assert_eq!(scan.seq, Some(0));
     }
 
     #[test]
     fn stale_reposts_are_ignored_and_generations_advance() {
-        let store = CheckpointStore::new(1, None);
-        store.post(4, 0, (0.0, 0.0), 2, snap(0, 0, &[1.0, 1.0]));
-        store.post(4, 0, (9.9, 9.9), 2, snap(0, 0, &[9.0, 9.0])); // re-post after resume
+        let store = CheckpointStore::new(1, None, 3);
+        store.post(4, 0, (0.0, 0.0), 2, 0.1, snap(0, 0, &[1.0, 1.0]));
+        store.post(4, 0, (9.9, 9.9), 2, 0.1, snap(0, 0, &[9.0, 9.0])); // re-post after resume
         assert_eq!(store.last().expect("promoted").last_betas, (0.0, 0.0));
-        store.post(8, 0, (0.5, 0.5), 2, snap(0, 0, &[2.0, 2.0]));
+        store.post(8, 0, (0.5, 0.5), 2, 0.2, snap(0, 0, &[2.0, 2.0]));
         assert_eq!(store.last().expect("promoted").iterations, 8);
         // a later *stage* at the same iteration also advances
-        store.post(8, 1, (0.25, 0.25), 2, snap(0, 0, &[3.0, 3.0]));
+        store.post(8, 1, (0.25, 0.25), 2, 0.3, snap(0, 0, &[3.0, 3.0]));
         assert_eq!(store.last().expect("promoted").stage, 1);
     }
 
     #[test]
     fn reset_ranks_keeps_last_checkpoint() {
-        let store = CheckpointStore::new(2, None);
-        store.post(0, 0, (0.0, 0.0), 4, snap(0, 0, &[1.0, 2.0]));
-        store.post(0, 0, (0.0, 0.0), 4, snap(1, 2, &[3.0, 4.0]));
-        store.post(4, 0, (0.0, 0.0), 4, snap(0, 0, &[5.0, 6.0])); // partial
+        let store = CheckpointStore::new(2, None, 3);
+        store.post(0, 0, (0.0, 0.0), 4, 0.0, snap(0, 0, &[1.0, 2.0]));
+        store.post(0, 0, (0.0, 0.0), 4, 0.0, snap(1, 2, &[3.0, 4.0]));
+        store.post(4, 0, (0.0, 0.0), 4, 0.1, snap(0, 0, &[5.0, 6.0])); // partial
         store.reset_ranks(1);
         let ck = store.last().expect("promoted checkpoint survives reset");
         assert_eq!(ck.iterations, 0);
         // the partial generation is gone: a single post at the new p promotes
-        store.post(4, 0, (0.0, 0.0), 4, snap(0, 0, &[7.0, 8.0, 9.0, 10.0]));
+        store.post(4, 0, (0.0, 0.0), 4, 0.2, snap(0, 0, &[7.0, 8.0, 9.0, 10.0]));
         assert_eq!(store.last().expect("promoted").iterations, 4);
+    }
+
+    #[test]
+    fn history_is_bounded_and_seqs_are_global() {
+        let store = CheckpointStore::new(1, None, 2);
+        for i in 0..4u64 {
+            store.post(i * 4, 0, (0.0, 0.0), 2, i as f64, snap(0, 0, &[1.0, 1.0]));
+        }
+        assert_eq!(store.generations(), 2, "history bounded by keep");
+        assert_eq!(store.promote_seq(), 4, "seqs keep counting past eviction");
+        let newest = store.restore_verified(0);
+        assert_eq!(newest.seq, Some(3));
+        // skipping past the end clamps to the oldest retained generation
+        let oldest = store.restore_verified(9);
+        assert_eq!(oldest.seq, Some(2));
+        assert_eq!(oldest.skipped_valid, 1);
+    }
+
+    #[test]
+    fn restore_verified_skips_corrupt_generations() {
+        let store = CheckpointStore::new(1, None, 4);
+        store.plant_corruptions(&[(1, 3)]); // seqs 1 and 2 corrupt
+        for i in 0..4u64 {
+            store.post(i * 8, 0, (0.0, 0.0), 2, i as f64, snap(0, 0, &[1.0, 1.0]));
+        }
+        // newest (seq 3) is fine
+        let scan = store.restore_verified(0);
+        assert_eq!(scan.seq, Some(3));
+        assert!(scan.corrupt_seqs.is_empty());
+        // skipping the newest valid walks over both corrupt generations
+        let scan = store.restore_verified(1);
+        assert_eq!(scan.seq, Some(0));
+        assert_eq!(scan.corrupt_seqs, vec![2, 1]);
+        assert_eq!(scan.skipped_valid, 1);
+    }
+
+    #[test]
+    fn rewind_reopens_the_stale_post_guard() {
+        let store = CheckpointStore::new(1, None, 4);
+        store.post(0, 0, (0.0, 0.0), 2, 0.0, snap(0, 0, &[1.0, 1.0]));
+        store.post(8, 0, (0.0, 0.0), 2, 1.0, snap(0, 0, &[2.0, 2.0]));
+        store.post(16, 0, (0.0, 0.0), 2, 2.0, snap(0, 0, &[3.0, 3.0]));
+        // restore to seq 0 (iteration 0) and rewind
+        store.rewind_to(Some(0));
+        assert_eq!(store.generations(), 1);
+        // the resumed run re-posts iteration 8 — it must promote again,
+        // not be swallowed by the stale-post guard
+        store.post(8, 0, (0.5, 0.5), 2, 1.0, snap(0, 0, &[4.0, 4.0]));
+        let ck = store.last().expect("re-posted generation promotes");
+        assert_eq!(ck.iterations, 8);
+        assert_eq!(ck.ranks[0].alpha, vec![4.0, 4.0]);
+        store.rewind_to(None);
+        assert_eq!(store.generations(), 0);
+        assert!(store.restore_verified(0).checkpoint.is_none());
+    }
+
+    #[test]
+    fn all_corrupt_generations_mean_cold_restart() {
+        let store = CheckpointStore::new(1, None, 3);
+        store.plant_corruptions(&[(0, u64::MAX)]);
+        store.post(0, 0, (0.0, 0.0), 2, 0.0, snap(0, 0, &[1.0, 1.0]));
+        store.post(8, 0, (0.0, 0.0), 2, 1.0, snap(0, 0, &[2.0, 2.0]));
+        let scan = store.restore_verified(0);
+        assert!(scan.checkpoint.is_none());
+        assert_eq!(scan.corrupt_seqs, vec![1, 0]);
     }
 
     #[test]
@@ -519,16 +868,86 @@ mod tests {
     }
 
     #[test]
+    fn read_rejects_every_single_bit_flip() {
+        let ck = Checkpoint {
+            iterations: 6,
+            stage: 1,
+            last_betas: (0.5, -0.5),
+            n: 4,
+            ranks: vec![snap(0, 0, &[1.0, 0.0]), snap(1, 2, &[0.25, 2.0])],
+        };
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        assert_eq!(Checkpoint::read_from(&buf[..]).unwrap(), ck);
+        // flip one bit at a time across the whole file: every mutation
+        // must either fail the checksum or (if it hit the trailer) fail
+        // trailer parsing — never parse into a *different* checkpoint
+        for byte in 0..buf.len() {
+            for bit in 0..8u8 {
+                let mut evil = buf.clone();
+                evil[byte] ^= 1 << bit;
+                if let Ok(parsed) = Checkpoint::read_from(&evil[..]) {
+                    assert_eq!(
+                        parsed, ck,
+                        "bit {bit} of byte {byte} flipped into a different checkpoint"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn disk_mirror_writes_promoted_checkpoints() {
         let dir = std::env::temp_dir().join("shrinksvm-ckpt-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("store.ckpt");
-        let store = CheckpointStore::new(1, Some(path.clone()));
-        store.post(16, 0, (0.0, 1.0), 3, snap(0, 0, &[1.0, 2.0, 3.0]));
+        let store = CheckpointStore::new(1, Some(path.clone()), 3);
+        store.post(16, 0, (0.0, 1.0), 3, 0.5, snap(0, 0, &[1.0, 2.0, 3.0]));
         assert!(store.disk_error().is_none());
         let back = Checkpoint::read_from(std::fs::File::open(&path).unwrap()).unwrap();
         assert_eq!(back.iterations, 16);
         assert_eq!(back.ranks[0].alpha, vec![1.0, 2.0, 3.0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disk_mirror_save_load_save_is_byte_identical_across_generations() {
+        let dir = std::env::temp_dir().join("shrinksvm-ckpt-gen-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gens.ckpt");
+        let store = CheckpointStore::new(1, Some(path.clone()), 3);
+        for (i, v) in [[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]].iter().enumerate() {
+            store.post(i as u64 * 8, 0, (0.1, 0.9), 2, i as f64, snap(0, 0, v));
+            assert!(store.disk_error().is_none());
+            let first = std::fs::read(&path).unwrap();
+            // load the mirror, re-serialize, and compare bytes
+            let back = Checkpoint::read_from(&first[..]).unwrap();
+            let mut second = Vec::new();
+            back.write_to(&mut second).unwrap();
+            assert_eq!(
+                first, second,
+                "generation {i}: save -> load -> save drifted"
+            );
+            assert_eq!(back.ranks[0].alpha, v.to_vec());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disk_mirror_of_planted_corruption_is_rejected_on_read() {
+        let dir = std::env::temp_dir().join("shrinksvm-ckpt-corrupt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.ckpt");
+        let store = CheckpointStore::new(1, Some(path.clone()), 3);
+        store.plant_corruptions(&[(0, u64::MAX)]);
+        store.post(8, 0, (0.0, 0.0), 2, 0.0, snap(0, 0, &[1.0, 2.0]));
+        // the mirror carries the corrupted bytes with the pristine
+        // checksum, exactly like real bit rot — the reader must refuse it
+        let err = Checkpoint::read_from(std::fs::File::open(&path).unwrap()).unwrap_err();
+        assert!(
+            err.to_string().contains("checksum mismatch"),
+            "unexpected error: {err}"
+        );
         std::fs::remove_file(&path).ok();
     }
 }

@@ -8,7 +8,10 @@ use shrinksvm_obs::timeline::{Event, Timeline};
 use shrinksvm_obs::{attrib, BenchReport, MetricsRegistry, PerfDoctor};
 use shrinksvm_sparse::Dataset;
 
-use crate::dist::checkpoint::{CheckpointCtx, CheckpointPolicy, CheckpointStore};
+use crate::dist::checkpoint::{
+    Checkpoint, CheckpointCtx, CheckpointPolicy, CheckpointStore, RestoreScan,
+};
+use crate::dist::recovery::{LadderAction, RecoveryLadder, RecoveryPolicy, RecoverySummary};
 use crate::dist::solver::{train_rank, DistConfig, DotKind};
 use crate::error::CoreError;
 use crate::model::SvmModel;
@@ -40,11 +43,16 @@ pub struct DistRunResult {
     /// Injected faults survived: transport faults absorbed by
     /// retransmission or delay, plus rank crashes recovered from.
     pub faults_survived: u64,
-    /// Simulated seconds discarded by crash-aborted attempts. The total
-    /// modeled cost of the run is `makespan + recovery_cost`.
+    /// Simulated seconds lost to crash-aborted attempts (re-executed
+    /// time plus ladder backoff; see [`DistRunResult::recovery`] for the
+    /// split). The total modeled cost of the run is
+    /// `makespan + recovery_cost`.
     pub recovery_cost: f64,
     /// Crash-recovery restarts performed.
     pub recoveries: u32,
+    /// Full recovery-ladder accounting: rungs climbed, corrupt
+    /// generations detected, waste/backoff split, final rank count.
+    pub recovery: RecoverySummary,
     /// Validation report of the final attempt (violations plus the
     /// fault-injection ledger; empty without
     /// [`DistSolver::with_validation`]).
@@ -97,6 +105,14 @@ impl DistRunResult {
         r.faults_survived = self.faults_survived;
         r.recoveries = self.recoveries as u64;
         r.recovery_cost = self.recovery_cost;
+        r.extras
+            .insert("recovery_waste".to_string(), self.recovery.waste);
+        r.extras
+            .insert("recovery_backoff".to_string(), self.recovery.backoff);
+        r.extras.insert(
+            "recovery_corrupt_generations".to_string(),
+            self.recovery.corrupt_generations as f64,
+        );
         r.extras.insert("recon_time".to_string(), self.recon_time);
         r.extras
             .insert("n_sv".to_string(), self.model.n_sv() as f64);
@@ -133,6 +149,7 @@ pub struct DistSolver<'a> {
     validate: bool,
     faults: Option<FaultPlan>,
     checkpoint: Option<CheckpointPolicy>,
+    recovery: Option<RecoveryPolicy>,
     liveness: Option<Duration>,
     tracing: bool,
 }
@@ -149,6 +166,7 @@ impl<'a> DistSolver<'a> {
             validate: false,
             faults: None,
             checkpoint: None,
+            recovery: None,
             liveness: None,
             tracing: false,
         }
@@ -222,6 +240,16 @@ impl<'a> DistSolver<'a> {
         self
     }
 
+    /// Install an explicit recovery ladder (see [`RecoveryPolicy`]).
+    /// Without this, a checkpointing run uses the legacy policy implied
+    /// by its [`CheckpointPolicy`] (restore the newest cut, degrade
+    /// eagerly iff `allow_degraded`, no backoff), and a run without
+    /// checkpointing does not recover at all.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
     /// Override the substrate's liveness timeout (how long a blocked
     /// receive waits before declaring the peer dead).
     pub fn with_liveness_timeout(mut self, timeout: Duration) -> Self {
@@ -240,26 +268,40 @@ impl<'a> DistSolver<'a> {
 
     /// Run the training. With a fault plan installed, transport faults are
     /// absorbed in-flight; an injected rank crash aborts the attempt and —
-    /// if checkpointing is enabled and the recovery budget allows — the
-    /// driver disarms the fired crash rule, restores the last consistent
-    /// checkpoint and retrains (optionally degraded to one rank fewer).
+    /// if the recovery ladder's budget allows — the driver disarms the
+    /// fired crash rule, restores a verified consistent checkpoint and
+    /// retrains. Repeated no-progress crashes escalate through the
+    /// [`RecoveryPolicy`] rungs: older generations, fewer ranks, deeper
+    /// skips at the floor, then a named [`CoreError::RankLost`].
     pub fn train(self) -> Result<DistRunResult, CoreError> {
         #[allow(clippy::disallowed_methods)]
         // allow-wall-clock: host-side metric (reported wall_time), not simulated time
         let start = Instant::now();
         let ds = self.ds;
-        let mut p = self.p;
         let mut faults = self.faults;
-        let store = self
-            .checkpoint
-            .as_ref()
-            .map(|pol| Arc::new(CheckpointStore::new(p, pol.disk_path.clone())));
-        let mut recoveries = 0u32;
-        let mut recovery_cost = 0.0f64;
-        // (rank, sim_time) of each crash-aborted attempt, surfaced as
-        // `recovery_restart` instants on the final timeline.
-        let mut restarts: Vec<(usize, f64)> = Vec::new();
+        let policy = self.recovery.unwrap_or_else(|| match &self.checkpoint {
+            Some(pol) => RecoveryPolicy::legacy(pol),
+            None => RecoveryPolicy::none(),
+        });
+        let store = self.checkpoint.as_ref().map(|pol| {
+            let s = Arc::new(CheckpointStore::new(
+                self.p,
+                pol.disk_path.clone(),
+                pol.keep_generations,
+            ));
+            if let Some(plan) = &faults {
+                s.plant_corruptions(&plan.checkpoint_corruption_windows());
+            }
+            s
+        });
+        let mut ladder = RecoveryLadder::new(policy, self.p);
+        let mut summary = RecoverySummary::default();
+        let mut resume: Option<Arc<Checkpoint>> = None;
+        let mut resumed_seq: Option<u64> = None;
+        // (rank, sim_time, kind) instants surfaced on the final timeline.
+        let mut marks: Vec<(usize, f64, &'static str)> = Vec::new();
         loop {
+            let p = ladder.p();
             let mut universe = Universe::new(p).with_cost(self.cost);
             if self.validate {
                 universe = universe.validated();
@@ -279,38 +321,73 @@ impl<'a> DistSolver<'a> {
                     store: Arc::clone(store),
                     every_iters: pol.every_iters,
                 });
-                cfg.resume = store.last();
+                cfg.resume = resume.clone();
             }
+            // Promote-seq watermark at attempt start: generations at or
+            // past it were banked by *this* attempt.
+            let seq_floor = store.as_ref().map_or(0, |s| s.promote_seq());
             let (outcomes, report, mut timeline, deps) =
                 match universe.run_try_observed(|comm| train_rank(comm, ds, &cfg)) {
                     Ok(result) => result,
                     Err(notice) => {
-                        // the aborted attempt's simulated time is sunk cost
-                        recovery_cost += notice.sim_time;
-                        restarts.push((notice.rank, notice.sim_time));
-                        let budget = self.checkpoint.as_ref().map_or(0, |pol| pol.max_recoveries);
-                        if recoveries >= budget {
+                        marks.push((notice.rank, notice.sim_time, "recovery_restart"));
+                        // Did the verified frontier move past the cut we
+                        // resumed from? That is the ladder's notion of
+                        // progress.
+                        let frontier = store
+                            .as_ref()
+                            .map_or_else(RestoreScan::default, |s| s.restore_verified(0));
+                        let action = ladder.on_crash(frontier.seq > resumed_seq);
+                        let LadderAction::Restore {
+                            p: next_p,
+                            skip_generations,
+                            backoff,
+                        } = action
+                        else {
                             return Err(CoreError::RankLost {
                                 rank: notice.rank,
                                 sim_time: notice.sim_time,
                             });
-                        }
-                        recoveries += 1;
+                        };
                         if let Some(plan) = &mut faults {
                             // the fault already fired; re-injecting it on the
                             // retry would loop forever
                             plan.disarm_rank_rule(notice.rule);
                         }
-                        let degraded = self
-                            .checkpoint
-                            .as_ref()
-                            .is_some_and(|pol| pol.allow_degraded);
-                        if degraded && p > 1 {
-                            p -= 1;
+                        let scan = store.as_ref().map_or_else(RestoreScan::default, |s| {
+                            s.restore_verified(skip_generations)
+                        });
+                        // Work banked into a cut this attempt promoted is
+                        // not waste — the retry resumes past it. Only the
+                        // clock beyond the restored cut is re-executed.
+                        let banked = if scan.seq.is_some_and(|s| s >= seq_floor) {
+                            scan.sim_time
+                        } else {
+                            0.0
+                        };
+                        charge_recovery(&mut summary, (notice.sim_time - banked).max(0.0), backoff);
+                        summary.recoveries += 1;
+                        summary.corrupt_generations += scan.corrupt_seqs.len() as u64;
+                        summary.generations_skipped += scan.skipped_valid as u64;
+                        if !scan.corrupt_seqs.is_empty() {
+                            marks.push((notice.rank, notice.sim_time, "recovery_ckpt_corrupt"));
+                        }
+                        if next_p < p {
+                            summary.degraded = true;
+                            marks.push((notice.rank, notice.sim_time, "recovery_degrade"));
+                        }
+                        if scan.checkpoint.is_none() {
+                            summary.cold_restarts += 1;
                         }
                         if let Some(store) = &store {
-                            store.reset_ranks(p);
+                            // Drop generations newer than the restore
+                            // target (the retry re-posts their keys) and
+                            // retarget the store at the retry's rank count.
+                            store.rewind_to(scan.seq);
+                            store.begin_attempt(summary.recoveries, next_p);
                         }
+                        resume = scan.checkpoint.clone();
+                        resumed_seq = scan.seq;
                         continue;
                     }
                 };
@@ -338,15 +415,16 @@ impl<'a> DistSolver<'a> {
             for v in &values {
                 metrics.merge(&v.metrics);
             }
-            if self.tracing && !restarts.is_empty() {
+            if self.tracing && !marks.is_empty() {
                 // The timeline covers only the final (successful) attempt;
-                // mark where earlier attempts died so recoveries are
-                // visible on the affected rank's track.
-                for &(rank, sim_time) in &restarts {
+                // mark where earlier attempts died — and which ladder rungs
+                // fired — so recoveries are visible on the affected rank's
+                // track.
+                for &(rank, sim_time, kind) in &marks {
                     timeline.push(Event::Instant {
                         track: rank as u32,
-                        name: "recovery_restart".to_string(),
-                        cat: "ckpt".to_string(),
+                        name: kind.to_string(),
+                        cat: "recovery".to_string(),
                         t: sim_time,
                     });
                 }
@@ -356,13 +434,23 @@ impl<'a> DistSolver<'a> {
             // simulator bug (the dep log must replay bit-for-bit), so it
             // dies loudly rather than shipping wrong numbers.
             let perf = if self.tracing {
-                match PerfDoctor::analyze(&deps, recovery_cost) {
+                match PerfDoctor::analyze_split(&deps, summary.waste, summary.backoff) {
                     Ok(doc) => Some(doc),
                     Err(e) => panic!("PerfDoctor analysis failed: {e}"),
                 }
             } else {
                 None
             };
+            summary.final_ranks = rank_stats.len();
+            if summary.recoveries > 0 {
+                metrics.inc("recoveries", u64::from(summary.recoveries));
+                metrics.inc("recovery_corrupt_generations", summary.corrupt_generations);
+                metrics.inc("recovery_generations_skipped", summary.generations_skipped);
+                metrics.inc("recovery_cold_restarts", u64::from(summary.cold_restarts));
+                metrics.set_gauge("recovery_waste", summary.waste);
+                metrics.set_gauge("recovery_backoff", summary.backoff);
+                metrics.set_gauge("recovery_final_ranks", summary.final_ranks as f64);
+            }
             let first = &values[0];
             let traces: Vec<_> = values.iter().map(|v| v.trace.clone()).collect();
             let trace = merge_rank_traces(
@@ -381,16 +469,27 @@ impl<'a> DistSolver<'a> {
                 recon_time,
                 wall_time: start.elapsed(),
                 rank_stats,
-                faults_survived: recoveries as u64 + transport_faults,
-                recovery_cost,
-                recoveries,
+                faults_survived: u64::from(summary.recoveries) + transport_faults,
+                recovery_cost: summary.cost(),
+                recoveries: summary.recoveries,
                 report,
                 timeline,
                 metrics,
                 perf,
+                recovery: summary,
             });
         }
     }
+}
+
+/// Book one aborted attempt's cost into the run's recovery summary:
+/// `waste` is the attempt's re-executed simulated time (its crash clock
+/// minus whatever it banked into the restored cut), `backoff` the
+/// ladder's pre-retry charge. Lives as a named function so the charge
+/// lint can require recovery-loop accounting to route through it.
+fn charge_recovery(summary: &mut RecoverySummary, waste: f64, backoff: f64) {
+    summary.waste += waste;
+    summary.backoff += backoff;
 }
 
 #[cfg(test)]

@@ -7,18 +7,26 @@
 //!   Algorithm 4 (single reconstruction) and Algorithm 5 (multiple
 //!   reconstruction), selected by the [`crate::shrink::ShrinkPolicy`],
 //! * [`recon`] — distributed gradient reconstruction (Algorithm 3),
-//! * [`checkpoint`] — consistent checkpoint store for crash recovery,
+//! * [`checkpoint`] — multi-generation, checksummed consistent-checkpoint
+//!   store for crash recovery,
+//! * [`recovery`] — the degradation ladder: escalating crash-recovery
+//!   policy (older generations → fewer ranks → give up),
 //! * [`driver`] — [`DistSolver`]: launches a `mpisim` universe, runs the
 //!   per-rank program on every rank, merges the outcomes, and recovers
-//!   from injected rank crashes via the checkpoint store.
+//!   from injected rank crashes via the checkpoint store and the ladder.
 
 pub mod checkpoint;
 pub mod driver;
 pub mod msg;
 pub mod partition;
 pub mod recon;
+pub mod recovery;
 pub mod solver;
 
-pub use checkpoint::{Checkpoint, CheckpointPolicy, CheckpointStore, RankSnapshot};
+pub use checkpoint::{
+    Checkpoint, CheckpointPolicy, CheckpointStore, RankSnapshot, RestoreScan,
+    DEFAULT_KEEP_GENERATIONS,
+};
 pub use driver::{DistRunResult, DistSolver};
+pub use recovery::{LadderAction, RecoveryLadder, RecoveryPolicy, RecoverySummary};
 pub use solver::{train_rank, DistConfig, DotKind, RankOutput};

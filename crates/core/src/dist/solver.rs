@@ -348,6 +348,7 @@ impl<'a> RankState<'a> {
             self.stage,
             self.last_betas,
             self.ds.len(),
+            comm.clock(),
             RankSnapshot {
                 rank: self.rank,
                 lo: self.lo,

@@ -1,0 +1,100 @@
+//! Validated environment-variable parsing.
+//!
+//! Configuration knobs read from the environment
+//! (`SHRINKSVM_LIVENESS_TIMEOUT_SECS`, `SHRINKSVM_CHAOS_SEED_OFFSET`, …)
+//! must never *silently* fall back to a default on a typo: a chaos sweep
+//! that thinks it ran seed offset 200 but actually ran 0 produces green
+//! CI over the wrong grid. [`env_u64`] distinguishes the three cases —
+//! unset (use the default), set to a valid number (use it), set to
+//! garbage (a named [`EnvVarError`] the caller surfaces loudly).
+
+use std::fmt;
+
+/// A malformed environment-variable value, naming the variable and the
+/// offending value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnvVarError {
+    /// The environment variable's name.
+    pub name: String,
+    /// The rejected value.
+    pub value: String,
+}
+
+impl fmt::Display for EnvVarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: invalid value '{}' (expected a whole number)",
+            self.name, self.value
+        )
+    }
+}
+
+impl std::error::Error for EnvVarError {}
+
+/// Read `name` as a `u64`. Returns `Ok(None)` when unset (or set to the
+/// empty string, which shells produce for `VAR= cmd`), `Ok(Some(v))` for
+/// a valid number, and a named [`EnvVarError`] otherwise — never a
+/// silent default.
+///
+/// # Errors
+///
+/// Fails when the variable is set to anything but a whole number.
+pub fn env_u64(name: &str) -> Result<Option<u64>, EnvVarError> {
+    match std::env::var(name) {
+        Err(_) => Ok(None),
+        Ok(raw) => {
+            let trimmed = raw.trim();
+            if trimmed.is_empty() {
+                return Ok(None);
+            }
+            trimmed.parse::<u64>().map(Some).map_err(|_| EnvVarError {
+                name: name.to_string(),
+                value: raw,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Scratch variable names: the real knobs (liveness timeout, seed
+    // offset) are read by concurrently-running tests, so these tests own
+    // names nothing else looks at.
+    #[test]
+    fn unset_and_empty_are_none() {
+        std::env::remove_var("SHRINKSVM_ENV_TEST_UNSET");
+        assert_eq!(env_u64("SHRINKSVM_ENV_TEST_UNSET"), Ok(None));
+        std::env::set_var("SHRINKSVM_ENV_TEST_EMPTY", "   ");
+        assert_eq!(env_u64("SHRINKSVM_ENV_TEST_EMPTY"), Ok(None));
+        std::env::remove_var("SHRINKSVM_ENV_TEST_EMPTY");
+    }
+
+    #[test]
+    fn valid_numbers_parse_with_whitespace() {
+        std::env::set_var("SHRINKSVM_ENV_TEST_OK", " 42 ");
+        assert_eq!(env_u64("SHRINKSVM_ENV_TEST_OK"), Ok(Some(42)));
+        std::env::remove_var("SHRINKSVM_ENV_TEST_OK");
+    }
+
+    #[test]
+    fn garbage_is_a_named_error_not_a_default() {
+        std::env::set_var("SHRINKSVM_ENV_TEST_BAD", "fast");
+        let err = env_u64("SHRINKSVM_ENV_TEST_BAD").unwrap_err();
+        assert_eq!(err.name, "SHRINKSVM_ENV_TEST_BAD");
+        assert_eq!(err.value, "fast");
+        let msg = err.to_string();
+        assert!(msg.contains("SHRINKSVM_ENV_TEST_BAD"), "{msg}");
+        assert!(msg.contains("'fast'"), "{msg}");
+        std::env::remove_var("SHRINKSVM_ENV_TEST_BAD");
+    }
+
+    #[test]
+    fn negative_values_are_rejected() {
+        std::env::set_var("SHRINKSVM_ENV_TEST_NEG", "-5");
+        assert!(env_u64("SHRINKSVM_ENV_TEST_NEG").is_err());
+        std::env::remove_var("SHRINKSVM_ENV_TEST_NEG");
+    }
+}

@@ -13,6 +13,10 @@
 //! * **Rank rules** perturb a rank itself — kill it when its simulated
 //!   clock reaches a deadline, or multiply its compute charges inside a
 //!   simulated-time window.
+//! * **Checkpoint rules** corrupt promoted checkpoint generations by
+//!   global promote-sequence window, so a driver's verified-restore
+//!   fallback path (skip the corrupt generation, restore an older one)
+//!   is exercised deterministically.
 //!
 //! Faults are keyed on *simulated* LogGP time (message departure clocks,
 //! rank clocks), never on wall-clock time: a plan that crashes rank 3 at
@@ -84,6 +88,21 @@ pub struct RankRule {
     pub until: f64,
 }
 
+/// A rule corrupting promoted checkpoint generations: every generation
+/// whose global promote sequence number falls in `[from, until)` gets one
+/// byte of its serialized cut flipped *after* the store computed its
+/// checksum, so restore-time verification detects the damage and the
+/// recovery ladder must fall back to an older generation (or a cold
+/// start). Sequence numbers are deterministic (they count promotions in
+/// order), so the injected corruption is byte-identical across runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CkptRule {
+    /// First corrupted promote-sequence number.
+    pub from: u64,
+    /// Window end (exclusive); `u64::MAX` for open-ended.
+    pub until: u64,
+}
+
 /// Default retry budget: one original transmission plus this many
 /// retransmissions before a message is declared permanently lost.
 pub const DEFAULT_MAX_RETRIES: u32 = 4;
@@ -114,6 +133,7 @@ pub struct FaultPlan {
     seed: u64,
     link_rules: Vec<LinkRule>,
     rank_rules: Vec<RankRule>,
+    ckpt_rules: Vec<CkptRule>,
     /// Rank rules already consumed by a recovery (a crashed node does not
     /// crash again after the driver replaces it).
     disarmed: Vec<bool>,
@@ -181,6 +201,7 @@ impl FaultPlan {
             seed,
             link_rules: Vec::new(),
             rank_rules: Vec::new(),
+            ckpt_rules: Vec::new(),
             disarmed: Vec::new(),
             max_retries: DEFAULT_MAX_RETRIES,
             retry_backoff: DEFAULT_RETRY_BACKOFF,
@@ -324,6 +345,16 @@ impl FaultPlan {
         })
     }
 
+    /// Corrupt every promoted checkpoint generation whose global promote
+    /// sequence number lies in `[from, until)` — one byte of the
+    /// serialized cut is flipped after checksumming, so a verifying
+    /// restore detects it and falls back.
+    pub fn corrupt_checkpoints(mut self, from: u64, until: u64) -> Self {
+        assert!(from < until, "empty checkpoint-corruption window");
+        self.ckpt_rules.push(CkptRule { from, until });
+        self
+    }
+
     /// Number of link rules.
     pub fn n_link_rules(&self) -> usize {
         self.link_rules.len()
@@ -332,6 +363,49 @@ impl FaultPlan {
     /// Number of rank rules.
     pub fn n_rank_rules(&self) -> usize {
         self.rank_rules.len()
+    }
+
+    /// Number of checkpoint-corruption rules.
+    pub fn n_ckpt_rules(&self) -> usize {
+        self.ckpt_rules.len()
+    }
+
+    /// The checkpoint-corruption windows, for a store to plant.
+    pub fn checkpoint_corruption_windows(&self) -> Vec<(u64, u64)> {
+        self.ckpt_rules.iter().map(|r| (r.from, r.until)).collect()
+    }
+
+    /// Total rules across all families, in the unified order link → rank
+    /// → checkpoint (the index space [`FaultPlan::without_rule`] uses).
+    pub fn rules_len(&self) -> usize {
+        self.link_rules.len() + self.rank_rules.len() + self.ckpt_rules.len()
+    }
+
+    /// A copy of this plan with the `idx`-th rule (unified order: link
+    /// rules, then rank rules, then checkpoint rules) removed — the
+    /// primitive a delta-debugging shrinker minimizes over. Removing a
+    /// rule shifts later rule indices (and therefore their fate coins),
+    /// but every candidate plan is still fully deterministic on its own.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx >= rules_len()`.
+    pub fn without_rule(&self, idx: usize) -> FaultPlan {
+        assert!(idx < self.rules_len(), "rule index {idx} out of range");
+        let mut plan = self.clone();
+        if idx < plan.link_rules.len() {
+            plan.link_rules.remove(idx);
+            return plan;
+        }
+        let idx = idx - plan.link_rules.len();
+        if idx < plan.rank_rules.len() {
+            plan.rank_rules.remove(idx);
+            plan.disarmed.remove(idx);
+            return plan;
+        }
+        let idx = idx - plan.rank_rules.len();
+        plan.ckpt_rules.remove(idx);
+        plan
     }
 
     /// Disarm a rank rule that already fired (recovery replaced the node):
@@ -447,6 +521,9 @@ impl FaultPlan {
                 r.count
             ));
         }
+        for r in &self.ckpt_rules {
+            out.push_str(&format!("ckpt corrupt from {} until {}\n", r.from, r.until));
+        }
         for (idx, r) in self.rank_rules.iter().enumerate() {
             let armed = if self.disarmed[idx] { " disarmed" } else { "" };
             match r.fault {
@@ -522,6 +599,13 @@ impl FaultPlan {
                         count: pu(c)?,
                     });
                 }
+                ["ckpt", "corrupt", "from", f, "until", u] => {
+                    let (from, until) = (pu(f)?, pu(u)?);
+                    if from >= until {
+                        return Err(format!("empty checkpoint-corruption window '{line}'"));
+                    }
+                    plan.ckpt_rules.push(CkptRule { from, until });
+                }
                 ["rank", "crash", r, "at", at, rest @ ..] => {
                     plan.rank_rules.push(RankRule {
                         fault: RankFault::Crash,
@@ -548,8 +632,10 @@ impl FaultPlan {
 }
 
 /// FNV-1a 64-bit checksum over a payload — the envelope integrity check
-/// that makes injected corruption *detectable* rather than silent.
-pub(crate) fn checksum(payload: &[u8]) -> u64 {
+/// that makes injected corruption *detectable* rather than silent. Public
+/// because the checkpoint store verifies its serialized cuts with the
+/// same checksum (one integrity primitive across the stack).
+pub fn checksum(payload: &[u8]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for &b in payload {
         h ^= u64::from(b);
@@ -559,9 +645,11 @@ pub(crate) fn checksum(payload: &[u8]) -> u64 {
 }
 
 /// Deterministically corrupt a payload copy (flip one byte picked from the
-/// link sequence; an empty payload corrupts by appending a byte, which the
-/// length-sensitive checksum still catches).
-pub(crate) fn corrupt_copy(payload: &[u8], link_seq: u64) -> Vec<u8> {
+/// sequence key; an empty payload corrupts by appending a byte, which the
+/// length-sensitive checksum still catches). The key is a link sequence
+/// for in-flight corruption and a promote sequence for checkpoint
+/// corruption — either way the damage is a pure function of its inputs.
+pub fn corrupt_copy(payload: &[u8], link_seq: u64) -> Vec<u8> {
     let mut copy = payload.to_vec();
     if copy.is_empty() {
         copy.push(0xA5);
@@ -585,7 +673,8 @@ mod tests {
             .corrupt_messages(None, None, 0.25, 0.5, 2.0, u64::MAX)
             .delay_messages(Some(2), None, 0.125, 0.5, 0.0, 1.0, 3)
             .crash_rank(3, 0.75)
-            .slow_rank(1, 4.0, 0.0, 10.0);
+            .slow_rank(1, 4.0, 0.0, 10.0)
+            .corrupt_checkpoints(2, u64::MAX);
         plan.disarm_rank_rule(0);
         let text = plan.to_text();
         let back = FaultPlan::from_text(&text).unwrap();
@@ -659,6 +748,49 @@ mod tests {
         assert_eq!(plan.slow_factor(0, 6.0), Some((0, 6.0)));
         assert_eq!(plan.slow_factor(0, 10.0), None);
         assert_eq!(plan.slow_factor(1, 1.0), None);
+    }
+
+    #[test]
+    fn ckpt_rules_roundtrip_and_report_windows() {
+        let plan = FaultPlan::new(3)
+            .corrupt_checkpoints(1, 4)
+            .corrupt_checkpoints(9, u64::MAX);
+        assert_eq!(plan.n_ckpt_rules(), 2);
+        assert_eq!(
+            plan.checkpoint_corruption_windows(),
+            vec![(1, 4), (9, u64::MAX)]
+        );
+        let back = FaultPlan::from_text(&plan.to_text()).unwrap();
+        assert_eq!(back, plan);
+        assert!(
+            FaultPlan::from_text("shrinksvm-faultplan v1\nckpt corrupt from 4 until 4\n").is_err()
+        );
+    }
+
+    #[test]
+    fn without_rule_spans_the_unified_index_space() {
+        let plan = FaultPlan::new(5)
+            .drop_messages(Some(0), Some(1), 1.0, 0.0, f64::INFINITY, 1)
+            .crash_rank(2, 0.5)
+            .crash_rank(1, 0.75)
+            .corrupt_checkpoints(2, 6);
+        assert_eq!(plan.rules_len(), 4);
+        // removing the link rule leaves both crashes and the ckpt rule
+        let a = plan.without_rule(0);
+        assert_eq!(
+            (a.n_link_rules(), a.n_rank_rules(), a.n_ckpt_rules()),
+            (0, 2, 1)
+        );
+        // removing a rank rule keeps the disarm flags aligned
+        let mut armed = plan.clone();
+        armed.disarm_rank_rule(0);
+        let b = armed.without_rule(1);
+        assert_eq!(b.n_rank_rules(), 1);
+        assert_eq!(b.crash_due(1, 1.0), Some((0, 0.75)));
+        assert_eq!(b.crash_due(2, 1.0), None, "the disarmed crash was removed");
+        // removing the last index removes the ckpt rule
+        let c = plan.without_rule(3);
+        assert_eq!(c.n_ckpt_rules(), 0);
     }
 
     #[test]

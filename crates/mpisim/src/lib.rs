@@ -72,6 +72,7 @@
 pub mod collectives;
 pub mod comm;
 pub mod cost;
+pub mod env;
 pub mod fabric;
 pub mod fault;
 mod monitor;
@@ -81,7 +82,8 @@ pub mod universe;
 
 pub use comm::{Comm, Request};
 pub use cost::CostParams;
-pub use fault::{CrashNotice, FaultPlan, LinkFault, LinkRule, RankFault, RankRule};
+pub use env::{env_u64, EnvVarError};
+pub use fault::{CkptRule, CrashNotice, FaultPlan, LinkFault, LinkRule, RankFault, RankRule};
 pub use reduce::{MaxLoc, MinLoc};
 pub use shrinksvm_analyze::{FaultEvent, ValidationReport, Violation};
 pub use shrinksvm_obs::critpath::{DepEvent, DepLog};

@@ -78,12 +78,20 @@ impl Universe {
     /// overridable process-wide via the `SHRINKSVM_LIVENESS_TIMEOUT_SECS`
     /// environment variable or per-universe via
     /// [`Universe::with_liveness_timeout`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with a named diagnosis when the environment override is set
+    /// to a non-numeric or zero value — a misconfigured knob must not
+    /// silently fall back to the default.
     pub fn new(p: usize) -> Self {
         assert!(p >= 1, "need at least one rank");
-        let liveness = std::env::var(LIVENESS_TIMEOUT_ENV)
-            .ok()
-            .and_then(|s| s.trim().parse::<u64>().ok())
-            .map_or(DEFAULT_LIVENESS_TIMEOUT, Duration::from_secs);
+        let liveness = match crate::env::env_u64(LIVENESS_TIMEOUT_ENV) {
+            Ok(None) => DEFAULT_LIVENESS_TIMEOUT,
+            Ok(Some(0)) => panic!("{LIVENESS_TIMEOUT_ENV}: must be a positive number of seconds"),
+            Ok(Some(secs)) => Duration::from_secs(secs),
+            Err(e) => panic!("{e}"),
+        };
         Universe {
             p,
             cost: CostParams::zero(),

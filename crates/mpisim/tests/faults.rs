@@ -272,8 +272,11 @@ fn liveness_timeout_is_configurable_and_fires() {
         .with_liveness_timeout(Duration::from_millis(60))
         .run(|c| {
             if c.rank() == 1 {
-                // Busy in real time without blocking: invisible to the
-                // wait-for graph, so only the liveness bound can fire.
+                // allow-wall-clock: a real-time stall is the very thing
+                // this test injects — busy in host time without blocking,
+                // invisible to the wait-for graph, so only the liveness
+                // bound can fire.
+                #[allow(clippy::disallowed_methods)]
                 std::thread::sleep(Duration::from_millis(400));
                 c.send(0, 2, &[1]);
                 vec![]

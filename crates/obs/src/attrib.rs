@@ -70,8 +70,15 @@ pub struct Attribution {
     pub per_rank: Vec<RankBuckets>,
     /// Sums of the per-rank buckets.
     pub totals: RankBuckets,
-    /// Simulated time lost to crash-aborted attempts (driver-supplied).
+    /// Simulated time lost to crash-aborted attempts (driver-supplied):
+    /// `recovery_waste + recovery_backoff`.
     pub recovery: f64,
+    /// Re-executed simulated time: each aborted attempt's clock past the
+    /// restored checkpoint's cut (work banked into the cut is *not*
+    /// waste — the next attempt skips it).
+    pub recovery_waste: f64,
+    /// Simulated backoff charged by the recovery ladder before retries.
+    pub recovery_backoff: f64,
     /// Largest per-rank deviation of `buckets.total()` from the
     /// makespan, in seconds (f64 summation noise; checked against a
     /// relative tolerance by [`Attribution::from_log`]).
@@ -97,7 +104,8 @@ impl Attribution {
         clocks: &[Vec<(f64, f64)>],
         final_clock: &[f64],
         makespan: f64,
-        recovery: f64,
+        recovery_waste: f64,
+        recovery_backoff: f64,
     ) -> Result<Attribution, String> {
         let mut per_rank = Vec::with_capacity(log.n_ranks());
         let mut totals = RankBuckets::default();
@@ -143,7 +151,9 @@ impl Attribution {
         Ok(Attribution {
             per_rank,
             totals,
-            recovery,
+            recovery: recovery_waste + recovery_backoff,
+            recovery_waste,
+            recovery_backoff,
             reconcile_error,
         })
     }
@@ -185,6 +195,19 @@ impl PerfDoctor {
     /// divergence, unmatched receive) or the bucket rules missed a clock
     /// mutation — both are bugs worth loud deaths, not silent numbers.
     pub fn analyze(log: &DepLog, recovery_cost: f64) -> Result<PerfDoctor, String> {
+        Self::analyze_split(log, recovery_cost, 0.0)
+    }
+
+    /// Like [`PerfDoctor::analyze`], but with the recovery cost split
+    /// into re-executed time (`waste`) and ladder backoff charges
+    /// (`backoff`) — the recovery bucket reports their sum, the split is
+    /// kept in [`Attribution::recovery_waste`] /
+    /// [`Attribution::recovery_backoff`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PerfDoctor::analyze`].
+    pub fn analyze_split(log: &DepLog, waste: f64, backoff: f64) -> Result<PerfDoctor, String> {
         let rep = replay(log, WhatIf::Identity)?;
         let cp = critical_path(log, &rep);
         if !cp.hops.is_empty() {
@@ -217,7 +240,8 @@ impl PerfDoctor {
             &rep.clocks,
             &rep.final_clock,
             rep.makespan,
-            recovery_cost,
+            waste,
+            backoff,
         )?;
         let projections = project(log)?;
         Ok(PerfDoctor {
@@ -251,6 +275,8 @@ impl PerfDoctor {
             ("idle", t.idle),
             ("retransmit", t.retransmit),
             ("recovery", self.attribution.recovery),
+            ("recovery_waste", self.attribution.recovery_waste),
+            ("recovery_backoff", self.attribution.recovery_backoff),
         ]
         .into_iter()
         .enumerate()
@@ -390,6 +416,10 @@ impl PerfDoctor {
             ));
         }
         out.push_str(&format!(
+            "  (recovery = {:.6}s re-executed + {:.6}s ladder backoff)\n",
+            self.attribution.recovery_waste, self.attribution.recovery_backoff
+        ));
+        out.push_str(&format!(
             "  (per-rank reconcile error <= {:.3e}s)\n",
             self.attribution.reconcile_error
         ));
@@ -476,6 +506,8 @@ pub fn bench_extras(doc: &PerfDoctor) -> Vec<(&'static str, f64)> {
         ("whatif_perfect_balance", doc.projections.perfect_balance),
         ("whatif_infinite_cache", doc.projections.infinite_cache),
         ("critpath_hops", doc.critical_path.hops.len() as f64),
+        ("recovery_waste", doc.attribution.recovery_waste),
+        ("recovery_backoff", doc.attribution.recovery_backoff),
     ]
 }
 
@@ -526,8 +558,23 @@ mod tests {
     fn recovery_extends_total_rank_time() {
         let doc = PerfDoctor::analyze(&two_rank_log(), 0.5).unwrap();
         assert_eq!(doc.attribution.recovery, 0.5);
+        assert_eq!(doc.attribution.recovery_waste, 0.5);
+        assert_eq!(doc.attribution.recovery_backoff, 0.0);
         let expect = 2.0 * doc.makespan + 0.5;
         assert!((doc.attribution.total_rank_time(doc.makespan) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_recovery_sums_into_the_bucket() {
+        let doc = PerfDoctor::analyze_split(&two_rank_log(), 0.375, 0.125).unwrap();
+        assert_eq!(doc.attribution.recovery_waste, 0.375);
+        assert_eq!(doc.attribution.recovery_backoff, 0.125);
+        assert_eq!(doc.attribution.recovery, 0.5);
+        let json = doc.to_json();
+        check(&json).unwrap();
+        assert!(json.contains("\"recovery_waste\":0.375"));
+        assert!(json.contains("\"recovery_backoff\":0.125"));
+        assert!(doc.render_text().contains("ladder backoff"));
     }
 
     #[test]

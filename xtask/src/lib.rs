@@ -22,7 +22,9 @@
 //! table in [`budgets`], and the `--json` report writer in [`report`].
 //!
 //! The crate also hosts the bench-history regression gate,
-//! `cargo xtask bench-diff <baseline> <candidate>` — see [`bench_diff`].
+//! `cargo xtask bench-diff <baseline> <candidate>` — see [`bench_diff`] —
+//! and the deterministic chaos-soak harness, `cargo xtask soak` — see
+//! [`soak`].
 
 pub mod bench_diff;
 pub mod budgets;
@@ -32,6 +34,7 @@ pub mod manifest;
 pub mod reach;
 pub mod report;
 pub mod rules;
+pub mod soak;
 
 use std::fmt;
 use std::fs;

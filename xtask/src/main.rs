@@ -85,9 +85,94 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("soak") => {
+            let mut cfg = xtask::soak::SoakConfig::default();
+            let mut out_dir = repo_root().join("target").join("soak");
+            let flag_val = |name: &str| {
+                args.iter()
+                    .position(|a| a == name)
+                    .and_then(|i| args.get(i + 1))
+                    .cloned()
+            };
+            if let Some(v) = flag_val("--out") {
+                out_dir = PathBuf::from(v);
+            }
+            if let Some(v) = flag_val("--name") {
+                cfg.name = v;
+            }
+            if let Some(v) = flag_val("--seeds") {
+                match v
+                    .split(',')
+                    .map(str::parse)
+                    .collect::<Result<Vec<u64>, _>>()
+                {
+                    Ok(seeds) => cfg.seeds = seeds,
+                    Err(_) => {
+                        eprintln!("soak: --seeds wants a comma-separated u64 list, got '{v}'");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if let Some(v) = flag_val("--plans") {
+                cfg.plans = v.split(',').map(str::to_string).collect();
+            }
+            if args.iter().any(|a| a == "--no-shrink") {
+                cfg.shrink = false;
+            }
+            match xtask::soak::run_soak(&cfg) {
+                Ok(report) => {
+                    for c in &report.cases {
+                        match &c.failure {
+                            None => println!(
+                                "soak: seed {} plan {}: pass ({} recoveries, {} corrupt gen)",
+                                c.seed, c.plan, c.recoveries, c.corrupt_generations
+                            ),
+                            Some(class) => {
+                                eprintln!("soak: seed {} plan {}: FAIL [{class}]", c.seed, c.plan);
+                                if let Some(s) = &c.shrunk {
+                                    eprintln!(
+                                        "soak:   plan shrunk {} -> {} rule(s):\n{}",
+                                        s.rules_before, s.rules_after, s.plan_text
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    println!(
+                        "soak: shrinker self-test [{}]: {} -> {} rule(s)",
+                        report.selftest.class,
+                        report.selftest.rules_before,
+                        report.selftest.rules_after
+                    );
+                    let path = out_dir.join(format!("SOAK_{}.json", cfg.name));
+                    if let Err(e) = std::fs::create_dir_all(&out_dir)
+                        .and_then(|()| std::fs::write(&path, &report.json))
+                    {
+                        eprintln!("soak: cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                    println!("soak: report written to {}", path.display());
+                    if report.failures == 0 && report.selftest.rules_after <= 2 {
+                        println!("soak: clean ({} cell(s))", report.cases.len());
+                        ExitCode::SUCCESS
+                    } else {
+                        eprintln!("soak: {} failing cell(s)", report.failures);
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("soak: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => {
             eprintln!("usage: cargo xtask lint [--json <path>] [--update-budgets]");
             eprintln!("       cargo xtask bench-diff <baseline> <candidate>");
+            eprintln!(
+                "       cargo xtask soak [--out <dir>] [--name <name>] \
+                 [--seeds a,b,c] [--plans crash,corrupt,ladder] [--no-shrink]"
+            );
             ExitCode::FAILURE
         }
     }

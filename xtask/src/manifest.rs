@@ -121,9 +121,12 @@ pub const ORDERING_TOKENS: &[&str] = &[
 /// touching one of these must be dominated by a `ComputeCharge` (D3).
 pub const GRAD_IDENTS: &[&str] = &["grad", "gpart", "gtmp"];
 
-/// Prefix of the functions that charge simulated compute time. A loop is
-/// considered *charged* when its enclosing function calls one of these.
-pub const CHARGE_FN_PREFIX: &str = "advance_compute";
+/// Prefixes of the functions that charge simulated time. A loop is
+/// considered *charged* when its enclosing function calls one of these:
+/// `advance_compute*` pays for solver compute on the LogGP clock, and
+/// `charge_recovery*` books the driver's recovery-ladder accounting
+/// (aborted-attempt waste and backoff).
+pub const CHARGE_FN_PREFIXES: &[&str] = &["advance_compute", "charge_recovery"];
 
 /// Justification needles, all matched inside comment tokens on the
 /// flagged line or the line(s) just above it.

@@ -365,9 +365,12 @@ fn charge_coverage(file: &FileIndex, f: &crate::index::FnItem, out: &mut Vec<Fin
     let toks = &file.toks;
     let (lo, hi) = f.body;
     let hi = hi.min(toks.len());
-    let fn_charges = toks[lo..hi]
-        .iter()
-        .any(|t| t.kind == TokKind::Ident && t.text.starts_with(manifest::CHARGE_FN_PREFIX));
+    let fn_charges = toks[lo..hi].iter().any(|t| {
+        t.kind == TokKind::Ident
+            && manifest::CHARGE_FN_PREFIXES
+                .iter()
+                .any(|p| t.text.starts_with(p))
+    });
     if fn_charges {
         return;
     }
@@ -434,7 +437,7 @@ fn charge_coverage(file: &FileIndex, f: &crate::index::FnItem, out: &mut Vec<Fin
                      function: simulated time will under-report this work; charge it, \
                      or justify with `// {}`",
                     f.qualified(),
-                    manifest::CHARGE_FN_PREFIX,
+                    manifest::CHARGE_FN_PREFIXES.join("*`/`"),
                     hatch::UNCHARGED
                 ),
             });

@@ -90,10 +90,14 @@ fn bad_charge_flags_uncharged_loop_only() {
         &[("crates/core/src/dist/fixture.rs", src)],
         &BudgetTable::new(),
     );
+    // exactly one finding: `norm` is uncharged, while `charged_norm`
+    // (advance_compute*) and `recovery_norm` (charge_recovery*) both
+    // discharge the rule
     assert_eq!(f.len(), 1, "{f:?}");
     assert_eq!(f[0].rule, "charge-coverage");
     assert_eq!(f[0].line, line_of(src, "for g in &self.grad", 0));
     assert!(f[0].message.contains("Rank::norm"));
+    assert!(f[0].message.contains("charge_recovery"));
 }
 
 #[test]

@@ -1,6 +1,8 @@
 // Known-bad: a loop over gradient state in the dist tree whose function
 // never charges simulated compute. The second function is the control:
-// same loop, but the function calls an advance_compute* charge.
+// same loop, but the function calls an advance_compute* charge. The
+// third routes through charge_recovery* — the driver's recovery-loop
+// accounting — which discharges D3 the same way.
 
 pub struct Rank {
     grad: Vec<f64>,
@@ -21,6 +23,15 @@ impl Rank {
             s += g * g;
         }
         comm.advance_compute(self.grad.len() as u64);
+        s.sqrt()
+    }
+
+    pub fn recovery_norm(&self, summary: &mut RecoverySummary) -> f64 {
+        let mut s = 0.0;
+        for g in &self.grad {
+            s += g * g;
+        }
+        charge_recovery(summary, s, 0.0);
         s.sqrt()
     }
 }

@@ -1,0 +1,88 @@
+//! End-to-end checks for the chaos-soak harness: a small grid must pass
+//! with a byte-deterministic report, and the planted shrinker self-test
+//! must minimize to the acceptance bar.
+
+use xtask::soak::{run_soak, SoakConfig, PLAN_TEMPLATES};
+
+fn small_grid() -> SoakConfig {
+    SoakConfig {
+        name: "e2e".to_string(),
+        seeds: vec![1],
+        plans: vec!["crash".to_string()],
+        shrink: true,
+    }
+}
+
+#[test]
+fn small_grid_passes_and_the_report_is_deterministic() {
+    let a = run_soak(&small_grid()).expect("soak runs");
+    assert_eq!(a.failures, 0, "{}", a.json);
+    assert_eq!(a.cases.len(), 1);
+    let c = &a.cases[0];
+    assert!(c.failure.is_none(), "{c:?}");
+    assert_eq!(c.recoveries, 1, "one crash, one restart");
+    assert!(c.recovery_cost > 0.0);
+    assert!(c.shrunk.is_none(), "passing cells are not shrunk");
+    // the whole harness — training included — is byte-deterministic
+    let b = run_soak(&small_grid()).expect("soak runs again");
+    assert_eq!(a.json, b.json, "identical configs give identical bytes");
+    assert!(a.json.contains("\"schema\":\"shrinksvm-soak/v1\""));
+    assert!(a.json.contains("\"status\":\"pass\""));
+}
+
+#[test]
+fn planted_shrinker_selftest_minimizes_to_at_most_two_rules() {
+    let report = run_soak(&SoakConfig {
+        shrink: false, // the self-test shrinks regardless
+        ..small_grid()
+    })
+    .expect("soak runs");
+    let st = &report.selftest;
+    assert_eq!(st.class, "train-error:RankLost", "{st:?}");
+    assert_eq!(st.rules_before, 4, "two delays + ckpt corruption + crash");
+    assert!(
+        st.rules_after <= 2,
+        "the shrinker must strip the chaff: {st:?}"
+    );
+    assert!(
+        st.plan_text.contains("rank crash"),
+        "the crash rule is the failure's cause: {}",
+        st.plan_text
+    );
+    assert!(
+        !st.plan_text.contains("link delay"),
+        "delay chaff must not survive: {}",
+        st.plan_text
+    );
+}
+
+#[test]
+fn the_full_template_set_survives_one_seed() {
+    let report = run_soak(&SoakConfig {
+        name: "templates".to_string(),
+        seeds: vec![2],
+        plans: PLAN_TEMPLATES.iter().map(|s| (*s).to_string()).collect(),
+        shrink: true,
+    })
+    .expect("soak runs");
+    assert_eq!(report.failures, 0, "{}", report.json);
+    assert_eq!(report.cases.len(), 3);
+    let ladder = report
+        .cases
+        .iter()
+        .find(|c| c.plan == "ladder")
+        .expect("ladder cell present");
+    assert_eq!(ladder.recoveries, 3, "{ladder:?}");
+    assert!(ladder.corrupt_generations >= 1, "{ladder:?}");
+    assert!(!ladder.degraded, "{ladder:?}");
+}
+
+#[test]
+fn unknown_plan_is_rejected_before_any_training() {
+    let err = run_soak(&SoakConfig {
+        plans: vec!["gremlins".to_string()],
+        ..small_grid()
+    })
+    .unwrap_err();
+    assert!(err.contains("gremlins"), "{err}");
+}
