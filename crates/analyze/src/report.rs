@@ -136,6 +136,13 @@ pub struct ValidationReport {
     /// survived fault is a chaos run's expected outcome — so they do not
     /// affect [`ValidationReport::is_clean`].
     pub faults: Vec<FaultEvent>,
+    /// Flight-recorder snapshot: the last N events per rank, pre-rendered
+    /// as text lines, when a flight recorder was attached to the run.
+    /// Diagnostic context only — never a violation — so it does not
+    /// affect [`ValidationReport::is_clean`]. Lines are already in rank
+    /// order and [`ValidationReport::normalize`] leaves them alone (the
+    /// within-rank ring order *is* the event order).
+    pub flight: Vec<String>,
 }
 
 impl ValidationReport {
@@ -187,6 +194,12 @@ impl fmt::Display for ValidationReport {
             )?;
             for e in &self.faults {
                 writeln!(f, "  - {e}")?;
+            }
+        }
+        if !self.flight.is_empty() {
+            writeln!(f, "flight recorder ({} line(s)):", self.flight.len())?;
+            for l in &self.flight {
+                writeln!(f, "  {l}")?;
             }
         }
         Ok(())

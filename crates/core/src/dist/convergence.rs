@@ -1,0 +1,281 @@
+//! Online convergence telemetry for the distributed solver.
+//!
+//! The epoch loop feeds the tracker two signals it already computes for
+//! free — the allreduced KKT gap `β_low − β_up` and the global active-set
+//! size after each shrink pass — and gets back three derived series:
+//!
+//! * **KKT-gap slope**: per-iteration change of the gap over a bounded
+//!   sliding window (secant over the window endpoints, so it is exact,
+//!   cheap, and independent of the window's interior samples),
+//! * **active-set shrink velocity**: samples shrunk per iteration between
+//!   consecutive shrink passes,
+//! * **[`ConvergencePhase`]**: a four-state classification of where the
+//!   run is — `Warmup` → `Shrinking` → `Plateau` → `Polish` — published
+//!   as a numeric epoch series (see [`ConvergencePhase::code`]).
+//!
+//! Everything here is pure arithmetic over values every rank (or rank 0,
+//! where the driver samples) already holds: the tracker performs **no
+//! communication and charges no simulated time**, so enabling the series
+//! cannot perturb the trajectory or the modeled makespan — the
+//! byte-identity bench gates pin that.
+
+use std::collections::VecDeque;
+
+/// Where the optimization currently is, classified from the gap
+/// trajectory and the shrink activity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConvergencePhase {
+    /// Not enough history yet to say anything.
+    Warmup,
+    /// The active set is still contracting (a shrink pass removed samples
+    /// within the current observation window).
+    Shrinking,
+    /// The gap is far from tolerance but barely improving — the
+    /// slow-middle regime where shrinking has settled and the solver
+    /// grinds on a stable active set.
+    Plateau,
+    /// The gap is within an order of magnitude of the target `2ε` — the
+    /// endgame.
+    Polish,
+}
+
+impl ConvergencePhase {
+    /// Stable numeric encoding for the `convergence_phase` epoch series
+    /// (0 = warmup, 1 = shrinking, 2 = plateau, 3 = polish).
+    pub fn code(self) -> f64 {
+        match self {
+            ConvergencePhase::Warmup => 0.0,
+            ConvergencePhase::Shrinking => 1.0,
+            ConvergencePhase::Plateau => 2.0,
+            ConvergencePhase::Polish => 3.0,
+        }
+    }
+
+    /// Human-readable name (used by post-mortem rendering).
+    pub fn name(self) -> &'static str {
+        match self {
+            ConvergencePhase::Warmup => "warmup",
+            ConvergencePhase::Shrinking => "shrinking",
+            ConvergencePhase::Plateau => "plateau",
+            ConvergencePhase::Polish => "polish",
+        }
+    }
+}
+
+/// Gap samples kept in the sliding window (epochs, not iterations — at
+/// the default cadence this spans `8 × 256` iterations of history).
+const WINDOW: usize = 8;
+
+/// Relative improvement across a full window below which the trajectory
+/// counts as flat (plateau), provided the gap is still far from target.
+const PLATEAU_REL_IMPROVEMENT: f64 = 0.01;
+
+/// `gap ≤ POLISH_FACTOR · ε` marks the endgame.
+const POLISH_FACTOR: f64 = 10.0;
+
+/// Bounded-memory convergence tracker. One per run, fed at epoch
+/// cadence; all methods are O(1) (the window is a fixed-size deque).
+#[derive(Clone, Debug)]
+pub struct ConvergenceTracker {
+    epsilon: f64,
+    /// `(iteration, gap)` history, oldest first, at most [`WINDOW`] deep.
+    gaps: VecDeque<(u64, f64)>,
+    /// Last two `(iteration, active_set_size)` shrink observations.
+    active: VecDeque<(u64, f64)>,
+    /// Iteration of the most recent shrink pass that removed samples.
+    last_shrink_at: Option<u64>,
+}
+
+impl ConvergenceTracker {
+    /// Tracker for a run targeting optimality tolerance `epsilon`.
+    pub fn new(epsilon: f64) -> Self {
+        ConvergenceTracker {
+            epsilon,
+            gaps: VecDeque::with_capacity(WINDOW),
+            active: VecDeque::with_capacity(2),
+            last_shrink_at: None,
+        }
+    }
+
+    /// Record the allreduced KKT gap at `iter`. Non-finite gaps (±∞
+    /// candidates from empty scan sets) are ignored — they terminate the
+    /// phase anyway and would poison the slope.
+    pub fn observe_gap(&mut self, iter: u64, gap: f64) {
+        if !gap.is_finite() {
+            return;
+        }
+        if self.gaps.len() == WINDOW {
+            self.gaps.pop_front();
+        }
+        self.gaps.push_back((iter, gap));
+    }
+
+    /// Record the global active-set size right after a shrink pass at
+    /// `iter`. `removed` is how many samples that pass shrank away.
+    pub fn observe_active(&mut self, iter: u64, active: f64, removed: u64) {
+        if self.active.len() == 2 {
+            self.active.pop_front();
+        }
+        self.active.push_back((iter, active));
+        if removed > 0 {
+            self.last_shrink_at = Some(iter);
+        }
+    }
+
+    /// Per-iteration gap slope over the window (negative = improving), or
+    /// `None` with fewer than two samples.
+    pub fn kkt_slope(&self) -> Option<f64> {
+        let (i0, g0) = *self.gaps.front()?;
+        let (i1, g1) = *self.gaps.back()?;
+        if i1 <= i0 {
+            return None;
+        }
+        Some((g1 - g0) / (i1 - i0) as f64)
+    }
+
+    /// Samples shrunk per iteration between the last two shrink passes
+    /// (positive = still contracting), or `None` with fewer than two
+    /// observations.
+    pub fn shrink_velocity(&self) -> Option<f64> {
+        if self.active.len() < 2 {
+            return None;
+        }
+        let (i0, a0) = self.active[0];
+        let (i1, a1) = self.active[1];
+        if i1 <= i0 {
+            return None;
+        }
+        Some((a0 - a1) / (i1 - i0) as f64)
+    }
+
+    /// Classify the current phase. Precedence: `Polish` (the gap target
+    /// is in sight) beats everything; then `Shrinking` (the active set
+    /// moved within the gap window); then `Plateau` (full window, flat
+    /// trajectory); else `Warmup`.
+    pub fn phase(&self) -> ConvergencePhase {
+        let Some(&(_, gap)) = self.gaps.back() else {
+            return ConvergencePhase::Warmup;
+        };
+        if gap <= POLISH_FACTOR * self.epsilon {
+            return ConvergencePhase::Polish;
+        }
+        if let (Some(at), Some(&(win_start, _))) = (self.last_shrink_at, self.gaps.front()) {
+            if at >= win_start {
+                return ConvergencePhase::Shrinking;
+            }
+        }
+        if self.gaps.len() == WINDOW {
+            let (_, g0) = self.gaps[0];
+            if g0 > 0.0 && (g0 - gap) / g0 < PLATEAU_REL_IMPROVEMENT {
+                return ConvergencePhase::Plateau;
+            }
+        }
+        ConvergencePhase::Warmup
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker_is_warmup_with_no_slopes() {
+        let t = ConvergenceTracker::new(1e-3);
+        assert_eq!(t.phase(), ConvergencePhase::Warmup);
+        assert!(t.kkt_slope().is_none());
+        assert!(t.shrink_velocity().is_none());
+    }
+
+    #[test]
+    fn slope_is_the_window_secant() {
+        let mut t = ConvergenceTracker::new(1e-3);
+        t.observe_gap(0, 10.0);
+        t.observe_gap(100, 8.0);
+        t.observe_gap(200, 6.0);
+        // (6 - 10) / (200 - 0)
+        assert_eq!(t.kkt_slope(), Some(-0.02));
+    }
+
+    #[test]
+    fn window_is_bounded_and_slides() {
+        let mut t = ConvergenceTracker::new(1e-3);
+        for k in 0..20u64 {
+            t.observe_gap(k * 10, 100.0 - k as f64);
+        }
+        // window spans samples 12..=19: iters 120..=190, gaps 88..=81
+        assert_eq!(t.kkt_slope(), Some((81.0 - 88.0) / 70.0));
+    }
+
+    #[test]
+    fn non_finite_gaps_are_ignored() {
+        let mut t = ConvergenceTracker::new(1e-3);
+        t.observe_gap(0, f64::INFINITY);
+        t.observe_gap(10, f64::NAN);
+        assert!(t.kkt_slope().is_none());
+        assert_eq!(t.phase(), ConvergencePhase::Warmup);
+    }
+
+    #[test]
+    fn shrink_velocity_between_passes() {
+        let mut t = ConvergenceTracker::new(1e-3);
+        t.observe_active(100, 1000.0, 200);
+        t.observe_active(300, 600.0, 400);
+        // (1000 - 600) / (300 - 100)
+        assert_eq!(t.shrink_velocity(), Some(2.0));
+    }
+
+    #[test]
+    fn polish_beats_shrinking() {
+        let mut t = ConvergenceTracker::new(1e-3);
+        t.observe_active(5, 500.0, 100);
+        t.observe_gap(10, 5e-3); // ≤ 10ε = 1e-2
+        assert_eq!(t.phase(), ConvergencePhase::Polish);
+    }
+
+    #[test]
+    fn recent_shrink_classifies_as_shrinking() {
+        let mut t = ConvergenceTracker::new(1e-6);
+        t.observe_gap(0, 10.0);
+        t.observe_active(3, 500.0, 100);
+        t.observe_gap(10, 9.0);
+        assert_eq!(t.phase(), ConvergencePhase::Shrinking);
+    }
+
+    #[test]
+    fn stale_shrink_does_not_stick() {
+        let mut t = ConvergenceTracker::new(1e-6);
+        t.observe_active(0, 500.0, 100);
+        // fill the window entirely past the shrink observation
+        for k in 1..=WINDOW as u64 {
+            t.observe_gap(k * 100, 10.0 - k as f64);
+        }
+        assert_ne!(t.phase(), ConvergencePhase::Shrinking);
+    }
+
+    #[test]
+    fn flat_full_window_far_from_target_is_plateau() {
+        let mut t = ConvergenceTracker::new(1e-6);
+        for k in 0..WINDOW as u64 {
+            t.observe_gap(k * 100, 10.0 - 1e-4 * k as f64);
+        }
+        assert_eq!(t.phase(), ConvergencePhase::Plateau);
+    }
+
+    #[test]
+    fn improving_full_window_is_not_plateau() {
+        let mut t = ConvergenceTracker::new(1e-9);
+        for k in 0..WINDOW as u64 {
+            t.observe_gap(k * 100, 10.0 / (k + 1) as f64);
+        }
+        assert_eq!(t.phase(), ConvergencePhase::Warmup);
+    }
+
+    #[test]
+    fn phase_codes_are_stable() {
+        assert_eq!(ConvergencePhase::Warmup.code(), 0.0);
+        assert_eq!(ConvergencePhase::Shrinking.code(), 1.0);
+        assert_eq!(ConvergencePhase::Plateau.code(), 2.0);
+        assert_eq!(ConvergencePhase::Polish.code(), 3.0);
+        assert_eq!(ConvergencePhase::Polish.name(), "polish");
+    }
+}

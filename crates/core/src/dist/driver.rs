@@ -1,9 +1,12 @@
 //! Launching a distributed training run and merging the per-rank outcomes.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use shrinksvm_mpisim::{CommStats, CostParams, FaultPlan, Universe, ValidationReport};
+use shrinksvm_obs::flight::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+use shrinksvm_obs::monitor::{self, HealthConfig, HealthRule};
 use shrinksvm_obs::timeline::{Event, Timeline};
 use shrinksvm_obs::{attrib, BenchReport, MetricsRegistry, PerfDoctor};
 use shrinksvm_sparse::Dataset;
@@ -152,6 +155,23 @@ pub struct DistSolver<'a> {
     recovery: Option<RecoveryPolicy>,
     liveness: Option<Duration>,
     tracing: bool,
+    flight: Option<Arc<FlightRecorder>>,
+}
+
+/// Flight-recorder ring capacity (events kept per rank):
+/// `SHRINKSVM_FLIGHT_CAP` when set (clamped to ≥ 1), else
+/// [`DEFAULT_FLIGHT_CAPACITY`]. Read at recorder-construction time, not
+/// cached — harnesses size each run's black box independently.
+///
+/// Panics with a named diagnosis when the override is set to a
+/// non-numeric value — a misconfigured knob must not silently fall back
+/// to the default.
+pub fn flight_capacity() -> usize {
+    match shrinksvm_mpisim::env_u64("SHRINKSVM_FLIGHT_CAP") {
+        Ok(Some(v)) => v.max(1) as usize,
+        Ok(None) => DEFAULT_FLIGHT_CAPACITY,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 impl<'a> DistSolver<'a> {
@@ -169,6 +189,7 @@ impl<'a> DistSolver<'a> {
             recovery: None,
             liveness: None,
             tracing: false,
+            flight: None,
         }
     }
 
@@ -266,6 +287,19 @@ impl<'a> DistSolver<'a> {
         self
     }
 
+    /// Attach a crash flight recorder: every rank mirrors its last N
+    /// events (compute spans, receive waits, retransmissions, terminal
+    /// fault diagnostics) into `flight`'s bounded per-rank rings,
+    /// independent of tracing. The caller keeps the `Arc` — it survives
+    /// the panic unwind of a crashed attempt, so the black box is
+    /// readable even when the run never returns a result. Driver-level
+    /// recovery-ladder actions are mirrored in too. Size the rings with
+    /// [`flight_capacity`].
+    pub fn with_flight(mut self, flight: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
     /// Run the training. With a fault plan installed, transport faults are
     /// absorbed in-flight; an injected rank crash aborts the attempt and —
     /// if the recovery ladder's budget allows — the driver disarms the
@@ -300,6 +334,9 @@ impl<'a> DistSolver<'a> {
         let mut resumed_seq: Option<u64> = None;
         // (rank, sim_time, kind) instants surfaced on the final timeline.
         let mut marks: Vec<(usize, f64, &'static str)> = Vec::new();
+        // How many of `marks` are already mirrored into the flight
+        // recorder (each crash appends a batch; mirror it once).
+        let mut marks_mirrored = 0usize;
         loop {
             let p = ladder.p();
             let mut universe = Universe::new(p).with_cost(self.cost);
@@ -315,6 +352,9 @@ impl<'a> DistSolver<'a> {
             if let Some(plan) = &faults {
                 universe = universe.with_faults(plan.clone());
             }
+            if let Some(fr) = &self.flight {
+                universe = universe.with_flight(Arc::clone(fr));
+            }
             let mut cfg = self.cfg.clone();
             if let (Some(store), Some(pol)) = (&store, &self.checkpoint) {
                 cfg.checkpoint = Some(CheckpointCtx {
@@ -326,7 +366,7 @@ impl<'a> DistSolver<'a> {
             // Promote-seq watermark at attempt start: generations at or
             // past it were banked by *this* attempt.
             let seq_floor = store.as_ref().map_or(0, |s| s.promote_seq());
-            let (outcomes, report, mut timeline, deps) =
+            let (outcomes, mut report, mut timeline, deps) =
                 match universe.run_try_observed(|comm| train_rank(comm, ds, &cfg)) {
                     Ok(result) => result,
                     Err(notice) => {
@@ -386,6 +426,21 @@ impl<'a> DistSolver<'a> {
                             store.rewind_to(scan.seq);
                             store.begin_attempt(summary.recoveries, next_p);
                         }
+                        if let Some(fr) = &self.flight {
+                            // Mirror this crash's ladder actions into the
+                            // black box as they happen — the rings must
+                            // tell the recovery story even if a later
+                            // attempt dies without returning.
+                            for &(rank, sim_time, kind) in &marks[marks_mirrored..] {
+                                fr.record(Event::Instant {
+                                    track: rank as u32,
+                                    name: kind.to_string(),
+                                    cat: "recovery".to_string(),
+                                    t: sim_time,
+                                });
+                            }
+                            marks_mirrored = marks.len();
+                        }
                         resume = scan.checkpoint.clone();
                         resumed_seq = scan.seq;
                         continue;
@@ -429,6 +484,31 @@ impl<'a> DistSolver<'a> {
                     });
                 }
                 timeline.normalize();
+                // Ladder-churn health: the per-attempt analysis inside the
+                // universe never sees these driver-level recovery marks, so
+                // the churn rule is evaluated here, over the final merged
+                // timeline, and only its events are new (every other rule
+                // already fired — or didn't — inside the universe).
+                let churn: Vec<_> = monitor::analyze(timeline.events(), &HealthConfig::default())
+                    .into_iter()
+                    .filter(|h| h.rule == HealthRule::RecoveryChurn)
+                    .collect();
+                if !churn.is_empty() {
+                    for h in &churn {
+                        let instant = h.to_instant();
+                        if let Some(fr) = &self.flight {
+                            fr.record(instant.clone());
+                        }
+                        timeline.push(instant);
+                    }
+                    timeline.normalize();
+                }
+            }
+            if let Some(fr) = &self.flight {
+                // Refresh the report's black-box rendering so it includes
+                // any driver-level events mirrored after the universe
+                // returned.
+                report.flight = fr.snapshot().render_lines();
             }
             // Trace analysis of the final attempt. A failure here is a
             // simulator bug (the dep log must replay bit-for-bit), so it
@@ -450,6 +530,22 @@ impl<'a> DistSolver<'a> {
                 metrics.set_gauge("recovery_waste", summary.waste);
                 metrics.set_gauge("recovery_backoff", summary.backoff);
                 metrics.set_gauge("recovery_final_ranks", summary.final_ranks as f64);
+            }
+            // Per-rule health-event counts, registered only when an event
+            // actually fired — a fault-free run's registry (and every
+            // artifact derived from it) is byte-identical to one produced
+            // before the monitor existed.
+            let mut health_counts: BTreeMap<String, u64> = BTreeMap::new();
+            for e in timeline.events() {
+                if let Event::Instant { name, cat, .. } = e {
+                    if cat == "health" {
+                        let rule = name.split(':').next().unwrap_or("unknown");
+                        *health_counts.entry(format!("health_{rule}")).or_insert(0) += 1;
+                    }
+                }
+            }
+            for (k, n) in &health_counts {
+                metrics.inc(k, *n);
             }
             let first = &values[0];
             let traces: Vec<_> = values.iter().map(|v| v.trace.clone()).collect();

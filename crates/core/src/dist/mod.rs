@@ -6,6 +6,9 @@
 //! * [`solver`] — the per-rank training program: Algorithm 2 (*Original*),
 //!   Algorithm 4 (single reconstruction) and Algorithm 5 (multiple
 //!   reconstruction), selected by the [`crate::shrink::ShrinkPolicy`],
+//! * [`convergence`] — online convergence telemetry: KKT-gap slope,
+//!   active-set shrink velocity and a warmup/shrinking/plateau/polish
+//!   phase classifier, published as epoch series (no communication),
 //! * [`recon`] — distributed gradient reconstruction (Algorithm 3),
 //! * [`checkpoint`] — multi-generation, checksummed consistent-checkpoint
 //!   store for crash recovery,
@@ -16,6 +19,7 @@
 //!   from injected rank crashes via the checkpoint store and the ladder.
 
 pub mod checkpoint;
+pub mod convergence;
 pub mod driver;
 pub mod msg;
 pub mod partition;
@@ -27,6 +31,7 @@ pub use checkpoint::{
     Checkpoint, CheckpointPolicy, CheckpointStore, RankSnapshot, RestoreScan,
     DEFAULT_KEEP_GENERATIONS,
 };
-pub use driver::{DistRunResult, DistSolver};
+pub use convergence::{ConvergencePhase, ConvergenceTracker};
+pub use driver::{flight_capacity, DistRunResult, DistSolver};
 pub use recovery::{LadderAction, RecoveryLadder, RecoveryPolicy, RecoverySummary};
-pub use solver::{train_rank, DistConfig, DotKind, RankOutput};
+pub use solver::{metrics_epoch, train_rank, DistConfig, DotKind, RankOutput};

@@ -24,7 +24,7 @@
 //! one still terminates at a `2ε`-optimal solution of the same dual —
 //! the paper's "accuracy remains intact" claim.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use shrinksvm_mpisim::{Comm, MaxLoc, MinLoc};
 use shrinksvm_obs::MetricsRegistry;
@@ -34,6 +34,7 @@ use shrinksvm_threads::ThreadPool;
 
 use crate::cache::KernelCache;
 use crate::dist::checkpoint::{Checkpoint, CheckpointCtx, RankSnapshot};
+use crate::dist::convergence::ConvergenceTracker;
 use crate::dist::msg::{decode_pair, encode_pair, PairSample};
 use crate::dist::partition::Partition;
 use crate::dist::recon;
@@ -56,10 +57,29 @@ const TAG_LOW: u64 = 2;
 /// consecutive iterations, so a handful of entries is plenty.
 const PAIR_MEMO_ROWS: usize = 16;
 
-/// Solver telemetry cadence: the KKT gap is sampled into the metrics
-/// registry once per this many iterations (an "epoch"), keyed on the
-/// iteration counter — never wall time.
+/// Default solver telemetry cadence: the KKT gap is sampled into the
+/// metrics registry once per this many iterations (an "epoch"), keyed on
+/// the iteration counter — never wall time.
 pub const METRICS_EPOCH: u64 = 256;
+
+/// Effective telemetry cadence: `SHRINKSVM_METRICS_EPOCH` when set
+/// (clamped to ≥ 1), else [`METRICS_EPOCH`]. Read once per process and
+/// cached — the cadence must not change mid-run, and every rank must
+/// agree on it.
+///
+/// Panics with a named diagnosis when the override is set to a
+/// non-numeric value — a misconfigured knob must not silently fall back
+/// to the default.
+pub fn metrics_epoch() -> u64 {
+    static CACHE: OnceLock<u64> = OnceLock::new();
+    *CACHE.get_or_init(
+        || match shrinksvm_mpisim::env_u64("SHRINKSVM_METRICS_EPOCH") {
+            Ok(Some(v)) => v.max(1),
+            Ok(None) => METRICS_EPOCH,
+            Err(e) => panic!("{e}"),
+        },
+    )
+}
 
 /// Sparse dot-product implementation used by the gradient-update hot path.
 ///
@@ -209,6 +229,10 @@ pub(crate) struct RankState<'a> {
     ckpt: Option<CheckpointCtx>,
     /// Solver telemetry for this rank.
     pub(crate) metrics: MetricsRegistry,
+    /// Convergence-phase tracker, fed at epoch cadence on rank 0 only
+    /// (where the global series are recorded). Pure local arithmetic —
+    /// no communication, no simulated-time charge.
+    convergence: ConvergenceTracker,
 }
 
 impl<'a> RankState<'a> {
@@ -258,6 +282,7 @@ impl<'a> RankState<'a> {
             stage: 0,
             ckpt: cfg.checkpoint.clone(),
             metrics: MetricsRegistry::new(),
+            convergence: ConvergenceTracker::new(cfg.params.epsilon),
         };
         if let Some(ck) = &cfg.resume {
             st.restore(ck);
@@ -698,13 +723,23 @@ impl<'a> RankState<'a> {
             self.last_betas = (up.value, low.value);
             self.maybe_checkpoint(comm);
             let gap = low.value - up.value;
-            // Epoch telemetry: the global KKT violation and the kernel row
-            // cache hit rate, sampled on rank 0 so the merged registry
-            // carries each series exactly once.
-            if comm.rank() == 0 && self.iterations.is_multiple_of(METRICS_EPOCH) {
+            // Epoch telemetry: the global KKT violation, its windowed
+            // slope, the convergence phase and the kernel row cache hit
+            // rate, sampled on rank 0 so the merged registry carries each
+            // series exactly once.
+            if comm.rank() == 0 && self.iterations.is_multiple_of(metrics_epoch()) {
                 if gap.is_finite() {
                     self.metrics.sample("kkt_gap", self.iterations, gap);
                 }
+                self.convergence.observe_gap(self.iterations, gap);
+                if let Some(slope) = self.convergence.kkt_slope() {
+                    self.metrics.sample("kkt_slope", self.iterations, slope);
+                }
+                self.metrics.sample(
+                    "convergence_phase",
+                    self.iterations,
+                    self.convergence.phase().code(),
+                );
                 if let Some(rc) = &self.row_cache {
                     self.metrics.sample(
                         "kernel_cache_hit_rate",
@@ -903,6 +938,15 @@ impl<'a> RankState<'a> {
                     self.metrics.inc("shrink_passes", 1);
                     self.metrics
                         .sample("active_set", self.iterations, global_active as f64);
+                    self.convergence.observe_active(
+                        self.iterations,
+                        global_active as f64,
+                        m as u64 - survivors,
+                    );
+                    if let Some(v) = self.convergence.shrink_velocity() {
+                        self.metrics
+                            .sample("active_shrink_velocity", self.iterations, v);
+                    }
                 }
             } else if shrink_enabled {
                 if let Some(cd) = &mut self.shrink_countdown {

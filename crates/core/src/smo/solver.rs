@@ -15,7 +15,7 @@ use shrinksvm_sparse::Dataset;
 use shrinksvm_threads::ThreadPool;
 
 use crate::cache::{CacheStats, KernelCache};
-use crate::dist::solver::METRICS_EPOCH;
+use crate::dist::solver::metrics_epoch;
 use crate::error::CoreError;
 use crate::kernel::KernelEval;
 use crate::model::SvmModel;
@@ -42,7 +42,7 @@ pub struct TrainOutput {
     /// Final optimality gap `β_low − β_up`.
     pub final_gap: f64,
     /// Solver telemetry: a `cache_hit_rate` series sampled every
-    /// [`METRICS_EPOCH`] iterations, plus final-state gauges.
+    /// [`metrics_epoch`] iterations, plus final-state gauges.
     pub metrics: MetricsRegistry,
 }
 
@@ -113,7 +113,7 @@ impl<'a> SmoSolver<'a> {
         let mut final_gap = f64::INFINITY;
 
         loop {
-            if iterations > 0 && iterations.is_multiple_of(METRICS_EPOCH) {
+            if iterations > 0 && iterations.is_multiple_of(metrics_epoch()) {
                 let s = cache.stats();
                 let lookups = s.hits + s.misses;
                 if lookups > 0 {

@@ -8,6 +8,7 @@ use std::time::Duration;
 
 use shrinksvm_analyze::{FaultEvent, VectorClock, Violation, WaitEdge};
 use shrinksvm_obs::critpath::{DepEvent, DepRecorder};
+use shrinksvm_obs::flight::FlightRecorder;
 use shrinksvm_obs::timeline::{Event, TrackRecorder};
 
 use crate::cost::CostParams;
@@ -82,6 +83,12 @@ pub struct Comm {
     /// exact charge values, so the event DAG can be replayed bit-for-bit
     /// (present only under [`crate::Universe::with_tracing`]).
     dep: Option<DepRecorder>,
+    /// Shared crash flight recorder: a bounded per-rank ring every trace
+    /// event is mirrored into *at record time*, so the last moments of
+    /// this rank survive a panic that would destroy the tracer's buffer
+    /// (present only under [`crate::Universe::with_flight`]). Mirrors
+    /// even without tracing — the black box must work on untraced runs.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 /// What a rank hands back to the universe after its closure returns, so
@@ -124,6 +131,7 @@ impl Comm {
             slow_recorded: vec![false; slow_recorded],
             tracer: None,
             dep: None,
+            flight: None,
         }
     }
 
@@ -133,6 +141,49 @@ impl Comm {
     pub(crate) fn enable_tracing(&mut self) {
         self.tracer = Some(TrackRecorder::new(self.rank as u32));
         self.dep = Some(DepRecorder::new());
+    }
+
+    /// Attach the shared crash flight recorder (universe-internal).
+    pub(crate) fn enable_flight(&mut self, flight: Arc<FlightRecorder>) {
+        self.flight = Some(flight);
+    }
+
+    /// Mirror a span into the flight ring (no-op without a recorder).
+    fn flight_span(&self, name: &str, cat: &str, t0: f64, t1: f64) {
+        if let Some(fr) = &self.flight {
+            fr.record(Event::Span {
+                track: self.rank as u32,
+                name: name.to_string(),
+                cat: cat.to_string(),
+                t0,
+                t1: t1.max(t0),
+            });
+        }
+    }
+
+    /// Mirror an instant into the flight ring (no-op without a recorder).
+    fn flight_instant(&self, name: &str, cat: &str, t: f64) {
+        if let Some(fr) = &self.flight {
+            fr.record(Event::Instant {
+                track: self.rank as u32,
+                name: name.to_string(),
+                cat: cat.to_string(),
+                t,
+            });
+        }
+    }
+
+    /// Mirror a counter sample into the flight ring (no-op without a
+    /// recorder).
+    fn flight_counter(&self, name: &str, t: f64, value: f64) {
+        if let Some(fr) = &self.flight {
+            fr.record(Event::Counter {
+                track: self.rank as u32,
+                name: name.to_string(),
+                t,
+                value,
+            });
+        }
     }
 
     /// Hand over the recorded timeline events (empty without tracing).
@@ -239,6 +290,7 @@ impl Comm {
             if let Some(tr) = &mut self.tracer {
                 tr.span("compute", "compute", before, before + secs);
             }
+            self.flight_span("compute", "compute", before, before + secs);
             if let Some(dep) = &mut self.dep {
                 dep.compute(before, secs, alt, class);
             }
@@ -259,6 +311,9 @@ impl Comm {
                 rank: self.rank,
                 sim_time: self.clock,
             });
+            // Last words into the black box: the tracer's buffer dies with
+            // this unwind, the flight ring does not.
+            self.flight_instant("crash", "fault", self.clock);
             std::panic::panic_any(CrashNotice {
                 rank: self.rank,
                 sim_time: self.clock,
@@ -350,10 +405,22 @@ impl Comm {
                     }
                     match self.monitor.check_stalled(snapshot) {
                         Ok(next) => snapshot = next,
-                        Err(report) => panic!("{report}"),
+                        Err(report) => {
+                            self.flight_instant(
+                                &format!("deadlock(src={src},tag={tag:#x})"),
+                                "fault",
+                                self.clock,
+                            );
+                            panic!("{report}");
+                        }
                     }
                     waited += POLL;
                     if waited >= self.liveness {
+                        self.flight_instant(
+                            &format!("liveness_timeout(src={src},tag={tag:#x})"),
+                            "fault",
+                            self.clock,
+                        );
                         panic!(
                             "rank {}: liveness timeout after {:?} waiting for tag {tag:#x} from \
                              rank {src} (no global deadlock detected — a peer may be stuck in \
@@ -374,6 +441,11 @@ impl Comm {
                             collective: tag >= MAX_USER_TAG,
                         });
                     }
+                    self.flight_instant(
+                        &format!("peer_vanished(src={src},tag={tag:#x})"),
+                        "fault",
+                        self.clock,
+                    );
                     panic!(
                         "rank {}: receive of tag {tag:#x} from rank {src} can never complete: \
                          rank {src} already finished and left no matching message",
@@ -526,6 +598,11 @@ impl Comm {
                 attempts,
                 sim_time: msg.depart,
             });
+            self.flight_instant(
+                &format!("lost(src={src},attempts={attempts})"),
+                "fault",
+                msg.depart,
+            );
             panic!(
                 "rank {}: message with tag {:#x} from rank {src} permanently lost after \
                  {attempts} transmission attempt(s) — retry budget exhausted",
@@ -541,6 +618,7 @@ impl Comm {
             // in the Chrome export, next to the fault-ledger projections.
             tr.instant("retransmit", "fault", msg.depart);
         }
+        self.flight_instant("retransmit", "fault", msg.depart);
     }
 
     // ------------------------------------------------------------- tracing
@@ -557,6 +635,7 @@ impl Comm {
         if let Some(tr) = &mut self.tracer {
             tr.span(name, cat, t0, t1);
         }
+        self.flight_span(name, cat, t0, t1);
     }
 
     /// Record an instant event at the current simulated clock (no-op
@@ -566,6 +645,7 @@ impl Comm {
         if let Some(tr) = &mut self.tracer {
             tr.instant(name, cat, t);
         }
+        self.flight_instant(name, cat, t);
     }
 
     /// Record a counter sample at the current simulated clock (no-op
@@ -575,6 +655,7 @@ impl Comm {
         if let Some(tr) = &mut self.tracer {
             tr.counter(name, t, value);
         }
+        self.flight_counter(name, t, value);
     }
 
     /// Book a matched message: advance the clock per the cost model (plus
@@ -604,6 +685,7 @@ impl Comm {
             if let Some(tr) = &mut self.tracer {
                 tr.span("recv_wait", "p2p", self.clock, arrive);
             }
+            self.flight_span("recv_wait", "p2p", self.clock, arrive);
             self.clock = arrive;
         }
         if self.monitor.validate {

@@ -5,6 +5,8 @@ use std::time::Duration;
 
 use shrinksvm_analyze::{FaultEvent, ValidationReport, Violation};
 use shrinksvm_obs::critpath::{DepEvent, DepLog};
+use shrinksvm_obs::flight::FlightRecorder;
+use shrinksvm_obs::monitor::{self, HealthConfig};
 use shrinksvm_obs::timeline::{Event, Timeline};
 
 use crate::comm::{Comm, RankFinal};
@@ -55,6 +57,8 @@ pub struct Universe {
     liveness: Duration,
     faults: Option<Arc<FaultPlan>>,
     tracing: bool,
+    flight: Option<Arc<FlightRecorder>>,
+    health: HealthConfig,
 }
 
 /// Publishes this rank's `Finished` state when the closure exits — normally
@@ -99,6 +103,8 @@ impl Universe {
             liveness,
             faults: None,
             tracing: false,
+            flight: None,
+            health: HealthConfig::default(),
         }
     }
 
@@ -148,6 +154,25 @@ impl Universe {
     /// Whether runs record a timeline.
     pub fn tracing(&self) -> bool {
         self.tracing
+    }
+
+    /// Attach a shared crash [`FlightRecorder`]: every rank mirrors its
+    /// trace events (and terminal diagnostics — crash, retry exhaustion,
+    /// deadlock, liveness timeout) into a bounded per-rank ring *at record
+    /// time*, so the caller's `Arc` clone still holds each rank's last
+    /// moments after a panic destroys the tracer buffers. Works with or
+    /// without [`Universe::with_tracing`]. On a successful run the
+    /// snapshot is also rendered into the [`ValidationReport`].
+    pub fn with_flight(mut self, flight: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
+    /// Override the health-monitor thresholds (defaults are conservative
+    /// enough that a fault-free run emits zero health events).
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = health;
+        self
     }
 
     /// Enable full communication validation: per-message vector clocks with
@@ -264,11 +289,15 @@ impl Universe {
                 let tracing = self.tracing;
                 let liveness = self.liveness;
                 let faults = self.faults.clone();
+                let flight = self.flight.clone();
                 handles.push(s.spawn(move || {
                     let mut comm =
                         Comm::new(rank, p, eps, cost, Arc::clone(&monitor), liveness, faults);
                     if tracing {
                         comm.enable_tracing();
+                    }
+                    if let Some(fr) = flight {
+                        comm.enable_flight(fr);
                     }
                     let _guard = FinishGuard {
                         monitor: &monitor,
@@ -340,10 +369,29 @@ impl Universe {
                 tl.push(ledger_instant(e));
             }
             tl.normalize();
+            // In-flight health verdicts, evaluated over the normalized
+            // timeline (events + fault-ledger projections) and overlaid
+            // as `cat:"health"` instants. A fault-free run under the
+            // default thresholds produces none, keeping traced artifacts
+            // byte-identical to their pre-monitor baselines.
+            let health = monitor::analyze(tl.events(), &self.health);
+            if !health.is_empty() {
+                for h in &health {
+                    let instant = h.to_instant();
+                    if let Some(fr) = &self.flight {
+                        fr.record(instant.clone());
+                    }
+                    tl.push(instant);
+                }
+                tl.normalize();
+            }
             (tl, DepLog::from_ranks(dep_tracks))
         } else {
             (Timeline::new(), DepLog::new())
         };
+        if let Some(fr) = &self.flight {
+            report.flight = fr.snapshot().render_lines();
+        }
         let outcomes = outcomes
             .into_iter()
             .map(|o| o.expect("rank completed"))

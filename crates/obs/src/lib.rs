@@ -16,6 +16,13 @@
 //!   snapshot.
 //! - [`report`] — [`BenchReport`], the machine-readable `BENCH_<name>.json`
 //!   summary every benchmark run emits.
+//! - [`monitor`] — deterministic in-flight watch rules ([`monitor::analyze`])
+//!   that turn timeline events into `cat:"health"` [`HealthEvent`]s:
+//!   heartbeat gaps, straggler skew, collective-wait stalls, retransmit
+//!   storms and recovery churn.
+//! - [`flight`] — the crash [`FlightRecorder`]: a bounded per-rank ring of
+//!   the last N events that survives rank panics and serializes as
+//!   `FLIGHT_<name>.json` (schema [`FLIGHT_SCHEMA`]).
 //!
 //! [`json`] holds the shared hand-rolled JSON writer helpers, a strict
 //! well-formedness checker used by tests and CI to validate emitted
@@ -24,13 +31,19 @@
 
 pub mod attrib;
 pub mod critpath;
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod monitor;
 pub mod report;
 pub mod timeline;
 
 pub use attrib::{Attribution, PerfDoctor, RankBuckets, PERF_SCHEMA_VERSION};
 pub use critpath::{CriticalPath, DepEvent, DepLog, DepRecorder, Hop, HopKind, Projections};
+pub use flight::{
+    FlightRecorder, FlightSnapshot, RankFlight, DEFAULT_FLIGHT_CAPACITY, FLIGHT_SCHEMA,
+};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use monitor::{HealthConfig, HealthEvent, HealthRule};
 pub use report::{BenchReport, BENCH_SCHEMA_VERSION};
 pub use timeline::{Event, Timeline, TrackRecorder};

@@ -61,6 +61,44 @@ impl Histogram {
         &self.counts
     }
 
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the bucket counts by
+    /// linear interpolation inside the bucket the quantile falls in — the
+    /// standard fixed-bucket estimator, so monitor rules and reports can
+    /// state latencies as p50/p90/p99 instead of raw bucket counts. The
+    /// first bucket interpolates from zero (bounds are durations); a
+    /// quantile landing in the overflow bucket reports the last finite
+    /// bound (the estimator cannot see past it). `None` for an empty
+    /// histogram or an out-of-range `q`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if (cum as f64) < target {
+                continue;
+            }
+            let Some(&upper) = self.bounds.get(i) else {
+                // Overflow bucket: no finite upper edge to interpolate to.
+                return self.bounds.last().copied();
+            };
+            let lower = if i == 0 {
+                upper.min(0.0)
+            } else {
+                self.bounds[i - 1]
+            };
+            let frac = if c == 0 {
+                1.0
+            } else {
+                ((target - (cum - c) as f64) / c as f64).clamp(0.0, 1.0)
+            };
+            return Some(lower + (upper - lower) * frac);
+        }
+        self.bounds.last().copied()
+    }
+
     fn merge(&mut self, other: &Histogram) {
         if self.bounds == other.bounds {
             for (c, o) in self.counts.iter_mut().zip(&other.counts) {
@@ -226,7 +264,16 @@ impl MetricsRegistry {
             let _ = writeln!(out, "gauge {k} = {}", Num(*v));
         }
         for (k, h) in &self.histograms {
-            let _ = writeln!(out, "histogram {k} count={} sum={}", h.count, Num(h.sum));
+            let q = |q: f64| Num(h.quantile(q).unwrap_or(f64::NAN));
+            let _ = writeln!(
+                out,
+                "histogram {k} count={} sum={} p50={} p90={} p99={}",
+                h.count,
+                Num(h.sum),
+                q(0.50),
+                q(0.90),
+                q(0.99)
+            );
             for (i, c) in h.counts.iter().enumerate() {
                 match h.bounds.get(i) {
                     Some(b) => {
@@ -345,6 +392,40 @@ mod tests {
         let ca = s.find("a_counter").expect("counter line");
         let gb = s.find("b_gauge").expect("gauge line");
         assert!(ca < gb);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 1.5, 3.0] {
+            h.observe(v);
+        }
+        // p50 target = 2 observations -> exactly fills the second bucket.
+        assert!((h.quantile(0.5).unwrap() - 1.5).abs() < 1e-9);
+        // p100 lands at the top of the last occupied finite bucket.
+        assert!((h.quantile(1.0).unwrap() - 4.0).abs() < 1e-9);
+        // quartile inside the first bucket interpolates from zero.
+        assert!((h.quantile(0.25).unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(Histogram::new(&[1.0]).quantile(0.5), None);
+        assert_eq!(h.quantile(1.5), None);
+    }
+
+    #[test]
+    fn overflow_quantiles_report_the_last_finite_bound() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        for v in [10.0, 20.0, 30.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.9), Some(2.0));
+    }
+
+    #[test]
+    fn snapshot_states_percentiles() {
+        let mut m = MetricsRegistry::new();
+        m.observe_with_bounds("lat", &[1.0, 2.0], 0.5);
+        m.observe_with_bounds("lat", &[1.0, 2.0], 1.5);
+        let s = m.snapshot();
+        assert!(s.contains("histogram lat count=2 sum=2 p50=1 p90="), "{s}");
     }
 
     #[test]

@@ -71,8 +71,10 @@ impl Event {
 
     /// Total order making merged timelines deterministic: by start time
     /// (nonnegative finite, so the bit pattern orders correctly), then
-    /// track, then kind, then name, then end time.
-    fn sort_key(&self) -> (u64, u32, u8, &str, u64) {
+    /// track, then kind, then name, then end time. Crate-visible so the
+    /// health monitor can order mixed event slices the same way the
+    /// timeline does.
+    pub(crate) fn sort_key(&self) -> (u64, u32, u8, &str, u64) {
         match self {
             Event::Span {
                 track,
@@ -220,12 +222,12 @@ impl Timeline {
 
     /// The Chrome `tid` an event renders on. Injected-fault events
     /// (`cat == "fault"`: retransmit instants, fault-ledger projections,
-    /// recovery restarts) get a dedicated per-rank track *above* the rank
-    /// compute tracks (`tid = tracks + rank`) so Perfetto does not
-    /// interleave them with the rank's spans; everything else renders on
-    /// `tid = rank`.
+    /// recovery restarts) and health-monitor verdicts (`cat == "health"`)
+    /// get a dedicated per-rank track *above* the rank compute tracks
+    /// (`tid = tracks + rank`) so Perfetto does not interleave them with
+    /// the rank's spans; everything else renders on `tid = rank`.
     fn chrome_tid(&self, track: u32, cat: &str) -> u32 {
-        if cat == "fault" {
+        if cat == "fault" || cat == "health" {
             self.tracks + track
         } else {
             track
@@ -243,14 +245,14 @@ impl Timeline {
         out.push_str("{\"traceEvents\":[");
         let mut first = true;
         // Thread-name metadata first: one per rank track, plus one per
-        // fault track that actually has events (computed from the
-        // normalized event list, so the set is deterministic).
+        // fault/health overlay track that actually has events (computed
+        // from the normalized event list, so the set is deterministic).
         let mut fault_tracks: Vec<u32> = self
             .events
             .iter()
             .filter_map(|e| match e {
                 Event::Span { track, cat, .. } | Event::Instant { track, cat, .. }
-                    if cat == "fault" =>
+                    if cat == "fault" || cat == "health" =>
                 {
                     Some(*track)
                 }

@@ -1,9 +1,11 @@
 //! End-to-end checks of the unified telemetry layer: artifact
-//! determinism, JSON well-formedness, and fault-ledger visibility.
+//! determinism, JSON well-formedness, fault-ledger visibility, health
+//! monitoring, and the crash flight recorder.
 
 use shrinksvm::prelude::*;
 use shrinksvm_datagen::gaussian;
-use shrinksvm_obs::json;
+use shrinksvm_obs::monitor::{self, HealthConfig};
+use shrinksvm_obs::{json, Event, FlightRecorder, Timeline, TrackRecorder};
 
 fn params() -> SvmParams {
     SvmParams::new(2.0, KernelKind::rbf_from_sigma_sq(1.5)).with_epsilon(1e-3)
@@ -74,4 +76,129 @@ fn smo_cache_hit_rate_is_sampled_per_epoch() {
     // snapshot renders the series deterministically
     let snap = out.metrics.snapshot();
     assert!(snap.contains("series cache_hit_rate"), "{snap}");
+}
+
+#[test]
+fn convergence_phase_is_published_as_an_epoch_series() {
+    // enough iterations to cross the metrics-epoch boundary at least once
+    let ds = gaussian::two_blobs(400, 4, 2.0, 80);
+    let run = DistSolver::new(&ds, params().with_epsilon(1e-4))
+        .with_processes(2)
+        .train()
+        .unwrap();
+    assert!(run.iterations > 256, "{}", run.iterations);
+    let phases = run.metrics.series("convergence_phase");
+    assert!(!phases.is_empty());
+    // phase codes are the four-point scale from ConvergencePhase::code
+    assert!(
+        phases.iter().all(|&(_, c)| (0.0..=3.0).contains(&c)),
+        "{phases:?}"
+    );
+    assert!(run.metrics.snapshot().contains("series convergence_phase"));
+}
+
+#[test]
+fn fault_free_runs_emit_zero_health_events() {
+    let ds = gaussian::two_blobs(180, 4, 3.0, 81);
+    let run = DistSolver::new(&ds, params())
+        .with_processes(3)
+        .with_tracing()
+        .train()
+        .unwrap();
+    // acceptance bar: a healthy run's timeline carries no health events,
+    // neither as timeline instants nor as registered metrics
+    assert!(!run
+        .timeline
+        .events()
+        .iter()
+        .any(|e| matches!(e, Event::Instant { cat, .. } if cat == "health")),);
+    assert!(!run.metrics.snapshot().contains("health_"));
+    // and a fresh analysis over the same timeline agrees
+    let health = monitor::analyze(run.timeline.events(), &HealthConfig::default());
+    assert!(health.is_empty(), "{health:?}");
+}
+
+#[test]
+fn text_renderer_handles_empty_and_instant_only_tracks() {
+    // empty timeline renders as empty text
+    assert_eq!(Timeline::new().render_text(), "");
+
+    // track 0 has no events at all, track 1 holds only instants/counters
+    let r0 = TrackRecorder::new(0);
+    let mut r1 = TrackRecorder::new(1);
+    r1.instant("retransmit", "fault", 0.25);
+    r1.counter("active_set", 0.5, 64.0);
+    let tl = Timeline::from_tracks(vec![r0.finish(), r1.finish()]);
+    let text = tl.render_text();
+    // the empty track gets no section header
+    assert!(!text.contains("-- rank 0 --"), "{text}");
+    assert!(text.contains("-- rank 1 --"), "{text}");
+    // instants and counters keep their distinct markers
+    assert!(text.contains("!] fault    retransmit"), "{text}");
+    assert!(text.contains("#] counter  active_set = 64"), "{text}");
+}
+
+#[test]
+fn text_renderer_interleaves_health_with_fault_events() {
+    let mut r0 = TrackRecorder::new(0);
+    r0.span("recv_wait", "p2p", 0.0, 0.9);
+    r0.instant("retransmit", "fault", 0.1);
+    let mut tl = Timeline::from_tracks(vec![r0.finish()]);
+    for h in monitor::analyze(tl.events(), &HealthConfig::default()) {
+        tl.push(h.to_instant());
+    }
+    tl.normalize();
+    let text = tl.render_text();
+    // the dominating recv_wait span triggers a stall diagnostic, rendered
+    // in the same per-rank section as the raw fault marker
+    assert!(text.contains("!] fault    retransmit"), "{text}");
+    assert!(text.contains("!] health   collective_stall:"), "{text}");
+}
+
+#[test]
+fn flight_ring_wraparound_is_deterministic() {
+    let fill = |recorder: &FlightRecorder| {
+        for i in 0..10 {
+            recorder.record(Event::Instant {
+                track: 0,
+                name: format!("e{i}"),
+                cat: "fault".into(),
+                t: f64::from(i) * 0.1,
+            });
+        }
+        // events on tracks beyond the ring set are ignored, not mis-filed
+        recorder.record(Event::Instant {
+            track: 5,
+            name: "ghost".into(),
+            cat: "fault".into(),
+            t: 9.9,
+        });
+    };
+    let a = FlightRecorder::new(2, 4);
+    let b = FlightRecorder::new(2, 4);
+    fill(&a);
+    fill(&b);
+    let (sa, sb) = (a.snapshot(), b.snapshot());
+    // wraparound keeps exactly the newest `capacity` events, oldest first
+    assert_eq!(sa.ranks[0].events.len(), 4);
+    assert_eq!(sa.ranks[0].dropped, 6);
+    let names: Vec<&str> = sa.ranks[0]
+        .events
+        .iter()
+        .map(|e| match e {
+            Event::Instant { name, .. } => name.as_str(),
+            other => panic!("{other:?}"),
+        })
+        .collect();
+    assert_eq!(names, ["e6", "e7", "e8", "e9"]);
+    assert!(sa.ranks[1].events.is_empty());
+    // identical fills serialize to identical bytes
+    let ja = sa.to_json("wrap", "test", &[]);
+    assert_eq!(ja, sb.to_json("wrap", "test", &[]));
+    json::check(&ja).unwrap();
+    // the rendered lines (what lands in the validation report) carry one
+    // line per retained event plus the rank-0 aged-out marker
+    let lines = sa.render_lines();
+    assert_eq!(lines.len(), sa.len() + 1, "{lines:?}");
+    assert_eq!(lines[0], "rank 0: ... 6 earlier event(s) aged out");
 }

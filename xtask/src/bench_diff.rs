@@ -18,8 +18,10 @@
 //! * Scalar gates flag a regression iff the candidate is worse than
 //!   `baseline · (1 ± tol) ∓ 1e-12` in the metric's bad direction (the
 //!   epsilon absorbs float formatting round-trips at zero).
-//! * `extras` and candidate-only reports are informational: printed, never
-//!   gating, so new telemetry can land before its baseline does.
+//! * `extras` and candidate-only reports are informational — printed,
+//!   never gating, so new telemetry can land before its baseline does —
+//!   **except** the recovery-cost split (`recovery_waste`,
+//!   `recovery_backoff`), which gates at +15% when both sides carry it.
 //! * A baseline report with no candidate counterpart **fails** — losing a
 //!   benchmark silently is itself a regression.
 
@@ -76,6 +78,23 @@ const GATES: &[Gate] = &[
         key: "speedup_vs_original",
         tol_frac: 0.10,
         higher_is_worse: false,
+    },
+];
+
+/// Gated `extras` keys. Most extras are informational so new telemetry
+/// can land before its baseline does, but the recovery-cost split is a
+/// correctness-adjacent budget: silently growing re-executed work or
+/// ladder backoff is exactly the drift the chaos benches exist to catch.
+const GATED_EXTRAS: &[Gate] = &[
+    Gate {
+        key: "recovery_waste",
+        tol_frac: 0.15,
+        higher_is_worse: true,
+    },
+    Gate {
+        key: "recovery_backoff",
+        tol_frac: 0.15,
+        higher_is_worse: true,
     },
 ];
 
@@ -253,6 +272,25 @@ fn diff_values(name: &str, base: &Value, cand: &Value, out: &mut DiffReport) {
     for k in keys {
         let b = be.iter().rev().find(|(bk, _)| bk == k).map(|(_, v)| *v);
         let c = ce.iter().rev().find(|(ck, _)| ck == k).map(|(_, v)| *v);
+        let gate = GATED_EXTRAS.iter().find(|g| g.key == k.as_str());
+        if let (Some(b), Some(c), Some(gate)) = (b, c, gate) {
+            let bound = b * (1.0 + gate.tol_frac) + ABS_EPS;
+            let verdict = if c > bound {
+                Verdict::Regression
+            } else {
+                Verdict::Ok
+            };
+            out.push(
+                format!("{name}/extras/{k}"),
+                verdict,
+                format!(
+                    "{b:.6} -> {c:.6} ({}, tol {:.0}% up, bound {bound:.6})",
+                    pct(b, c),
+                    gate.tol_frac * 100.0,
+                ),
+            );
+            continue;
+        }
         let detail = match (b, c) {
             (Some(b), Some(c)) => format!("{b:.6} -> {c:.6} ({})", pct(b, c)),
             (Some(b), None) => format!("{b:.6} -> (gone)"),
@@ -463,6 +501,67 @@ mod tests {
             .lines
             .iter()
             .any(|l| l.metric == "t/extras/new_metric" && l.detail.contains("new")));
+    }
+
+    #[test]
+    fn recovery_extras_gate_at_fifteen_percent() {
+        let base = report(1.0, 100, 3.0, true).replacen(
+            "\"acc\":0.9",
+            "\"recovery_waste\":2.0,\"recovery_backoff\":1.0",
+            1,
+        );
+        let worse = report(1.0, 100, 3.0, true).replacen(
+            "\"acc\":0.9",
+            "\"recovery_waste\":2.4,\"recovery_backoff\":1.0",
+            1,
+        ); // +20% > 15% tol
+        let d = diff_strs(&base, &worse);
+        assert!(d
+            .regressions()
+            .iter()
+            .any(|l| l.metric == "t/extras/recovery_waste"));
+        let drift = report(1.0, 100, 3.0, true).replacen(
+            "\"acc\":0.9",
+            "\"recovery_waste\":2.2,\"recovery_backoff\":1.1",
+            1,
+        ); // +10% within tol, both keys
+        assert!(diff_strs(&base, &drift).regressions().is_empty());
+        // Improvements never gate; backoff blowup does.
+        let backoff = report(1.0, 100, 3.0, true).replacen(
+            "\"acc\":0.9",
+            "\"recovery_waste\":0.5,\"recovery_backoff\":1.3",
+            1,
+        );
+        let d = diff_strs(&base, &backoff);
+        assert!(d
+            .regressions()
+            .iter()
+            .any(|l| l.metric == "t/extras/recovery_backoff"));
+        assert!(d
+            .regressions()
+            .iter()
+            .all(|l| l.metric != "t/extras/recovery_waste"));
+    }
+
+    #[test]
+    fn zero_recovery_baseline_stays_zero_or_gates() {
+        let base = report(1.0, 100, 3.0, true).replacen(
+            "\"acc\":0.9",
+            "\"recovery_waste\":0,\"recovery_backoff\":0",
+            1,
+        );
+        assert!(diff_strs(&base, &base).regressions().is_empty());
+        let grown = report(1.0, 100, 3.0, true).replacen(
+            "\"acc\":0.9",
+            "\"recovery_waste\":0.001,\"recovery_backoff\":0",
+            1,
+        );
+        assert!(!diff_strs(&base, &grown).regressions().is_empty());
+        // A candidate that drops the key entirely is informational (new
+        // telemetry may land before its baseline; losing it is visible in
+        // the printed lines either way).
+        let gone = report(1.0, 100, 3.0, true);
+        assert!(diff_strs(&base, &gone).regressions().is_empty());
     }
 
     #[test]

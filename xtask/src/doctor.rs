@@ -1,0 +1,353 @@
+//! `cargo xtask doctor <artifact.json>` — post-mortem rendering for the
+//! repo's schema-versioned artifacts.
+//!
+//! One command, three artifact kinds, dispatched on the parsed `schema`
+//! field — never on the filename, so renamed or downloaded artifacts
+//! still render:
+//!
+//! * `shrinksvm-flight/v1` (`FLIGHT_*.json`): a crash flight recorder
+//!   dump — the health-event ledger followed by each rank's last-N event
+//!   ring, the black box a failed chaos run leaves behind,
+//! * `shrinksvm-soak/v1` (`SOAK_*.json`): the chaos-soak grid verdict —
+//!   per-cell pass/fail lines, shrunk-plan sizes, the shrinker
+//!   self-test,
+//! * numeric schema `1` with `modeled_time` (`BENCH_*.json`): a bench
+//!   report summary — headline makespan, time split, fault/recovery
+//!   accounting and the sorted extras.
+//!
+//! Output is plain text on stdout, deterministic for a given input file
+//! (rendering only re-orders nothing and adds no timestamps), so CI can
+//! archive the rendered post-mortems next to the raw artifacts.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use shrinksvm_obs::json::{parse, Value};
+
+/// Render one artifact file. Errors name the file and the problem
+/// (unreadable, malformed JSON, unrecognized schema) — a doctor that
+/// silently skips a corrupt post-mortem hides exactly the evidence it
+/// exists to surface.
+pub fn run_doctor(path: &Path) -> Result<String, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let v = parse(text.trim_end()).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    match v.get("schema") {
+        Some(Value::String(s)) if s == "shrinksvm-flight/v1" => render_flight(&v),
+        Some(Value::String(s)) if s == "shrinksvm-soak/v1" => Ok(render_soak(&v)),
+        Some(Value::Number(n)) if *n == 1.0 && v.get("modeled_time").is_some() => {
+            Ok(render_bench(&v))
+        }
+        other => Err(format!(
+            "{}: unrecognized artifact schema {other:?} (known: shrinksvm-flight/v1, \
+             shrinksvm-soak/v1, bench schema 1)",
+            path.display()
+        )),
+    }
+}
+
+fn str_of<'a>(v: &'a Value, key: &str) -> &'a str {
+    v.get(key).and_then(Value::as_str).unwrap_or("?")
+}
+
+fn num_of(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN)
+}
+
+fn arr_of<'a>(v: &'a Value, key: &str) -> &'a [Value] {
+    match v.get(key) {
+        Some(Value::Array(items)) => items,
+        _ => &[],
+    }
+}
+
+/// Flight-recorder post-mortem: health ledger first (that is the
+/// diagnosis), then each rank's ring verbatim (that is the evidence).
+fn render_flight(v: &Value) -> Result<String, String> {
+    let mut out = String::new();
+    let _ = writeln!(out, "flight post-mortem: {}", str_of(v, "name"));
+    let _ = writeln!(out, "reason: {}", str_of(v, "reason"));
+    let _ = writeln!(
+        out,
+        "ring capacity: {} event(s) per rank",
+        num_of(v, "capacity")
+    );
+    let health = arr_of(v, "health");
+    if health.is_empty() {
+        out.push_str("health events: none\n");
+    } else {
+        let _ = writeln!(out, "health events ({}):", health.len());
+        for h in health {
+            let _ = writeln!(
+                out,
+                "  [{:.9}s] {} (rank {}): {}",
+                num_of(h, "t"),
+                str_of(h, "rule"),
+                num_of(h, "track"),
+                str_of(h, "detail")
+            );
+        }
+    }
+    let ranks = arr_of(v, "ranks");
+    if ranks.is_empty() {
+        return Err("flight dump has no ranks array".to_string());
+    }
+    for r in ranks {
+        let events = arr_of(r, "events");
+        let dropped = num_of(r, "dropped");
+        let _ = write!(out, "rank {} ({} event(s)", num_of(r, "rank"), events.len());
+        if dropped > 0.0 {
+            let _ = write!(out, ", {dropped} aged out");
+        }
+        out.push_str("):\n");
+        for e in events {
+            match str_of(e, "kind") {
+                "span" => {
+                    let (t0, t1) = (num_of(e, "t0"), num_of(e, "t1"));
+                    let _ = writeln!(
+                        out,
+                        "  [{:.9}s +{:.9}s] {:<8} {}",
+                        t0,
+                        t1 - t0,
+                        str_of(e, "cat"),
+                        str_of(e, "name")
+                    );
+                }
+                "instant" => {
+                    let _ = writeln!(
+                        out,
+                        "  [{:.9}s           !] {:<8} {}",
+                        num_of(e, "t"),
+                        str_of(e, "cat"),
+                        str_of(e, "name")
+                    );
+                }
+                "counter" => {
+                    let _ = writeln!(
+                        out,
+                        "  [{:.9}s           #] counter  {} = {}",
+                        num_of(e, "t"),
+                        str_of(e, "name"),
+                        num_of(e, "value")
+                    );
+                }
+                other => {
+                    let _ = writeln!(out, "  (unknown event kind '{other}')");
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Soak-grid verdict summary.
+fn render_soak(v: &Value) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "soak report: {}", str_of(v, "name"));
+    let cases = arr_of(v, "cases");
+    let failures = num_of(v, "failures");
+    let _ = writeln!(out, "cells: {} ({} failing)", cases.len(), failures);
+    for c in cases {
+        let status = str_of(c, "status");
+        let _ = write!(
+            out,
+            "  seed {} plan {}: ",
+            num_of(c, "seed"),
+            str_of(c, "plan")
+        );
+        if status == "pass" {
+            let _ = writeln!(
+                out,
+                "pass ({} recoveries, {} corrupt gen, final ranks {})",
+                num_of(c, "recoveries"),
+                num_of(c, "corrupt_generations"),
+                num_of(c, "final_ranks")
+            );
+        } else {
+            let _ = write!(out, "FAIL [{}]", str_of(c, "class"));
+            if let Some(s) = c.get("shrunk") {
+                if !matches!(s, Value::Null) {
+                    let _ = write!(
+                        out,
+                        " (plan shrunk {} -> {} rule(s))",
+                        num_of(s, "rules_before"),
+                        num_of(s, "rules_after")
+                    );
+                }
+            }
+            out.push('\n');
+        }
+    }
+    if let Some(st) = v.get("shrink_selftest") {
+        let _ = writeln!(
+            out,
+            "shrinker self-test [{}]: {} -> {} rule(s)",
+            str_of(st, "class"),
+            num_of(st, "rules_before"),
+            num_of(st, "rules_after")
+        );
+    }
+    let _ = writeln!(
+        out,
+        "verdict: {}",
+        if failures == 0.0 { "clean" } else { "FAILING" }
+    );
+    out
+}
+
+/// Bench-report summary.
+fn render_bench(v: &Value) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "bench report: {}", str_of(v, "name"));
+    let converged = v.get("converged").and_then(Value::as_bool).unwrap_or(false);
+    let _ = writeln!(
+        out,
+        "modeled time: {:.6}s over {} rank(s), {} iteration(s), {}",
+        num_of(v, "modeled_time"),
+        num_of(v, "ranks"),
+        num_of(v, "iterations"),
+        if converged {
+            "converged"
+        } else {
+            "NOT converged"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "split: compute {:.6}s, transfer {:.6}s, idle {:.6}s",
+        num_of(v, "compute_time"),
+        num_of(v, "transfer_time"),
+        num_of(v, "idle_time")
+    );
+    let _ = writeln!(
+        out,
+        "faults survived: {}, recoveries: {}, recovery cost: {:.6}s",
+        num_of(v, "faults_survived"),
+        num_of(v, "recoveries"),
+        num_of(v, "recovery_cost")
+    );
+    if let Some(Value::Object(pairs)) = v.get("extras") {
+        let mut keys: Vec<&(String, Value)> = pairs.iter().collect();
+        keys.sort_by(|a, b| a.0.cmp(&b.0));
+        if !keys.is_empty() {
+            out.push_str("extras:\n");
+            for (k, val) in keys {
+                match val.as_f64() {
+                    Some(f) => {
+                        let _ = writeln!(out, "  {k} = {f:.6}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "  {k} = {val:?}");
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doctor_str(json: &str) -> Result<String, String> {
+        let dir = std::env::temp_dir().join("xtask_doctor_tests");
+        fs::create_dir_all(&dir).expect("mkdir");
+        // unique-per-content filename so parallel tests never collide
+        let mut h = 0u64;
+        for b in json.bytes() {
+            h = h.wrapping_mul(1099511628211).wrapping_add(u64::from(b));
+        }
+        let p = dir.join(format!("artifact_{h:x}.json"));
+        fs::write(&p, json).expect("write");
+        let out = run_doctor(&p);
+        fs::remove_file(&p).ok();
+        out
+    }
+
+    #[test]
+    fn flight_dump_renders_health_then_rings() {
+        let json = r#"{"schema":"shrinksvm-flight/v1","name":"ladder_s7","reason":"train-error:RankLost","capacity":64,
+            "health":[{"rule":"straggler","track":1,"t":0.5,"detail":"frontier 0.5 vs median 0.1"}],
+            "ranks":[{"rank":0,"dropped":3,"events":[
+                {"kind":"span","name":"compute","cat":"compute","t0":0.1,"t1":0.2},
+                {"kind":"instant","name":"retransmit","cat":"fault","t":0.15},
+                {"kind":"counter","name":"active_set","t":0.2,"value":120}]},
+             {"rank":1,"dropped":0,"events":[]}]}"#;
+        let out = doctor_str(json).expect("renders");
+        assert!(out.contains("flight post-mortem: ladder_s7"), "{out}");
+        assert!(out.contains("reason: train-error:RankLost"), "{out}");
+        assert!(out.contains("straggler (rank 1)"), "{out}");
+        assert!(out.contains("rank 0 (3 event(s), 3 aged out):"), "{out}");
+        assert!(out.contains("compute  compute"), "{out}");
+        assert!(out.contains("!] fault    retransmit"), "{out}");
+        assert!(out.contains("counter  active_set = 120"), "{out}");
+        assert!(out.contains("rank 1 (0 event(s)):"), "{out}");
+    }
+
+    #[test]
+    fn soak_report_renders_cells_and_verdict() {
+        let json = r#"{"schema":"shrinksvm-soak/v1","name":"ci","failures":1,
+            "cases":[
+              {"seed":1,"plan":"crash","status":"pass","class":"ok","recoveries":1,"corrupt_generations":0,"final_ranks":3,"shrunk":null},
+              {"seed":2,"plan":"ladder","status":"fail","class":"diverged-model","recoveries":2,"corrupt_generations":1,"final_ranks":2,
+               "shrunk":{"rules_before":4,"rules_after":1,"plan":"x"}}],
+            "shrink_selftest":{"class":"train-error:RankLost","rules_before":4,"rules_after":1}}"#;
+        let out = doctor_str(json).expect("renders");
+        assert!(out.contains("soak report: ci"), "{out}");
+        assert!(out.contains("cells: 2 (1 failing)"), "{out}");
+        assert!(out.contains("seed 1 plan crash: pass"), "{out}");
+        assert!(
+            out.contains("seed 2 plan ladder: FAIL [diverged-model] (plan shrunk 4 -> 1 rule(s))"),
+            "{out}"
+        );
+        assert!(
+            out.contains("self-test [train-error:RankLost]: 4 -> 1"),
+            "{out}"
+        );
+        assert!(out.contains("verdict: FAILING"), "{out}");
+    }
+
+    #[test]
+    fn bench_report_renders_headline_and_sorted_extras() {
+        let json = r#"{"schema":1,"name":"smoke","modeled_time":1.25,"iterations":900,
+            "converged":true,"ranks":4,"compute_time":0.5,"transfer_time":0.2,"idle_time":0.1,
+            "faults_survived":0,"recoveries":0,"recovery_cost":0,
+            "extras":{"recovery_waste":0.5,"n_sv":42}}"#;
+        let out = doctor_str(json).expect("renders");
+        assert!(out.contains("bench report: smoke"), "{out}");
+        assert!(
+            out.contains("modeled time: 1.250000s over 4 rank(s)"),
+            "{out}"
+        );
+        assert!(out.contains("converged"), "{out}");
+        // extras sorted: n_sv before recovery_waste
+        let n = out.find("n_sv").expect("n_sv");
+        let w = out.find("recovery_waste").expect("waste");
+        assert!(n < w, "{out}");
+    }
+
+    #[test]
+    fn unknown_schema_is_a_named_error() {
+        let err = doctor_str(r#"{"schema":"shrinksvm-mystery/v9"}"#).unwrap_err();
+        assert!(err.contains("unrecognized artifact schema"), "{err}");
+        let err = doctor_str(r#"{"no_schema":true}"#).unwrap_err();
+        assert!(err.contains("unrecognized artifact schema"), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_is_a_named_error() {
+        let err = doctor_str("{not json").unwrap_err();
+        assert!(err.contains("parse"), "{err}");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let json = r#"{"schema":"shrinksvm-flight/v1","name":"x","reason":"r","capacity":4,
+            "health":[],"ranks":[{"rank":0,"dropped":0,"events":[]}]}"#;
+        let a = doctor_str(json).expect("a");
+        let b = doctor_str(json).expect("b");
+        assert_eq!(a, b);
+        assert!(a.contains("health events: none"), "{a}");
+    }
+}

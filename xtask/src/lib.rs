@@ -23,11 +23,13 @@
 //!
 //! The crate also hosts the bench-history regression gate,
 //! `cargo xtask bench-diff <baseline> <candidate>` — see [`bench_diff`] —
-//! and the deterministic chaos-soak harness, `cargo xtask soak` — see
-//! [`soak`].
+//! the deterministic chaos-soak harness, `cargo xtask soak` — see
+//! [`soak`] — and the artifact post-mortem renderer,
+//! `cargo xtask doctor <artifact.json>` — see [`doctor`].
 
 pub mod bench_diff;
 pub mod budgets;
+pub mod doctor;
 pub mod index;
 pub mod lexer;
 pub mod manifest;

@@ -85,6 +85,22 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("doctor") => {
+            let Some(artifact) = args.get(1) else {
+                eprintln!("usage: cargo xtask doctor <FLIGHT|SOAK|BENCH artifact.json>");
+                return ExitCode::FAILURE;
+            };
+            match xtask::doctor::run_doctor(std::path::Path::new(artifact)) {
+                Ok(rendered) => {
+                    print!("{rendered}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("doctor: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("soak") => {
             let mut cfg = xtask::soak::SoakConfig::default();
             let mut out_dir = repo_root().join("target").join("soak");
@@ -152,6 +168,16 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                     println!("soak: report written to {}", path.display());
+                    for c in &report.cases {
+                        let Some(fj) = &c.flight_json else { continue };
+                        let fpath = out_dir
+                            .join(format!("FLIGHT_{}_s{}_{}.json", cfg.name, c.seed, c.plan));
+                        if let Err(e) = std::fs::write(&fpath, fj) {
+                            eprintln!("soak: cannot write {}: {e}", fpath.display());
+                            return ExitCode::FAILURE;
+                        }
+                        println!("soak: flight recorder written to {}", fpath.display());
+                    }
                     if report.failures == 0 && report.selftest.rules_after <= 2 {
                         println!("soak: clean ({} cell(s))", report.cases.len());
                         ExitCode::SUCCESS
@@ -169,6 +195,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!("usage: cargo xtask lint [--json <path>] [--update-budgets]");
             eprintln!("       cargo xtask bench-diff <baseline> <candidate>");
+            eprintln!("       cargo xtask doctor <FLIGHT|SOAK|BENCH artifact.json>");
             eprintln!(
                 "       cargo xtask soak [--out <dir>] [--name <name>] \
                  [--seeds a,b,c] [--plans crash,corrupt,ladder] [--no-shrink]"

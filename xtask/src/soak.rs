@@ -21,15 +21,20 @@
 //! timestamps, no host state, floats via the observability JSON writer.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
-use shrinksvm_core::dist::{CheckpointPolicy, DistRunResult, DistSolver, RecoveryPolicy};
+use shrinksvm_core::dist::{
+    flight_capacity, CheckpointPolicy, DistRunResult, DistSolver, RecoveryPolicy,
+};
 use shrinksvm_core::error::CoreError;
 use shrinksvm_core::kernel::KernelKind;
 use shrinksvm_core::model::SvmModel;
 use shrinksvm_core::params::SvmParams;
 use shrinksvm_datagen::gaussian;
 use shrinksvm_mpisim::FaultPlan;
+use shrinksvm_obs::flight::FlightRecorder;
 use shrinksvm_obs::json;
+use shrinksvm_obs::monitor::{self, HealthConfig};
 use shrinksvm_sparse::Dataset;
 
 /// Schema tag stamped into every soak report.
@@ -96,6 +101,11 @@ pub struct CellOutcome {
     pub recovery_cost: f64,
     /// Present only for a failing cell with shrinking enabled.
     pub shrunk: Option<ShrunkPlan>,
+    /// Flight-recorder dump (`shrinksvm-flight/v1` JSON) captured by
+    /// re-running a failing cell once with the black box attached;
+    /// `None` for passing cells. Written to disk as a separate
+    /// `FLIGHT_*.json` artifact, not embedded in the soak report.
+    pub flight_json: Option<String>,
 }
 
 /// The planted shrinker self-test's verdict.
@@ -193,10 +203,21 @@ struct Scenario<'a> {
 
 impl Scenario<'_> {
     fn run(&self, fp: FaultPlan) -> Result<DistRunResult, CoreError> {
+        self.run_flight(fp, None)
+    }
+
+    fn run_flight(
+        &self,
+        fp: FaultPlan,
+        flight: Option<Arc<FlightRecorder>>,
+    ) -> Result<DistRunResult, CoreError> {
         let mut s = DistSolver::new(self.ds, params())
             .with_processes(3)
             .with_faults(fp)
             .with_checkpointing(self.ckpt.clone());
+        if let Some(fr) = flight {
+            s = s.with_flight(fr);
+        }
         if let Some(r) = self.recovery {
             s = s.with_recovery(r);
         }
@@ -310,6 +331,21 @@ where
     cur
 }
 
+/// Re-run a failing cell's plan once with a flight recorder attached and
+/// dump the black box. The rerun is byte-deterministic per seed, so the
+/// dump is identical across soak invocations; crashes and train errors
+/// are the *expected* outcome here — the rings survive the unwind in the
+/// caller-held `Arc`, which is the whole point of the recorder.
+fn capture_flight(scenario: &Scenario<'_>, fp: &FaultPlan, name: &str, class: &str) -> String {
+    let fr = Arc::new(FlightRecorder::new(3, flight_capacity()));
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        scenario.run_flight(fp.clone(), Some(Arc::clone(&fr)))
+    }));
+    let snap = fr.snapshot();
+    let health = monitor::analyze(&snap.all_events(), &HealthConfig::default());
+    snap.to_json(name, class, &health)
+}
+
 /// Run one (seed, template) cell: two identical faulted runs for the
 /// byte-determinism check, contract classification, and (on failure)
 /// delta-debugging of the plan.
@@ -355,6 +391,9 @@ fn run_cell(
         }
         _ => None,
     };
+    let flight_json = failure
+        .as_ref()
+        .map(|class| capture_flight(&scenario, &fp, &format!("{template}_s{seed}"), class));
 
     let (recoveries, corrupt, degraded, final_ranks, makespan, recovery_cost) = match &a {
         Ok(run) => (
@@ -378,6 +417,7 @@ fn run_cell(
         makespan,
         recovery_cost,
         shrunk,
+        flight_json,
     })
 }
 
@@ -582,6 +622,7 @@ mod tests {
                 rules_after: 1,
                 plan_text: "shrinksvm-faultplan v1\n".to_string(),
             }),
+            flight_json: None,
         }];
         let st = SelftestOutcome {
             seed: 101,
