@@ -113,23 +113,35 @@ impl PairSample {
     }
 }
 
-/// Encode the `(up, low)` bundle broadcast each iteration.
-pub fn encode_pair(up: &PairSample, low: &PairSample) -> Vec<u8> {
-    let mut out = Vec::with_capacity(up.encoded_len() + low.encoded_len());
+/// Encode the `(up, low)` bundle broadcast each iteration, with the
+/// iteration's `(β_up, β_low)` piggybacked as a 16-byte header — the
+/// values ride the pivot broadcast instead of needing their own round,
+/// so a rank holding the bundle has everything the γ-sweep's shrink test
+/// consumes.
+pub fn encode_pair(betas: (f64, f64), up: &PairSample, low: &PairSample) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + up.encoded_len() + low.encoded_len());
+    out.extend_from_slice(&betas.0.to_le_bytes());
+    out.extend_from_slice(&betas.1.to_le_bytes());
     up.encode(&mut out);
     low.encode(&mut out);
     out
 }
 
-/// Decode the `(up, low)` bundle.
-pub fn decode_pair(bytes: &[u8]) -> Option<(PairSample, PairSample)> {
-    let mut pos = 0;
+/// Decode the `((β_up, β_low), up, low)` bundle.
+#[allow(clippy::type_complexity)]
+pub fn decode_pair(bytes: &[u8]) -> Option<((f64, f64), PairSample, PairSample)> {
+    if bytes.len() < 16 {
+        return None;
+    }
+    let b_up = f64::from_le_bytes(bytes.get(0..8)?.try_into().ok()?);
+    let b_low = f64::from_le_bytes(bytes.get(8..16)?.try_into().ok()?);
+    let mut pos = 16;
     let up = PairSample::decode(bytes, &mut pos)?;
     let low = PairSample::decode(bytes, &mut pos)?;
     if pos != bytes.len() {
         return None;
     }
-    Some((up, low))
+    Some(((b_up, b_low), up, low))
 }
 
 /// One support-vector candidate inside a ring block: its coefficient
@@ -232,10 +244,27 @@ mod tests {
             vals: vec![],
             ..sample(9)
         };
-        let bytes = encode_pair(&up, &low);
-        let (u2, l2) = decode_pair(&bytes).unwrap();
+        let bytes = encode_pair((-0.75, 0.5), &up, &low);
+        let (betas, u2, l2) = decode_pair(&bytes).unwrap();
+        assert_eq!(betas, (-0.75, 0.5));
         assert_eq!(u2, up);
         assert_eq!(l2, low);
+    }
+
+    #[test]
+    fn piggybacked_betas_roundtrip_bit_for_bit() {
+        // The shrink test consumes these bits; the wire must not launder
+        // them — including negative zero and infinities at phase ends.
+        for (bu, bl) in [
+            (f64::INFINITY, f64::NEG_INFINITY),
+            (-0.0, 0.0),
+            (1.0000000000000002, -1.0000000000000002),
+        ] {
+            let bytes = encode_pair((bu, bl), &sample(1), &sample(2));
+            let (betas, _, _) = decode_pair(&bytes).unwrap();
+            assert_eq!(betas.0.to_bits(), bu.to_bits());
+            assert_eq!(betas.1.to_bits(), bl.to_bits());
+        }
     }
 
     #[test]
@@ -248,8 +277,9 @@ mod tests {
 
     #[test]
     fn pair_decode_rejects_truncation_and_trailing() {
-        let bytes = encode_pair(&sample(1), &sample(2));
+        let bytes = encode_pair((0.0, 0.0), &sample(1), &sample(2));
         assert!(decode_pair(&bytes[..bytes.len() - 1]).is_none());
+        assert!(decode_pair(&bytes[..8]).is_none()); // header cut short
         let mut extra = bytes.clone();
         extra.push(0);
         assert!(decode_pair(&extra).is_none());
@@ -260,8 +290,8 @@ mod tests {
         let mut s = sample(3);
         s.gamma = f64::NEG_INFINITY;
         s.alpha = 0.0;
-        let bytes = encode_pair(&s, &sample(4));
-        let (u2, _) = decode_pair(&bytes).unwrap();
+        let bytes = encode_pair((0.0, 0.0), &s, &sample(4));
+        let (_, u2, _) = decode_pair(&bytes).unwrap();
         assert_eq!(u2.gamma, f64::NEG_INFINITY);
     }
 

@@ -41,6 +41,51 @@ pub enum Request {
     },
 }
 
+/// A nonblocking-collective handle (`MPI_Iallreduce`/`MPI_Ibcast` analog),
+/// created by [`Comm::iallreduce_with`]-family initiators and completed by
+/// [`Comm::coll_wait`].
+///
+/// The simulator executes the collective *eagerly at initiation* on a
+/// virtual clock (SPMD order guarantees every rank reaches the initiation
+/// point, so the wall-clock blocking inside is invisible): the combined
+/// result and the virtual completion time are captured, then the caller's
+/// clock is rewound to the initiation instant so its compute can advance
+/// concurrently with the in-flight collective. `coll_wait` charges only
+/// the *unhidden residue* `max(0, done − clock)` — compute issued between
+/// initiation and wait hides that much of the collective's latency.
+#[derive(Debug)]
+pub struct CollRequest {
+    /// The collective's combined payload, identical on every rank.
+    result: Vec<u8>,
+    /// Simulated clock at initiation.
+    posted: f64,
+    /// Virtual completion time of the collective on this rank.
+    done: f64,
+    /// Collective name for trace spans (`"iallreduce"`, `"ibcast"`).
+    name: &'static str,
+}
+
+impl CollRequest {
+    pub(crate) fn new(result: Vec<u8>, posted: f64, done: f64, name: &'static str) -> Self {
+        CollRequest {
+            result,
+            posted,
+            done,
+            name,
+        }
+    }
+
+    /// Simulated clock at initiation.
+    pub fn posted(&self) -> f64 {
+        self.posted
+    }
+
+    /// The virtual completion time this rank's wait will clamp to.
+    pub fn done(&self) -> f64 {
+        self.done
+    }
+}
+
 /// The per-rank handle to the simulated machine: identity, point-to-point
 /// operations, collectives (in [`crate::collectives`]), the simulated clock
 /// and activity counters.
@@ -76,6 +121,11 @@ pub struct Comm {
     send_seq: Vec<u64>,
     /// Which slowdown rules were already recorded in the fault ledger.
     slow_recorded: Vec<bool>,
+    /// True while a nonblocking collective is being executed eagerly on
+    /// the virtual clock: receive waits inside the window are concurrent
+    /// with the caller's upcoming compute, so they must not book
+    /// idle/transfer stats or `recv_wait` spans.
+    in_overlap: bool,
     /// Simulated-time event recorder for this rank's timeline track
     /// (present only under [`crate::Universe::with_tracing`]).
     tracer: Option<TrackRecorder>,
@@ -129,6 +179,7 @@ impl Comm {
             fault_hits: vec![0; fault_hits],
             send_seq: vec![0; size],
             slow_recorded: vec![false; slow_recorded],
+            in_overlap: false,
             tracer: None,
             dep: None,
             flight: None,
@@ -675,18 +726,25 @@ impl Comm {
             );
         }
         if arrive > self.clock {
-            let wait = arrive - self.clock;
-            // The stretch before the sender even departed is imbalance
-            // (idle); the rest is wire latency + bytes·G + any injected
-            // in-flight penalty (transfer).
-            let idle = (msg.depart - self.clock).clamp(0.0, wait);
-            self.stats.idle_time += idle;
-            self.stats.transfer_time += wait - idle;
-            if let Some(tr) = &mut self.tracer {
-                tr.span("recv_wait", "p2p", self.clock, arrive);
+            if self.in_overlap {
+                // Inside a nonblocking collective's virtual window the
+                // wait is concurrent with the caller's upcoming compute;
+                // only the wait-time residue is booked (by `coll_wait`).
+                self.clock = arrive;
+            } else {
+                let wait = arrive - self.clock;
+                // The stretch before the sender even departed is imbalance
+                // (idle); the rest is wire latency + bytes·G + any injected
+                // in-flight penalty (transfer).
+                let idle = (msg.depart - self.clock).clamp(0.0, wait);
+                self.stats.idle_time += idle;
+                self.stats.transfer_time += wait - idle;
+                if let Some(tr) = &mut self.tracer {
+                    tr.span("recv_wait", "p2p", self.clock, arrive);
+                }
+                self.flight_span("recv_wait", "p2p", self.clock, arrive);
+                self.clock = arrive;
             }
-            self.flight_span("recv_wait", "p2p", self.clock, arrive);
-            self.clock = arrive;
         }
         if self.monitor.validate {
             if self.clock + 1e-9 < arrive {
@@ -738,6 +796,85 @@ impl Comm {
     pub fn sendrecv(&mut self, partner: usize, tag: u64, payload: &[u8]) -> Vec<u8> {
         self.send(partner, tag, payload);
         self.recv(partner, tag)
+    }
+
+    // -------------------------------------------- nonblocking collectives
+
+    /// Open a nonblocking collective's virtual-clock window: record the
+    /// initiation instant and switch receive accounting to overlapped
+    /// mode. The collective body then runs eagerly with `self.clock`
+    /// acting as the virtual clock.
+    pub(crate) fn icoll_begin(&mut self) -> f64 {
+        assert!(
+            !self.in_overlap,
+            "rank {}: nonblocking collectives do not nest",
+            self.rank
+        );
+        let t0 = self.clock;
+        self.in_overlap = true;
+        if let Some(dep) = &mut self.dep {
+            dep.icoll_start(t0);
+        }
+        t0
+    }
+
+    /// Close the virtual-clock window opened by [`Comm::icoll_begin`]:
+    /// capture the virtual completion time, label the in-flight interval
+    /// on the timeline and in the dependency log, then rewind the clock
+    /// to the initiation instant so the caller's compute overlaps the
+    /// collective. Returns the captured completion time.
+    pub(crate) fn icoll_end(&mut self, name: &'static str, t0: f64) -> f64 {
+        debug_assert!(self.in_overlap, "icoll_end without icoll_begin");
+        let done = self.clock;
+        // The labeling interval comes before the window-closing marker so
+        // `coll_labels` attaches `name` to the inner sends/receives.
+        self.trace_span(name, "coll", t0, done);
+        self.dep_coll(name, t0, done);
+        if let Some(dep) = &mut self.dep {
+            dep.icoll_done(t0, done);
+        }
+        self.clock = t0;
+        self.in_overlap = false;
+        self.stats.icolls += 1;
+        done
+    }
+
+    /// Complete a nonblocking collective (`MPI_Wait` on a collective
+    /// request): clamp the clock to the collective's virtual completion
+    /// time and return its combined payload. Compute charged between
+    /// initiation and this call hides that much of the collective's
+    /// latency — only the unhidden residue costs simulated time, booked
+    /// as transfer (the fabric was the holdup, not a slow peer).
+    ///
+    /// Requests must be waited on in initiation order (FIFO), matching
+    /// the replay's matching rule.
+    pub fn coll_wait(&mut self, req: CollRequest) -> Vec<u8> {
+        let CollRequest {
+            result,
+            posted,
+            done,
+            name,
+        } = req;
+        let t0 = self.clock;
+        if let Some(dep) = &mut self.dep {
+            dep.icoll_wait(t0);
+        }
+        let duration = done - posted;
+        if done > t0 {
+            let residue = done - t0;
+            self.stats.transfer_time += residue;
+            self.stats.overlap_wait += residue;
+            self.stats.overlap_covered += (duration - residue).max(0.0);
+            if let Some(tr) = &mut self.tracer {
+                tr.span(name, "coll_wait", t0, done);
+            }
+            self.flight_span(name, "coll_wait", t0, done);
+            self.clock = done;
+        } else {
+            self.stats.overlap_covered += duration;
+        }
+        self.maybe_crash();
+        result
     }
 
     /// User tags must stay below [`MAX_USER_TAG`]. Under validation the

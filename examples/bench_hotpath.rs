@@ -10,6 +10,11 @@
 //! * `scatter_cache_t1` — plus the shrink-aware pivot-row cache
 //! * `scatter_cache_t4` — plus four intra-rank workers
 //!
+//! A fifth run re-trains the optimized configuration with the
+//! overlapped-communication pipeline disabled (`with_overlap(false)`),
+//! pinning the `makespan_overlap` / `makespan_no_overlap` A/B and the
+//! `collective_rounds_per_iter` budget into the report's extras.
+//!
 //! Every configuration must produce a **byte-identical** model (the layer
 //! is pure performance), and the full stack must cut the simulated
 //! makespan by at least 1.5× — both asserted here, so this binary doubles
@@ -117,6 +122,30 @@ fn run_once() -> Artifacts {
     }
 
     let optimized = last.expect("at least one config ran");
+
+    // Overlap A/B: the optimized stack with the pipeline's nonblocking
+    // collectives replaced by blocking rounds at the same program points.
+    // The toggle is pure communication scheduling — the model and the
+    // iteration count must not move.
+    let no_overlap = DistSolver::new(&ds, params.clone().with_cache_bytes(4 << 20))
+        .with_processes(4)
+        .with_threads(4)
+        .with_dots(DotKind::Scatter)
+        .with_overlap(false)
+        .with_tracing()
+        .train()
+        .expect("no-overlap run");
+    assert!(no_overlap.converged, "no-overlap run converged");
+    assert_eq!(
+        reference.as_deref().expect("reference model recorded"),
+        model_bytes(&no_overlap.model).as_slice(),
+        "overlap toggle must not change the model"
+    );
+    assert_eq!(
+        no_overlap.iterations, optimized.iterations,
+        "overlap toggle must not change the iteration count"
+    );
+
     let baseline_makespan = makespans[0].1;
     let speedup = baseline_makespan / optimized.makespan;
     assert!(
@@ -135,6 +164,24 @@ fn run_once() -> Artifacts {
     report
         .extras
         .insert("speedup_vs_merge_nocache_t1".to_string(), speedup);
+    report
+        .extras
+        .insert("makespan_overlap".to_string(), optimized.makespan);
+    report
+        .extras
+        .insert("makespan_no_overlap".to_string(), no_overlap.makespan);
+    report.extras.insert(
+        "speedup_overlap_vs_blocking".to_string(),
+        no_overlap.makespan / optimized.makespan,
+    );
+    // Collective rounds per iteration (allreduces + bcasts + barriers on
+    // rank 0 — nonblocking initiations count through their allreduce):
+    // the budget the message fusion and β piggyback exist to hold down.
+    let s0 = &optimized.rank_stats[0];
+    report.extras.insert(
+        "collective_rounds_per_iter".to_string(),
+        (s0.allreduces + s0.bcasts + s0.barriers) as f64 / optimized.iterations as f64,
+    );
     if let Some(hr) = optimized.metrics.gauge("kernel_cache_hit_rate_final") {
         report
             .extras

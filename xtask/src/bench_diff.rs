@@ -96,6 +96,19 @@ const GATED_EXTRAS: &[Gate] = &[
         tol_frac: 0.15,
         higher_is_worse: true,
     },
+    // The communication-wall budgets: the overlapped pipeline's makespan
+    // and the collective rounds each iteration pays. Growing either past
+    // 10% silently undoes the nonblocking-collective work.
+    Gate {
+        key: "makespan_overlap",
+        tol_frac: 0.10,
+        higher_is_worse: true,
+    },
+    Gate {
+        key: "collective_rounds_per_iter",
+        tol_frac: 0.10,
+        higher_is_worse: true,
+    },
 ];
 
 /// Severity of one comparison line.
