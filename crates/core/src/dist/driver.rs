@@ -8,7 +8,7 @@ use shrinksvm_mpisim::{CommStats, CostParams, FaultPlan, Universe, ValidationRep
 use shrinksvm_obs::flight::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 use shrinksvm_obs::monitor::{self, HealthConfig, HealthRule};
 use shrinksvm_obs::timeline::{Event, Timeline};
-use shrinksvm_obs::{attrib, BenchReport, MetricsRegistry, PerfDoctor};
+use shrinksvm_obs::{attrib, BenchReport, MetricsRegistry, PerfDoctor, Profile};
 use shrinksvm_sparse::Dataset;
 
 use crate::dist::checkpoint::{
@@ -76,6 +76,12 @@ pub struct DistRunResult {
     /// what-if projections. Render with [`PerfDoctor::render_text`] /
     /// [`PerfDoctor::to_json`].
     pub perf: Option<PerfDoctor>,
+    /// Hierarchical time profile of the final attempt (`None` without
+    /// [`DistSolver::with_tracing`]): per-rank and merged phase → op →
+    /// charge-class trees reconciled against the attribution buckets.
+    /// Export with [`Profile::to_folded`] / [`Profile::to_svg`] /
+    /// [`Profile::write`].
+    pub profile: Option<Profile>,
 }
 
 impl DistRunResult {
@@ -532,6 +538,17 @@ impl<'a> DistSolver<'a> {
             } else {
                 None
             };
+            // The hierarchical profile shares the doctor's failure
+            // contract: it reconciles the same walk against the same
+            // buckets, so an error is a simulator bug, not bad input.
+            let profile = if self.tracing {
+                match Profile::from_run(&deps, &timeline) {
+                    Ok(p) => Some(p),
+                    Err(e) => panic!("profile construction failed: {e}"),
+                }
+            } else {
+                None
+            };
             summary.final_ranks = rank_stats.len();
             if summary.recoveries > 0 {
                 metrics.inc("recoveries", u64::from(summary.recoveries));
@@ -583,6 +600,7 @@ impl<'a> DistSolver<'a> {
                 timeline,
                 metrics,
                 perf,
+                profile,
                 recovery: summary,
             });
         }

@@ -1,0 +1,97 @@
+//! Differential perf attribution, end-to-end through the real solver.
+//!
+//! Reproduces the overlapped-communication A/B mechanically: the same
+//! seeded problem is trained with the nonblocking pipeline on and off,
+//! both traced, and `PerfDiff` must explain the win the way the perf
+//! work was argued by hand — blocking-collective idle turns into
+//! overlap-covered transfer, `iallreduce` ops enter the critical path
+//! while blocking `allreduce` hops leave it, and compute does not move.
+
+use shrinksvm_core::dist::{DistRunResult, DistSolver, DotKind};
+use shrinksvm_core::kernel::KernelKind;
+use shrinksvm_core::params::SvmParams;
+use shrinksvm_core::shrink::ShrinkPolicy;
+use shrinksvm_datagen::gaussian;
+use shrinksvm_obs::json::{self, parse};
+use shrinksvm_obs::perfdiff::PerfDiff;
+
+/// The optimized hot-path stack on the smoke problem, overlap toggled.
+fn traced_run(overlap: bool) -> DistRunResult {
+    let ds = gaussian::two_blobs(240, 4, 3.0, 42);
+    let params = SvmParams::new(2.0, KernelKind::rbf_from_sigma_sq(1.5))
+        .with_epsilon(1e-3)
+        .with_shrink(ShrinkPolicy::best())
+        .with_cache_bytes(4 << 20);
+    DistSolver::new(&ds, params)
+        .with_processes(4)
+        .with_threads(4)
+        .with_dots(DotKind::Scatter)
+        .with_overlap(overlap)
+        .with_tracing()
+        .train()
+        .expect("traced run")
+}
+
+fn diff_between(blocking: &DistRunResult, overlapped: &DistRunResult) -> PerfDiff {
+    let a = parse(&blocking.perf.as_ref().expect("perf a").to_json()).expect("parse a");
+    let b = parse(&overlapped.perf.as_ref().expect("perf b").to_json()).expect("parse b");
+    PerfDiff::between(&a, &b, "no_overlap", "overlap").expect("diff")
+}
+
+#[test]
+fn perf_diff_explains_the_overlap_win_mechanically() {
+    let blocking = traced_run(false);
+    let overlapped = traced_run(true);
+    // The toggle is pure communication scheduling.
+    assert_eq!(blocking.iterations, overlapped.iterations);
+    assert!(overlapped.makespan <= blocking.makespan);
+
+    let diff = diff_between(&blocking, &overlapped);
+
+    let bucket = |name: &str| {
+        diff.buckets
+            .iter()
+            .find(|(k, _, _)| *k == name)
+            .map(|&(_, a, b)| (a, b))
+            .unwrap_or_else(|| panic!("bucket {name} missing"))
+    };
+    // Compute is untouched by the pipeline: same sweeps, same dots.
+    let (ca, cb) = bucket("compute");
+    assert!(
+        (ca - cb).abs() <= 1e-9 * ca.max(1e-9),
+        "compute {ca} vs {cb}"
+    );
+    // The win is idle turning into overlap-covered transfer: idle shrinks,
+    // and the sum of the two buckets cannot grow (total rank-time is
+    // p * makespan, and makespan did not grow).
+    let (ia, ib) = bucket("idle");
+    let (ta, tb) = bucket("transfer");
+    assert!(ib < ia, "idle must shrink: {ia} -> {ib}");
+    assert!(tb + ib <= ta + ia + 1e-9, "{ta}+{ia} -> {tb}+{ib}");
+
+    // The critical path restructures: nonblocking collective ops appear
+    // only on the overlapped side, and at least one op enters or leaves.
+    let entered: Vec<&str> = diff
+        .ops
+        .iter()
+        .filter(|(_, op)| op.status() == "entered")
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert!(
+        entered.iter().any(|k| k.contains("iallreduce")),
+        "expected iallreduce to enter the path, entered: {entered:?}"
+    );
+    let text = diff.render_text();
+    assert!(text.contains("ENTERED the path"), "{text}");
+    assert!(text.contains("== perf-diff: no_overlap -> overlap =="));
+}
+
+#[test]
+fn perf_diff_json_is_byte_identical_across_same_seed_generations() {
+    let d1 = diff_between(&traced_run(false), &traced_run(true));
+    let d2 = diff_between(&traced_run(false), &traced_run(true));
+    let (j1, j2) = (d1.to_json(), d2.to_json());
+    assert_eq!(j1, j2, "same-seed perf-diff JSON must be byte-identical");
+    json::check(&j1).expect("diff JSON well-formed");
+    assert_eq!(d1.render_text(), d2.render_text());
+}

@@ -89,10 +89,11 @@ pub use reduce::{MaxLoc, MinLoc};
 pub use shrinksvm_analyze::{FaultEvent, ValidationReport, Violation};
 pub use shrinksvm_obs::critpath::{DepEvent, DepLog};
 pub use shrinksvm_obs::timeline::{Event as TraceEvent, Timeline, TrackRecorder};
-pub use shrinksvm_obs::PerfDoctor;
+pub use shrinksvm_obs::{PerfDoctor, Profile};
 pub use stats::CommStats;
 pub use universe::{
-    ObservedRun, RankOutcome, Universe, DEFAULT_LIVENESS_TIMEOUT, LIVENESS_TIMEOUT_ENV,
+    profile_observed, ObservedRun, RankOutcome, Universe, DEFAULT_LIVENESS_TIMEOUT,
+    LIVENESS_TIMEOUT_ENV,
 };
 
 /// User-visible tags must stay below this bound; higher tag space is

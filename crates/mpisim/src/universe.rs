@@ -7,6 +7,7 @@ use shrinksvm_analyze::{FaultEvent, ValidationReport, Violation};
 use shrinksvm_obs::critpath::{DepEvent, DepLog};
 use shrinksvm_obs::flight::FlightRecorder;
 use shrinksvm_obs::monitor::{self, HealthConfig};
+use shrinksvm_obs::profile::Profile;
 use shrinksvm_obs::timeline::{Event, Timeline};
 
 use crate::comm::{Comm, RankFinal};
@@ -40,6 +41,18 @@ pub struct RankOutcome<T> {
 /// validation report, the merged [`Timeline`], and the replayable
 /// dependency log.
 pub type ObservedRun<T> = (Vec<RankOutcome<T>>, ValidationReport, Timeline, DepLog);
+
+/// Build the hierarchical time [`Profile`] of an observed run: the
+/// dependency log supplies the charges, the timeline's solver spans the
+/// phase stacks.
+///
+/// # Errors
+///
+/// Propagates [`Profile::from_run`]'s contract: a log the replay rejects
+/// or a profile that fails to reconcile with the attribution buckets.
+pub fn profile_observed<T>(run: &ObservedRun<T>) -> Result<Profile, String> {
+    Profile::from_run(&run.3, &run.2)
+}
 
 /// A set of `p` simulated ranks sharing a cost model (`MPI_COMM_WORLD`
 /// analog). Construct once, [`Universe::run`] any number of programs.

@@ -39,8 +39,9 @@ use crate::json::{escape_into, write_f64};
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Schema version stamped into every PerfDoctor JSON report.
-pub const PERF_SCHEMA_VERSION: u32 = 1;
+/// Schema tag stamped into every PerfDoctor JSON report; `cargo xtask
+/// doctor` and `perf-diff` dispatch on it.
+pub const PERF_SCHEMA: &str = "shrinksvm-perf/v1";
 
 /// At most this many hops are listed individually in the JSON report;
 /// the rest are summarized by `hops_truncated` and the `by_op` totals.
@@ -277,7 +278,7 @@ impl PerfDoctor {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\"schema\":");
-        out.push_str(&PERF_SCHEMA_VERSION.to_string());
+        escape_into(&mut out, PERF_SCHEMA);
         out.push_str(",\"makespan\":");
         write_f64(&mut out, self.makespan);
         out.push_str(",\"ranks\":");
@@ -633,7 +634,7 @@ mod tests {
         let b = PerfDoctor::analyze(&two_rank_log(), 0.0).unwrap().to_json();
         assert_eq!(a, b);
         for key in [
-            "\"schema\":1",
+            "\"schema\":\"shrinksvm-perf/v1\"",
             "\"makespan\":1.875",
             "\"buckets\":{",
             "\"reconcile_error\":",

@@ -556,7 +556,7 @@ impl CriticalPath {
 /// Collectives record their interval at *exit*, after the sends/receives
 /// they contain; since collectives do not nest, every earlier event whose
 /// start clock is at or after the collective's entry belongs to it.
-fn coll_labels(log: &DepLog) -> Vec<Vec<Option<&'static str>>> {
+pub(crate) fn coll_labels(log: &DepLog) -> Vec<Vec<Option<&'static str>>> {
     let mut labels: Vec<Vec<Option<&'static str>>> = (0..log.n_ranks())
         .map(|r| vec![None; log.rank(r).len()])
         .collect();

@@ -429,6 +429,34 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(0.9), None);
+        assert_eq!(h.quantile(0.99), None);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_quantile_lines_are_exact() {
+        // One observation in the first bucket: every quantile interpolates
+        // from zero toward the bucket bound, so p-q lands exactly at q.
+        let mut m = MetricsRegistry::new();
+        m.observe_with_bounds("lat", &[1.0, 2.0], 0.5);
+        let h = m.histogram("lat").expect("recorded");
+        assert!((h.quantile(0.5).unwrap() - 0.5).abs() < 1e-12);
+        assert!((h.quantile(0.9).unwrap() - 0.9).abs() < 1e-12);
+        assert!((h.quantile(0.99).unwrap() - 0.99).abs() < 1e-12);
+        // The full p50/p90/p99 line renders those values verbatim.
+        let s = m.snapshot();
+        assert!(
+            s.contains("histogram lat count=1 sum=0.5 p50=0.5 p90=0.9 p99=0.99"),
+            "{s}"
+        );
+    }
+
+    #[test]
     fn namespacing_prefixes_every_metric() {
         let mut m = MetricsRegistry::new();
         m.inc("hits", 4);

@@ -1,0 +1,466 @@
+//! Differential attribution: explain *where the time moved* between two
+//! PerfDoctor reports.
+//!
+//! [`PerfDiff::between`] takes two parsed `PERF_*.json` documents
+//! (schema [`PERF_SCHEMA`](crate::attrib::PERF_SCHEMA)) and decomposes
+//! the makespan delta three ways:
+//!
+//! * **buckets** — per-bucket rank-time gains and losses (compute,
+//!   transfer, idle, retransmit, recovery and its split), so "the
+//!   speedup came out of idle and transfer" is a number, not a claim;
+//! * **critical-path ops** — the union of both reports' `by_op` keys,
+//!   each marked `entered` / `left` / `both`, with hop counts and
+//!   seconds on each side — collective rounds dropping from 3 to 2 per
+//!   iteration shows up here as a falling hop count;
+//! * **what-if projections** — how each counterfactual (zero network,
+//!   perfect balance, infinite cache) moved, i.e. whether the remaining
+//!   headroom shrank along with the makespan.
+//!
+//! Rendered as a terminal report ([`PerfDiff::render_text`]) and as
+//! deterministic JSON ([`PerfDiff::to_json`], schema
+//! [`PERFDIFF_SCHEMA`]). Everything is keyed on the input documents
+//! alone, so identical inputs produce byte-identical reports.
+
+use crate::attrib::PERF_SCHEMA;
+use crate::json::{escape_into, write_f64, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag stamped into every perf-diff JSON report.
+pub const PERFDIFF_SCHEMA: &str = "shrinksvm-perfdiff/v1";
+
+/// The bucket keys compared, in report order.
+const BUCKET_KEYS: &[&str] = &[
+    "compute",
+    "transfer",
+    "idle",
+    "retransmit",
+    "recovery",
+    "recovery_waste",
+    "recovery_backoff",
+];
+
+/// The what-if projection keys compared, in report order.
+const WHATIF_KEYS: &[&str] = &["zero_network", "perfect_balance", "infinite_cache"];
+
+/// One critical-path op's presence on each side of the diff.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OpDelta {
+    /// `(hops, secs)` in report A, when the op was on A's path.
+    pub a: Option<(f64, f64)>,
+    /// `(hops, secs)` in report B, when the op is on B's path.
+    pub b: Option<(f64, f64)>,
+}
+
+impl OpDelta {
+    /// `entered` (B only), `left` (A only) or `both`.
+    pub fn status(&self) -> &'static str {
+        match (self.a, self.b) {
+            (None, Some(_)) => "entered",
+            (Some(_), None) => "left",
+            _ => "both",
+        }
+    }
+
+    /// Seconds moved: B minus A, absent sides counting zero.
+    pub fn delta_secs(&self) -> f64 {
+        self.b.map_or(0.0, |(_, s)| s) - self.a.map_or(0.0, |(_, s)| s)
+    }
+}
+
+/// The structured diff of two PerfDoctor reports (A = baseline,
+/// B = candidate; every delta is B minus A).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PerfDiff {
+    /// Display label for report A.
+    pub label_a: String,
+    /// Display label for report B.
+    pub label_b: String,
+    /// Makespans on each side.
+    pub makespan: (f64, f64),
+    /// Rank counts on each side (usually equal; the report flags a
+    /// mismatch rather than refusing, since cross-scale diffs are
+    /// legitimate).
+    pub ranks: (f64, f64),
+    /// Rank-time seconds per attribution bucket, `(name, a, b)` in
+    /// [`BUCKET_KEYS`] order.
+    pub buckets: Vec<(&'static str, f64, f64)>,
+    /// Union of both critical paths' `by_op` tables.
+    pub ops: BTreeMap<String, OpDelta>,
+    /// What-if projections `(name, a, b)` in [`WHATIF_KEYS`] order.
+    pub whatif: Vec<(&'static str, f64, f64)>,
+}
+
+fn require_schema(doc: &Value, label: &str) -> Result<(), String> {
+    match doc.get("schema").and_then(Value::as_str) {
+        Some(s) if s == PERF_SCHEMA => Ok(()),
+        Some(s) => Err(format!(
+            "{label}: schema {s:?} is not a PerfDoctor report (want {PERF_SCHEMA:?})"
+        )),
+        None => Err(format!(
+            "{label}: no string \"schema\" field — not a PerfDoctor report \
+             (want {PERF_SCHEMA:?})"
+        )),
+    }
+}
+
+fn num_at<'v>(doc: &'v Value, path: &[&str], label: &str) -> Result<f64, String> {
+    let mut v: &'v Value = doc;
+    for key in path {
+        v = v
+            .get(key)
+            .ok_or_else(|| format!("{label}: missing field {}", path.join(".")))?;
+    }
+    v.as_f64()
+        .ok_or_else(|| format!("{label}: field {} is not a number", path.join(".")))
+}
+
+/// Pull `critical_path.by_op` into `(hops, secs)` per op key.
+fn ops_of(doc: &Value, label: &str) -> Result<BTreeMap<String, (f64, f64)>, String> {
+    let by_op = doc
+        .get("critical_path")
+        .and_then(|cp| cp.get("by_op"))
+        .ok_or_else(|| format!("{label}: missing critical_path.by_op"))?;
+    let Value::Object(entries) = by_op else {
+        return Err(format!("{label}: critical_path.by_op is not an object"));
+    };
+    let mut out = BTreeMap::new();
+    for (k, v) in entries {
+        let hops = v
+            .get("hops")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{label}: by_op[{k:?}] has no numeric hops"))?;
+        let secs = v
+            .get("secs")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{label}: by_op[{k:?}] has no numeric secs"))?;
+        out.insert(k.clone(), (hops, secs));
+    }
+    Ok(out)
+}
+
+fn pct(delta: f64, base: f64) -> f64 {
+    if base.abs() > 0.0 {
+        100.0 * delta / base
+    } else if delta == 0.0 {
+        0.0
+    } else {
+        f64::INFINITY
+    }
+}
+
+impl PerfDiff {
+    /// Diff two parsed PerfDoctor documents (A = baseline,
+    /// B = candidate).
+    ///
+    /// # Errors
+    ///
+    /// Either document missing the [`PERF_SCHEMA`] tag or any of the
+    /// compared fields — the diff never guesses at absent numbers.
+    pub fn between(a: &Value, b: &Value, label_a: &str, label_b: &str) -> Result<PerfDiff, String> {
+        require_schema(a, label_a)?;
+        require_schema(b, label_b)?;
+        let makespan = (
+            num_at(a, &["makespan"], label_a)?,
+            num_at(b, &["makespan"], label_b)?,
+        );
+        let ranks = (
+            num_at(a, &["ranks"], label_a)?,
+            num_at(b, &["ranks"], label_b)?,
+        );
+        let mut buckets = Vec::with_capacity(BUCKET_KEYS.len());
+        for &k in BUCKET_KEYS {
+            buckets.push((
+                k,
+                num_at(a, &["buckets", k], label_a)?,
+                num_at(b, &["buckets", k], label_b)?,
+            ));
+        }
+        let ops_a = ops_of(a, label_a)?;
+        let ops_b = ops_of(b, label_b)?;
+        let mut ops: BTreeMap<String, OpDelta> = BTreeMap::new();
+        for (k, &v) in &ops_a {
+            ops.entry(k.clone()).or_default().a = Some(v);
+        }
+        for (k, &v) in &ops_b {
+            ops.entry(k.clone()).or_default().b = Some(v);
+        }
+        let mut whatif = Vec::with_capacity(WHATIF_KEYS.len());
+        for &k in WHATIF_KEYS {
+            whatif.push((
+                k,
+                num_at(a, &["whatif", k], label_a)?,
+                num_at(b, &["whatif", k], label_b)?,
+            ));
+        }
+        Ok(PerfDiff {
+            label_a: label_a.to_string(),
+            label_b: label_b.to_string(),
+            makespan,
+            ranks,
+            buckets,
+            ops,
+            whatif,
+        })
+    }
+
+    /// The terminal report: the makespan headline, bucket movements
+    /// sorted by report order, the op entries/exits, and the projection
+    /// shifts.
+    pub fn render_text(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let (ma, mb) = self.makespan;
+        let d = mb - ma;
+        let _ = writeln!(out, "== perf-diff: {} -> {} ==", self.label_a, self.label_b);
+        let _ = writeln!(
+            out,
+            "makespan {ma:.6}s -> {mb:.6}s  ({}{:.6}s, {}{:.2}%)",
+            sign(d),
+            d.abs(),
+            sign(d),
+            pct(d, ma).abs()
+        );
+        let (ra, rb) = self.ranks;
+        if ra == rb {
+            let _ = writeln!(out, "ranks {ra}");
+        } else {
+            let _ = writeln!(out, "ranks {ra} -> {rb}  (CROSS-SCALE DIFF)");
+        }
+        out.push_str("buckets (total rank-time seconds, candidate - baseline):\n");
+        for &(k, va, vb) in &self.buckets {
+            let dv = vb - va;
+            if va == 0.0 && vb == 0.0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {k:<16} {va:>12.6} -> {vb:>12.6}  {}{:.6} ({}{:.2}%)",
+                sign(dv),
+                dv.abs(),
+                sign(dv),
+                pct(dv, va).abs()
+            );
+        }
+        out.push_str("critical-path ops (hops x secs on the binding chain):\n");
+        for (k, op) in &self.ops {
+            match (op.a, op.b) {
+                (Some((ha, sa)), Some((hb, sb))) => {
+                    let _ = writeln!(
+                        out,
+                        "  {k:<28} {ha:>4} hops {sa:>12.6}s -> {hb:>4} hops {sb:>12.6}s  \
+                         {}{:.6}s",
+                        sign(sb - sa),
+                        (sb - sa).abs()
+                    );
+                }
+                (Some((ha, sa)), None) => {
+                    let _ = writeln!(out, "  {k:<28} LEFT the path (was {ha} hops, {sa:.6}s)");
+                }
+                (None, Some((hb, sb))) => {
+                    let _ = writeln!(out, "  {k:<28} ENTERED the path ({hb} hops, {sb:.6}s)");
+                }
+                (None, None) => {}
+            }
+        }
+        out.push_str("what-if projections (remaining headroom):\n");
+        for &(k, va, vb) in &self.whatif {
+            let dv = vb - va;
+            let _ = writeln!(
+                out,
+                "  {k:<16} {va:>12.6} -> {vb:>12.6}  {}{:.6}",
+                sign(dv),
+                dv.abs()
+            );
+        }
+        out
+    }
+
+    /// Deterministic JSON under [`PERFDIFF_SCHEMA`]: every compared
+    /// number on both sides plus its delta, ops in sorted key order with
+    /// `null` for the absent side.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\"schema\":");
+        escape_into(&mut out, PERFDIFF_SCHEMA);
+        out.push_str(",\"a\":");
+        escape_into(&mut out, &self.label_a);
+        out.push_str(",\"b\":");
+        escape_into(&mut out, &self.label_b);
+        let (ma, mb) = self.makespan;
+        out.push_str(",\"makespan\":{\"a\":");
+        write_f64(&mut out, ma);
+        out.push_str(",\"b\":");
+        write_f64(&mut out, mb);
+        out.push_str(",\"delta\":");
+        write_f64(&mut out, mb - ma);
+        out.push_str("},\"ranks\":{\"a\":");
+        write_f64(&mut out, self.ranks.0);
+        out.push_str(",\"b\":");
+        write_f64(&mut out, self.ranks.1);
+        out.push_str("},\"buckets\":{");
+        for (i, &(k, va, vb)) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_into(&mut out, k);
+            out.push_str(":{\"a\":");
+            write_f64(&mut out, va);
+            out.push_str(",\"b\":");
+            write_f64(&mut out, vb);
+            out.push_str(",\"delta\":");
+            write_f64(&mut out, vb - va);
+            out.push('}');
+        }
+        out.push_str("},\"ops\":{");
+        for (i, (k, op)) in self.ops.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_into(&mut out, k);
+            out.push_str(":{\"status\":");
+            escape_into(&mut out, op.status());
+            for (side, v) in [("a", op.a), ("b", op.b)] {
+                out.push(',');
+                escape_into(&mut out, &format!("{side}_hops"));
+                out.push(':');
+                match v {
+                    Some((h, _)) => write_f64(&mut out, h),
+                    None => out.push_str("null"),
+                }
+                out.push(',');
+                escape_into(&mut out, &format!("{side}_secs"));
+                out.push(':');
+                match v {
+                    Some((_, s)) => write_f64(&mut out, s),
+                    None => out.push_str("null"),
+                }
+            }
+            out.push_str(",\"delta_secs\":");
+            write_f64(&mut out, op.delta_secs());
+            out.push('}');
+        }
+        out.push_str("},\"whatif\":{");
+        for (i, &(k, va, vb)) in self.whatif.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_into(&mut out, k);
+            out.push_str(":{\"a\":");
+            write_f64(&mut out, va);
+            out.push_str(",\"b\":");
+            write_f64(&mut out, vb);
+            out.push_str(",\"delta\":");
+            write_f64(&mut out, vb - va);
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn sign(v: f64) -> &'static str {
+    if v >= 0.0 {
+        "+"
+    } else {
+        "-"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrib::PerfDoctor;
+    use crate::critpath::{DepLog, DepRecorder};
+    use crate::json::{check, parse};
+
+    /// Two ranks exchange a tagged message after computing; `slow`
+    /// stretches rank 0's compute (and with it the wire wait on rank 1).
+    fn doc(slow: f64, rounds: u32) -> Value {
+        let mut r0 = DepRecorder::new();
+        let mut r1 = DepRecorder::new();
+        r0.compute(0.0, slow, slow * 0.5, "fused_sweep");
+        r1.compute(0.0, 0.5, 0.5, "fused_sweep");
+        let mut c0 = slow;
+        let mut c1 = 0.5;
+        for round in 0..rounds {
+            let tag = 0x10 + u64::from(round);
+            let seq = u64::from(round);
+            r0.send(c0, 0.25, 1, tag, seq);
+            c0 += 0.25; // the departure clock the recv must echo
+            r1.recv(c1, 0, tag, seq, c0, 0.5, 0.0);
+            c1 = c1.max(c0 + 0.5);
+        }
+        let log = DepLog::from_ranks(vec![r0.finish(), r1.finish()]);
+        let json = PerfDoctor::analyze(&log, 0.0).expect("analyze").to_json();
+        parse(&json).expect("parse")
+    }
+
+    #[test]
+    fn diff_decomposes_the_makespan_delta() {
+        let a = doc(2.0, 2);
+        let b = doc(1.0, 1);
+        let d = PerfDiff::between(&a, &b, "before", "after").expect("diff");
+        assert!(d.makespan.0 > d.makespan.1, "{:?}", d.makespan);
+        let compute = d
+            .buckets
+            .iter()
+            .find(|&&(k, _, _)| k == "compute")
+            .expect("compute bucket");
+        assert!(compute.1 > compute.2, "compute should shrink: {compute:?}");
+        // The second round's p2p hop chain left the path.
+        assert!(
+            d.ops.values().any(|op| op.status() == "both"),
+            "{:?}",
+            d.ops
+        );
+        let text = d.render_text();
+        assert!(text.contains("== perf-diff: before -> after =="), "{text}");
+        assert!(text.contains("makespan"), "{text}");
+        assert!(text.contains("zero_network"), "{text}");
+    }
+
+    #[test]
+    fn entered_and_left_ops_are_flagged() {
+        let only_a = OpDelta {
+            a: Some((2.0, 0.5)),
+            b: None,
+        };
+        let only_b = OpDelta {
+            a: None,
+            b: Some((1.0, 0.25)),
+        };
+        assert_eq!(only_a.status(), "left");
+        assert_eq!(only_b.status(), "entered");
+        assert_eq!(only_a.delta_secs(), -0.5);
+        assert_eq!(only_b.delta_secs(), 0.25);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_deterministic() {
+        let a = doc(2.0, 2);
+        let b = doc(1.0, 1);
+        let d1 = PerfDiff::between(&a, &b, "x", "y").expect("diff");
+        let d2 = PerfDiff::between(&a, &b, "x", "y").expect("diff");
+        let j1 = d1.to_json();
+        assert_eq!(j1, d2.to_json());
+        check(&j1).unwrap_or_else(|e| panic!("{e}\n{j1}"));
+        assert!(j1.contains("\"schema\":\"shrinksvm-perfdiff/v1\""), "{j1}");
+        assert!(j1.contains("\"makespan\":{\"a\":"), "{j1}");
+        assert!(j1.contains("\"status\":"), "{j1}");
+        let parsed = parse(&j1).expect("round-trip");
+        assert_eq!(
+            parsed.get("schema").and_then(Value::as_str),
+            Some(PERFDIFF_SCHEMA)
+        );
+    }
+
+    #[test]
+    fn rejects_non_perf_documents() {
+        let bench = parse("{\"schema\":1,\"modeled_time\":0.5}").expect("parse");
+        let perf = doc(1.0, 1);
+        let err = PerfDiff::between(&bench, &perf, "a", "b").expect_err("must reject");
+        assert!(err.contains("not a PerfDoctor report"), "{err}");
+        let err = PerfDiff::between(&perf, &bench, "a", "b").expect_err("must reject");
+        assert!(err.contains('b'), "{err}");
+    }
+}

@@ -1,0 +1,414 @@
+//! The cross-run perf-history ledger: an append-only JSONL trajectory of
+//! benchmark makespans and their attribution buckets across PRs.
+//!
+//! Each [`HistoryRow`] is one `(bench, revision)` measurement — makespan,
+//! iteration count, convergence flag and the five attribution buckets —
+//! serialized as one schema-tagged JSON line ([`HistoryRow::to_json_line`],
+//! schema [`PERF_HISTORY_SCHEMA`]). The committed ledger lives at
+//! `bench_baselines/PERF_HISTORY.jsonl`; `cargo xtask perf-history`
+//! appends to and renders it, and the CI bench-diff job gates on the
+//! tail so a makespan regression cannot land silently.
+//!
+//! Rendering ([`render_history`]) groups rows by bench, draws a text
+//! sparkline of the makespan trajectory (oldest → newest) and tabulates
+//! the per-revision rows. Everything is deterministic in the ledger
+//! contents.
+
+use crate::json::{escape_into, parse, write_f64, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag stamped into every ledger row.
+pub const PERF_HISTORY_SCHEMA: &str = "shrinksvm-perfhist/v1";
+
+/// One `(bench, revision)` measurement in the ledger.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistoryRow {
+    /// Benchmark name (`smoke`, `hotpath`, ...).
+    pub bench: String,
+    /// Source revision the measurement was taken at (short git rev, or
+    /// `unknown` outside a checkout).
+    pub rev: String,
+    /// End-to-end simulated makespan, seconds.
+    pub makespan: f64,
+    /// Solver iterations to convergence.
+    pub iterations: f64,
+    /// Whether the run converged within its budget.
+    pub converged: bool,
+    /// Summed per-rank compute charge, simulated seconds.
+    pub compute: f64,
+    /// Summed per-rank transfer charge, simulated seconds.
+    pub transfer: f64,
+    /// Summed per-rank idle time, simulated seconds.
+    pub idle: f64,
+    /// Summed per-rank retransmission penalties, simulated seconds.
+    pub retransmit: f64,
+    /// Simulated time lost to crash recovery.
+    pub recovery: f64,
+}
+
+fn req_num(doc: &Value, key: &str, what: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{what}: missing numeric field {key:?}"))
+}
+
+impl HistoryRow {
+    /// Build a row from a parsed `BENCH_*.json` document plus, when the
+    /// run was traced, its `PERF_*.json` — the PERF buckets are exact
+    /// (they include retransmit and recovery); without it the bench
+    /// report's compute/transfer/idle split is used and the last two
+    /// buckets stay zero.
+    ///
+    /// # Errors
+    ///
+    /// A malformed bench document (no name, makespan or iteration
+    /// fields) or a PERF document missing its bucket table.
+    pub fn from_reports(
+        bench: &Value,
+        perf: Option<&Value>,
+        rev: &str,
+    ) -> Result<HistoryRow, String> {
+        let name = bench
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("bench report: missing string field \"name\"")?
+            .to_string();
+        let what = format!("bench report {name:?}");
+        let mut row = HistoryRow {
+            bench: name,
+            rev: rev.to_string(),
+            makespan: req_num(bench, "modeled_time", &what)?,
+            iterations: req_num(bench, "iterations", &what)?,
+            converged: bench
+                .get("converged")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| format!("{what}: missing bool field \"converged\""))?,
+            compute: req_num(bench, "compute_time", &what)?,
+            transfer: req_num(bench, "transfer_time", &what)?,
+            idle: req_num(bench, "idle_time", &what)?,
+            retransmit: 0.0,
+            recovery: 0.0,
+        };
+        if let Some(perf) = perf {
+            let buckets = perf
+                .get("buckets")
+                .ok_or_else(|| format!("{what}: PERF document has no buckets"))?;
+            row.compute = req_num(buckets, "compute", &what)?;
+            row.transfer = req_num(buckets, "transfer", &what)?;
+            row.idle = req_num(buckets, "idle", &what)?;
+            row.retransmit = req_num(buckets, "retransmit", &what)?;
+            row.recovery = req_num(buckets, "recovery", &what)?;
+        }
+        Ok(row)
+    }
+
+    /// Serialize as one JSONL line (no trailing newline), keys in fixed
+    /// order, schema-tagged.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"schema\":");
+        escape_into(&mut out, PERF_HISTORY_SCHEMA);
+        out.push_str(",\"bench\":");
+        escape_into(&mut out, &self.bench);
+        out.push_str(",\"rev\":");
+        escape_into(&mut out, &self.rev);
+        out.push_str(",\"makespan\":");
+        write_f64(&mut out, self.makespan);
+        out.push_str(",\"iterations\":");
+        write_f64(&mut out, self.iterations);
+        out.push_str(",\"converged\":");
+        out.push_str(if self.converged { "true" } else { "false" });
+        for (k, v) in [
+            ("compute", self.compute),
+            ("transfer", self.transfer),
+            ("idle", self.idle),
+            ("retransmit", self.retransmit),
+            ("recovery", self.recovery),
+        ] {
+            out.push(',');
+            escape_into(&mut out, k);
+            out.push(':');
+            write_f64(&mut out, v);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parse one ledger line.
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON, a wrong/missing schema tag, or missing fields.
+    pub fn parse_line(line: &str) -> Result<HistoryRow, String> {
+        let v = parse(line)?;
+        match v.get("schema").and_then(Value::as_str) {
+            Some(s) if s == PERF_HISTORY_SCHEMA => {}
+            other => {
+                return Err(format!(
+                    "ledger row schema {other:?} (want {PERF_HISTORY_SCHEMA:?})"
+                ))
+            }
+        }
+        let what = "ledger row";
+        Ok(HistoryRow {
+            bench: v
+                .get("bench")
+                .and_then(Value::as_str)
+                .ok_or("ledger row: missing string field \"bench\"")?
+                .to_string(),
+            rev: v
+                .get("rev")
+                .and_then(Value::as_str)
+                .ok_or("ledger row: missing string field \"rev\"")?
+                .to_string(),
+            makespan: req_num(&v, "makespan", what)?,
+            iterations: req_num(&v, "iterations", what)?,
+            converged: v
+                .get("converged")
+                .and_then(Value::as_bool)
+                .ok_or("ledger row: missing bool field \"converged\"")?,
+            compute: req_num(&v, "compute", what)?,
+            transfer: req_num(&v, "transfer", what)?,
+            idle: req_num(&v, "idle", what)?,
+            retransmit: req_num(&v, "retransmit", what)?,
+            recovery: req_num(&v, "recovery", what)?,
+        })
+    }
+}
+
+/// Parse a whole ledger (blank lines skipped), preserving row order.
+///
+/// # Errors
+///
+/// The first malformed row, with its 1-based line number.
+pub fn parse_ledger(text: &str) -> Result<Vec<HistoryRow>, String> {
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        rows.push(HistoryRow::parse_line(line).map_err(|e| format!("ledger line {}: {e}", i + 1))?);
+    }
+    Ok(rows)
+}
+
+/// A min–max scaled text sparkline of `values` (oldest on the left).
+/// Flat or single-point series render mid-height.
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    values
+        .iter()
+        .map(|&v| {
+            if hi - lo <= 0.0 || !(hi - lo).is_finite() {
+                '▄'
+            } else {
+                let t = (v - lo) / (hi - lo);
+                BARS[((t * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Render the ledger: per bench, the makespan sparkline (oldest →
+/// newest) and a table of every row's revision, makespan and bucket
+/// split.
+pub fn render_history(rows: &[HistoryRow]) -> String {
+    let mut by_bench: BTreeMap<&str, Vec<&HistoryRow>> = BTreeMap::new();
+    for r in rows {
+        by_bench.entry(&r.bench).or_default().push(r);
+    }
+    let mut out = String::with_capacity(1024);
+    out.push_str("== perf history ==\n");
+    if rows.is_empty() {
+        out.push_str("(ledger is empty)\n");
+        return out;
+    }
+    for (bench, rows) in &by_bench {
+        let series: Vec<f64> = rows.iter().map(|r| r.makespan).collect();
+        let first = series.first().copied().unwrap_or(0.0);
+        let last = series.last().copied().unwrap_or(0.0);
+        let trend = if first > 0.0 {
+            100.0 * (last - first) / first
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{bench}: {} rows, makespan {first:.6}s -> {last:.6}s ({trend:+.2}% since first)  {}",
+            rows.len(),
+            sparkline(&series)
+        );
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>12} {:>8} {:>11} {:>11} {:>11} {:>11}",
+            "rev", "makespan", "iters", "compute", "transfer", "idle", "recovery"
+        );
+        for r in rows {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>12.6} {:>8} {:>11.6} {:>11.6} {:>11.6} {:>11.6}{}",
+                r.rev,
+                r.makespan,
+                r.iterations,
+                r.compute,
+                r.transfer,
+                r.idle,
+                r.recovery,
+                if r.converged { "" } else { "  NOT CONVERGED" }
+            );
+        }
+    }
+    out
+}
+
+/// Gate a new row against the committed trajectory: fails when the
+/// bench's latest committed makespan would regress by more than `frac`
+/// (e.g. `0.10` = 10%). A bench with no committed history always
+/// passes — first rows seed the ledger.
+///
+/// # Errors
+///
+/// A human-readable regression message naming the bench, both makespans
+/// and the threshold.
+pub fn gate_against_tail(
+    committed: &[HistoryRow],
+    new_row: &HistoryRow,
+    frac: f64,
+) -> Result<(), String> {
+    let Some(tail) = committed.iter().rev().find(|r| r.bench == new_row.bench) else {
+        return Ok(());
+    };
+    let limit = tail.makespan * (1.0 + frac);
+    if new_row.makespan > limit {
+        return Err(format!(
+            "perf-history gate: bench {:?} makespan {:.9}s regresses the committed tail \
+             {:.9}s (rev {}) by more than {:.0}% (limit {:.9}s)",
+            new_row.bench,
+            new_row.makespan,
+            tail.makespan,
+            tail.rev,
+            frac * 100.0,
+            limit
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::check;
+
+    fn row(bench: &str, rev: &str, makespan: f64) -> HistoryRow {
+        HistoryRow {
+            bench: bench.to_string(),
+            rev: rev.to_string(),
+            makespan,
+            iterations: 900.0,
+            converged: true,
+            compute: makespan * 3.0,
+            transfer: makespan * 0.5,
+            idle: makespan * 0.5,
+            retransmit: 0.0,
+            recovery: 0.0,
+        }
+    }
+
+    #[test]
+    fn rows_round_trip_through_jsonl() {
+        let r = row("smoke", "abc1234", 0.00125);
+        let line = r.to_json_line();
+        check(&line).unwrap_or_else(|e| panic!("{e}\n{line}"));
+        assert!(
+            line.contains("\"schema\":\"shrinksvm-perfhist/v1\""),
+            "{line}"
+        );
+        let back = HistoryRow::parse_line(&line).expect("parse");
+        assert_eq!(back, r);
+        let ledger = format!(
+            "{}\n{}\n\n",
+            line,
+            row("hotpath", "abc1234", 0.005).to_json_line()
+        );
+        let rows = parse_ledger(&ledger).expect("ledger");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].bench, "hotpath");
+    }
+
+    #[test]
+    fn parse_rejects_foreign_and_broken_rows() {
+        assert!(HistoryRow::parse_line("{\"schema\":1}").is_err());
+        assert!(HistoryRow::parse_line("{not json").is_err());
+        let err = parse_ledger("{\"schema\":\"nope\"}\n").expect_err("bad schema");
+        assert!(err.contains("ledger line 1"), "{err}");
+    }
+
+    #[test]
+    fn from_reports_prefers_perf_buckets() {
+        let bench = parse(
+            "{\"schema\":1,\"name\":\"smoke\",\"modeled_time\":1.5,\"iterations\":12,\
+             \"converged\":true,\"compute_time\":4.0,\"transfer_time\":1.0,\"idle_time\":1.0}",
+        )
+        .expect("bench");
+        let no_perf = HistoryRow::from_reports(&bench, None, "r1").expect("row");
+        assert_eq!(no_perf.compute, 4.0);
+        assert_eq!(no_perf.retransmit, 0.0);
+        let perf = parse(
+            "{\"schema\":\"shrinksvm-perf/v1\",\"buckets\":{\"compute\":4.5,\"transfer\":0.75,\
+             \"idle\":0.5,\"retransmit\":0.25,\"recovery\":0.0}}",
+        )
+        .expect("perf");
+        let with_perf = HistoryRow::from_reports(&bench, Some(&perf), "r1").expect("row");
+        assert_eq!(with_perf.compute, 4.5);
+        assert_eq!(with_perf.retransmit, 0.25);
+        assert_eq!(with_perf.bench, "smoke");
+        assert_eq!(with_perf.rev, "r1");
+    }
+
+    #[test]
+    fn sparkline_scales_and_handles_flat_series() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[1.0]), "▄");
+        assert_eq!(sparkline(&[2.0, 2.0, 2.0]), "▄▄▄");
+        let s = sparkline(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'), "{s}");
+        assert!(s.ends_with('█'), "{s}");
+    }
+
+    #[test]
+    fn render_groups_by_bench_with_sparkline() {
+        let rows = vec![
+            row("smoke", "r1", 2.0),
+            row("hotpath", "r1", 8.0),
+            row("smoke", "r2", 1.0),
+        ];
+        let text = render_history(&rows);
+        assert!(text.contains("smoke: 2 rows"), "{text}");
+        assert!(text.contains("hotpath: 1 rows"), "{text}");
+        assert!(text.contains("-50.00% since first"), "{text}");
+        assert!(text.contains('█'), "{text}");
+        assert!(render_history(&[]).contains("empty"), "empty ledger note");
+    }
+
+    #[test]
+    fn gate_flags_tail_regressions_only() {
+        let committed = vec![row("smoke", "r1", 2.0), row("smoke", "r2", 1.0)];
+        // 5% over the tail (1.0) passes a 10% gate.
+        gate_against_tail(&committed, &row("smoke", "head", 1.05), 0.10).expect("within gate");
+        // 20% over fails, and the message names the tail rev.
+        let err = gate_against_tail(&committed, &row("smoke", "head", 1.2), 0.10)
+            .expect_err("regression");
+        assert!(err.contains("r2"), "{err}");
+        assert!(err.contains("smoke"), "{err}");
+        // Unknown benches seed freely.
+        gate_against_tail(&committed, &row("new_bench", "head", 99.0), 0.10).expect("seeds");
+    }
+}

@@ -21,10 +21,12 @@
 //! as the CI perf gate. The optimized configuration runs with tracing on
 //! (observation only: it cannot move simulated time) and its PerfDoctor
 //! analysis — exact critical path, makespan attribution, what-if
-//! projections — is written as `PERF_hotpath.{json,txt}`. All numbers are
-//! simulated time, so the whole comparison is run twice and both
-//! `BENCH_hotpath.json` and `PERF_hotpath.json` are asserted
-//! byte-identical before being written.
+//! projections — is written as `PERF_hotpath.{json,txt}`, its
+//! hierarchical time profile as `PROFILE_hotpath.{folded,svg,json}`, and
+//! the no-overlap run's analysis as `PERF_hotpath_no_overlap.json` so
+//! `cargo xtask perf-diff` can explain the overlap win mechanically. All
+//! numbers are simulated time, so the whole comparison is run twice and
+//! every artifact is asserted byte-identical before being written.
 //!
 //! ```text
 //! cargo run --release --example bench_hotpath [out_dir]
@@ -85,6 +87,10 @@ struct Artifacts {
     bench: String,
     perf_json: String,
     perf_text: String,
+    perf_no_overlap_json: String,
+    profile_folded: String,
+    profile_svg: String,
+    profile_json: String,
 }
 
 fn run_once() -> Artifacts {
@@ -199,10 +205,26 @@ fn run_once() -> Artifacts {
         .perf
         .as_ref()
         .expect("traced runs attach a PerfDoctor");
+    // The no-overlap PERF report makes the overlap win mechanically
+    // explainable: `cargo xtask perf-diff PERF_hotpath.json
+    // PERF_hotpath_no_overlap.json` (or the reverse) shows the buckets
+    // and critical-path ops the pipeline moved.
+    let perf_no_overlap = no_overlap
+        .perf
+        .as_ref()
+        .expect("traced runs attach a PerfDoctor");
+    let profile = optimized
+        .profile
+        .as_ref()
+        .expect("traced runs attach a profile");
     Artifacts {
         bench: report.to_json(),
         perf_json: perf.to_json(),
         perf_text: perf.render_text(),
+        perf_no_overlap_json: perf_no_overlap.to_json(),
+        profile_folded: profile.to_folded(),
+        profile_svg: profile.to_svg(),
+        profile_json: profile.to_json(),
     }
 }
 
@@ -219,18 +241,47 @@ fn main() {
         a.perf_json, b.perf_json,
         "PerfDoctor report must be deterministic"
     );
+    assert_eq!(
+        a.perf_no_overlap_json, b.perf_no_overlap_json,
+        "no-overlap PerfDoctor report must be deterministic"
+    );
+    assert_eq!(
+        a.profile_folded, b.profile_folded,
+        "folded profile must be deterministic"
+    );
+    assert_eq!(
+        a.profile_svg, b.profile_svg,
+        "flame SVG must be deterministic"
+    );
+    assert_eq!(
+        a.profile_json, b.profile_json,
+        "profile JSON must be deterministic"
+    );
     json::check(&a.bench).expect("bench JSON well-formed");
     json::check(&a.perf_json).expect("perf JSON well-formed");
+    json::check(&a.perf_no_overlap_json).expect("no-overlap perf JSON well-formed");
+    json::check(&a.profile_json).expect("profile JSON well-formed");
+    shrinksvm_obs::profile::xml_check(&a.profile_svg).expect("flame SVG well-formed XML");
 
     std::fs::create_dir_all(&out).expect("create out dir");
     std::fs::write(out.join("BENCH_hotpath.json"), &a.bench).expect("write bench report");
     std::fs::write(out.join("PERF_hotpath.json"), &a.perf_json).expect("write perf json");
     std::fs::write(out.join("PERF_hotpath.txt"), &a.perf_text).expect("write perf text");
+    std::fs::write(
+        out.join("PERF_hotpath_no_overlap.json"),
+        &a.perf_no_overlap_json,
+    )
+    .expect("write no-overlap perf json");
+    std::fs::write(out.join("PROFILE_hotpath.folded"), &a.profile_folded)
+        .expect("write folded profile");
+    std::fs::write(out.join("PROFILE_hotpath.svg"), &a.profile_svg).expect("write flame svg");
+    std::fs::write(out.join("PROFILE_hotpath.json"), &a.profile_json).expect("write profile json");
 
     println!("{}", a.bench);
     println!("{}", a.perf_text);
     println!(
-        "wrote {} and PERF_hotpath.{{json,txt}}",
+        "wrote {}, PERF_hotpath.{{json,txt}}, PERF_hotpath_no_overlap.json and \
+         PROFILE_hotpath.{{folded,svg,json}}",
         out.join("BENCH_hotpath.json").display()
     );
     println!("determinism: two same-seed runs produced byte-identical reports ✓");

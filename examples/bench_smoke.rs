@@ -15,6 +15,9 @@
 //!   the exact critical path through the run's event DAG, the
 //!   compute/transfer/idle/retransmit/recovery attribution, and what-if
 //!   projections (zero-latency network, infinite cache, perfect balance)
+//! * `PROFILE_smoke.{folded,svg,json}` — the hierarchical time profile
+//!   (phase → op → charge class): collapsed-stack text for external
+//!   flame-graph tools, a self-contained flame SVG, and the tree as JSON
 //!
 //! Everything is keyed on *simulated* time, so the run is executed twice
 //! and the artifacts are asserted byte-identical before being written —
@@ -37,6 +40,9 @@ struct Artifacts {
     bench: String,
     perf_json: String,
     perf_text: String,
+    profile_folded: String,
+    profile_svg: String,
+    profile_json: String,
 }
 
 fn run_once() -> Artifacts {
@@ -70,6 +76,7 @@ fn run_once() -> Artifacts {
     }
 
     let perf = run.perf.as_ref().expect("traced runs attach a PerfDoctor");
+    let profile = run.profile.as_ref().expect("traced runs attach a profile");
     Artifacts {
         trace_json: run.timeline.to_chrome_json(),
         trace_text: run.timeline.render_text(),
@@ -77,6 +84,9 @@ fn run_once() -> Artifacts {
         bench: report.to_json(),
         perf_json: perf.to_json(),
         perf_text: perf.render_text(),
+        profile_folded: profile.to_folded(),
+        profile_svg: profile.to_svg(),
+        profile_json: profile.to_json(),
     }
 }
 
@@ -103,10 +113,24 @@ fn main() {
         "PerfDoctor report must be deterministic"
     );
     assert_eq!(a.perf_text, b.perf_text, "PerfDoctor text must be stable");
+    assert_eq!(
+        a.profile_folded, b.profile_folded,
+        "folded profile must be deterministic"
+    );
+    assert_eq!(
+        a.profile_svg, b.profile_svg,
+        "flame SVG must be deterministic"
+    );
+    assert_eq!(
+        a.profile_json, b.profile_json,
+        "profile JSON must be deterministic"
+    );
 
     json::check(&a.trace_json).expect("trace JSON well-formed");
     json::check(&a.bench).expect("bench JSON well-formed");
     json::check(&a.perf_json).expect("perf JSON well-formed");
+    json::check(&a.profile_json).expect("profile JSON well-formed");
+    shrinksvm_obs::profile::xml_check(&a.profile_svg).expect("flame SVG well-formed XML");
 
     std::fs::create_dir_all(&out).expect("create out dir");
     std::fs::write(out.join("trace_smoke.json"), &a.trace_json).expect("write trace json");
@@ -115,12 +139,16 @@ fn main() {
     std::fs::write(out.join("BENCH_smoke.json"), &a.bench).expect("write bench report");
     std::fs::write(out.join("PERF_smoke.json"), &a.perf_json).expect("write perf json");
     std::fs::write(out.join("PERF_smoke.txt"), &a.perf_text).expect("write perf text");
+    std::fs::write(out.join("PROFILE_smoke.folded"), &a.profile_folded)
+        .expect("write folded profile");
+    std::fs::write(out.join("PROFILE_smoke.svg"), &a.profile_svg).expect("write flame svg");
+    std::fs::write(out.join("PROFILE_smoke.json"), &a.profile_json).expect("write profile json");
 
     println!("{}", a.metrics);
     println!("{}", a.perf_text);
     println!(
         "artifacts written to {}: trace_smoke.json ({} events), metrics_smoke.txt, \
-         BENCH_smoke.json, PERF_smoke.{{json,txt}}",
+         BENCH_smoke.json, PERF_smoke.{{json,txt}}, PROFILE_smoke.{{folded,svg,json}}",
         out.display(),
         a.trace_json.matches("\"ph\"").count(),
     );

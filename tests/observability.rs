@@ -11,27 +11,30 @@ fn params() -> SvmParams {
     SvmParams::new(2.0, KernelKind::rbf_from_sigma_sq(1.5)).with_epsilon(1e-3)
 }
 
-fn traced_artifacts(ds: &Dataset) -> (String, String, String) {
+fn traced_artifacts(ds: &Dataset) -> (String, String, String, String) {
     let run = DistSolver::new(ds, params().with_shrink(ShrinkPolicy::best()))
         .with_processes(3)
         .with_tracing()
         .train()
         .unwrap();
+    let profile = run.profile.as_ref().unwrap();
     (
         run.timeline.to_chrome_json(),
         run.metrics.snapshot(),
         run.bench_report("determinism").to_json(),
+        profile.to_folded(),
     )
 }
 
 #[test]
 fn telemetry_artifacts_are_byte_identical_across_same_seed_runs() {
     let ds = gaussian::two_blobs(180, 4, 3.0, 77);
-    let (trace_a, metrics_a, bench_a) = traced_artifacts(&ds);
-    let (trace_b, metrics_b, bench_b) = traced_artifacts(&ds);
+    let (trace_a, metrics_a, bench_a, folded_a) = traced_artifacts(&ds);
+    let (trace_b, metrics_b, bench_b, folded_b) = traced_artifacts(&ds);
     assert_eq!(trace_a, trace_b);
     assert_eq!(metrics_a, metrics_b);
     assert_eq!(bench_a, bench_b);
+    assert_eq!(folded_a, folded_b);
 
     json::check(&trace_a).unwrap();
     json::check(&bench_a).unwrap();
@@ -41,6 +44,50 @@ fn telemetry_artifacts_are_byte_identical_across_same_seed_runs() {
     // per-rank tracks and solver phases made it into the trace
     assert!(trace_a.contains("\"allreduce\""));
     assert!(trace_a.contains("\"compute\""));
+}
+
+#[test]
+fn traced_runs_attach_a_reconciled_hierarchical_profile() {
+    let ds = gaussian::two_blobs(180, 4, 3.0, 77);
+    let run = DistSolver::new(&ds, params().with_shrink(ShrinkPolicy::best()))
+        .with_processes(3)
+        .with_tracing()
+        .train()
+        .unwrap();
+    let profile = run.profile.as_ref().expect("tracing attaches a profile");
+    assert_eq!(profile.ranks, 3);
+    assert_eq!(profile.makespan, run.makespan);
+
+    // Conservation: the folded self-times sum to p * makespan (every
+    // simulated second is charged to exactly one leaf).
+    let folded = profile.to_folded();
+    let total: f64 = folded
+        .lines()
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<f64>().unwrap())
+        .sum();
+    let expect = 3.0 * run.makespan;
+    assert!(
+        (total - expect).abs() <= 1e-9 * run.makespan,
+        "folded sum {total} vs p*makespan {expect}"
+    );
+
+    // Stacks are rank;phase;op;charge — solver phases from the timeline
+    // must show up as the phase frame, not just the "main" fallback.
+    assert!(
+        folded.lines().any(|l| l.starts_with("rank0;fused_sweep;")),
+        "{folded}"
+    );
+    // Untraced runs attach nothing.
+    let plain = DistSolver::new(&ds, params())
+        .with_processes(3)
+        .train()
+        .unwrap();
+    assert!(plain.profile.is_none());
+
+    // The remaining renderings hold up too: JSON parses, the flame SVG is
+    // well-formed XML.
+    json::check(&profile.to_json()).unwrap();
+    shrinksvm_obs::profile::xml_check(&profile.to_svg()).unwrap();
 }
 
 #[test]

@@ -167,6 +167,40 @@ impl DiffReport {
             .collect()
     }
 
+    /// The gate table as deterministic JSON (schema
+    /// `shrinksvm-benchdiff/v1`), so CI can annotate job summaries
+    /// without scraping the text output.
+    pub fn to_json(&self) -> String {
+        use shrinksvm_obs::json::escape_into;
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"schema\":\"shrinksvm-benchdiff/v1\",\"regressions\":");
+        out.push_str(&self.regressions().len().to_string());
+        out.push_str(",\"checked\":");
+        out.push_str(&self.lines.len().to_string());
+        out.push_str(",\"lines\":[");
+        for (i, l) in self.lines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"metric\":");
+            escape_into(&mut out, &l.metric);
+            out.push_str(",\"verdict\":");
+            escape_into(
+                &mut out,
+                match l.verdict {
+                    Verdict::Ok => "ok",
+                    Verdict::Info => "info",
+                    Verdict::Regression => "regression",
+                },
+            );
+            out.push_str(",\"detail\":");
+            escape_into(&mut out, &l.detail);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
     fn push(&mut self, metric: String, verdict: Verdict, detail: String) {
         self.lines.push(DiffLine {
             metric,
@@ -434,6 +468,26 @@ mod tests {
         let r = report(1.0, 100, 3.0, true);
         let d = diff_strs(&r, &r);
         assert!(d.regressions().is_empty(), "{:?}", d.lines);
+    }
+
+    #[test]
+    fn json_gate_table_is_well_formed_and_counts_regressions() {
+        let base = report(1.0, 100, 3.0, true);
+        let slow = report(1.2, 100, 3.0, true);
+        let d = diff_strs(&base, &slow);
+        let json = d.to_json();
+        shrinksvm_obs::json::check(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+        assert!(
+            json.contains("\"schema\":\"shrinksvm-benchdiff/v1\""),
+            "{json}"
+        );
+        assert!(
+            json.contains(&format!("\"regressions\":{}", d.regressions().len())),
+            "{json}"
+        );
+        assert!(json.contains("\"metric\":\"t/modeled_time\""), "{json}");
+        assert!(json.contains("\"verdict\":\"regression\""), "{json}");
+        assert_eq!(json, diff_strs(&base, &slow).to_json(), "deterministic");
     }
 
     #[test]

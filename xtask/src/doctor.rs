@@ -13,7 +13,13 @@
 //!   self-test,
 //! * numeric schema `1` with `modeled_time` (`BENCH_*.json`): a bench
 //!   report summary — headline makespan, time split, fault/recovery
-//!   accounting and the sorted extras.
+//!   accounting and the sorted extras,
+//! * `shrinksvm-perf/v1` (`PERF_*.json`): a PerfDoctor trace analysis —
+//!   makespan, attribution buckets, critical-path op totals and the
+//!   what-if projections,
+//! * `shrinksvm-profile/v1` (`PROFILE_*.json`): a hierarchical time
+//!   profile — the merged phase → op → charge tree with self/total
+//!   seconds and shares.
 //!
 //! Output is plain text on stdout, deterministic for a given input file
 //! (rendering only re-orders nothing and adds no timestamps), so CI can
@@ -35,12 +41,14 @@ pub fn run_doctor(path: &Path) -> Result<String, String> {
     match v.get("schema") {
         Some(Value::String(s)) if s == "shrinksvm-flight/v1" => render_flight(&v),
         Some(Value::String(s)) if s == "shrinksvm-soak/v1" => Ok(render_soak(&v)),
+        Some(Value::String(s)) if s == "shrinksvm-perf/v1" => Ok(render_perf(&v)),
+        Some(Value::String(s)) if s == "shrinksvm-profile/v1" => render_profile(&v),
         Some(Value::Number(n)) if *n == 1.0 && v.get("modeled_time").is_some() => {
             Ok(render_bench(&v))
         }
         other => Err(format!(
             "{}: unrecognized artifact schema {other:?} (known: shrinksvm-flight/v1, \
-             shrinksvm-soak/v1, bench schema 1)",
+             shrinksvm-soak/v1, shrinksvm-perf/v1, shrinksvm-profile/v1, bench schema 1)",
             path.display()
         )),
     }
@@ -246,6 +254,106 @@ fn render_bench(v: &Value) -> String {
     out
 }
 
+/// PerfDoctor trace-analysis summary: buckets, the critical-path op
+/// table, and the what-if projections.
+fn render_perf(v: &Value) -> String {
+    let mut out = String::new();
+    let makespan = num_of(v, "makespan");
+    let _ = writeln!(
+        out,
+        "perf report: makespan {:.9}s over {} rank(s) (set by rank {})",
+        makespan,
+        num_of(v, "ranks"),
+        num_of(v, "makespan_rank")
+    );
+    if let Some(b) = v.get("buckets") {
+        let total = num_of(b, "total_rank_time");
+        out.push_str("buckets (total rank-time):\n");
+        for k in ["compute", "transfer", "idle", "retransmit", "recovery"] {
+            let val = num_of(b, k);
+            let share = if total > 0.0 {
+                100.0 * val / total
+            } else {
+                0.0
+            };
+            let _ = writeln!(out, "  {k:<12} {val:>14.9}s  {share:>6.2}%");
+        }
+    }
+    if let Some(Value::Object(by_op)) = v.get("critical_path").and_then(|cp| cp.get("by_op")) {
+        let _ = writeln!(
+            out,
+            "critical path: {} hop(s)",
+            v.get("critical_path")
+                .map(|cp| num_of(cp, "hops_total"))
+                .unwrap_or(f64::NAN)
+        );
+        for (k, t) in by_op {
+            let _ = writeln!(
+                out,
+                "  {k:<28} {:>4} hop(s) {:>14.9}s",
+                num_of(t, "hops"),
+                num_of(t, "secs")
+            );
+        }
+    }
+    if let Some(w) = v.get("whatif") {
+        out.push_str("what-if projections:\n");
+        for k in ["zero_network", "perfect_balance", "infinite_cache"] {
+            let _ = writeln!(
+                out,
+                "  {k:<16} {:>14.9}s  (speedup x{:.3})",
+                num_of(w, k),
+                num_of(w, &format!("speedup_{k}"))
+            );
+        }
+    }
+    out
+}
+
+/// Hierarchical-profile summary: the merged tree, indented, with
+/// self/total seconds and each frame's share of total rank-time.
+fn render_profile(v: &Value) -> Result<String, String> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profile: makespan {:.9}s over {} rank(s), total rank-time {:.9}s \
+         (reconcile error {:e})",
+        num_of(v, "makespan"),
+        num_of(v, "ranks"),
+        num_of(v, "total_self"),
+        num_of(v, "reconcile_error")
+    );
+    let merged = v
+        .get("merged")
+        .ok_or("profile artifact has no merged tree")?;
+    let total = num_of(merged, "total");
+    render_profile_node(&mut out, merged, 0, total);
+    Ok(out)
+}
+
+fn render_profile_node(out: &mut String, node: &Value, depth: usize, total: f64) {
+    let node_total = num_of(node, "total");
+    let share = if total > 0.0 {
+        100.0 * node_total / total
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "{:indent$}{:<24} total {:>14.9}s  self {:>14.9}s  {share:>6.2}%",
+        "",
+        str_of(node, "name"),
+        node_total,
+        num_of(node, "self"),
+        indent = depth * 2
+    );
+    if let Some(Value::Array(children)) = node.get("children") {
+        for c in children {
+            render_profile_node(out, c, depth + 1, total);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,9 +436,56 @@ mod tests {
     }
 
     #[test]
+    fn perf_report_renders_buckets_ops_and_whatif() {
+        let json = r#"{"schema":"shrinksvm-perf/v1","makespan":1.875,"ranks":2,"makespan_rank":1,
+            "buckets":{"compute":1.5,"transfer":0.875,"idle":1.375,"retransmit":0.125,
+                       "recovery":0,"recovery_waste":0,"recovery_backoff":0,
+                       "total_rank_time":3.75,"reconcile_error":0},
+            "critical_path":{"start":0,"end":1.875,"hops_total":3,"hops_truncated":0,"hops":[],
+                "by_op":{"compute/fused_sweep":{"hops":1,"edges":1,"secs":1.0},
+                         "transfer/p2p":{"hops":1,"edges":1,"secs":0.625}}},
+            "whatif":{"zero_network":1.0,"speedup_zero_network":1.875,
+                      "perfect_balance":0.9375,"speedup_perfect_balance":2.0,
+                      "infinite_cache":1.625,"speedup_infinite_cache":1.1538}}"#;
+        let out = doctor_str(json).expect("renders");
+        assert!(
+            out.contains("perf report: makespan 1.875000000s over 2 rank(s)"),
+            "{out}"
+        );
+        assert!(out.contains("compute"), "{out}");
+        assert!(out.contains("critical path: 3 hop(s)"), "{out}");
+        assert!(out.contains("compute/fused_sweep"), "{out}");
+        assert!(out.contains("zero_network"), "{out}");
+        assert!(out.contains("speedup x1.875"), "{out}");
+    }
+
+    #[test]
+    fn profile_renders_the_merged_tree_indented() {
+        let json = r#"{"schema":"shrinksvm-profile/v1","makespan":1.875,"ranks":2,
+            "total_self":3.75,"reconcile_error":0,
+            "merged":{"name":"all","self":0,"total":3.75,"children":[
+                {"name":"main","self":0,"total":3.125,"children":[
+                    {"name":"fused_sweep","self":0,"total":1.5,"children":[
+                        {"name":"compute","self":1.5,"total":1.5,"children":[]}]}]},
+                {"name":"tail","self":0,"total":0.625,"children":[]}]},
+            "per_rank":[]}"#;
+        let out = doctor_str(json).expect("renders");
+        assert!(out.contains("profile: makespan 1.875000000s"), "{out}");
+        assert!(out.contains("all"), "{out}");
+        assert!(out.contains("  main"), "{out}");
+        assert!(out.contains("      compute"), "{out}");
+        assert!(out.contains("100.00%"), "{out}");
+        // Missing merged tree is a named error, not a panic.
+        let err = doctor_str(r#"{"schema":"shrinksvm-profile/v1","makespan":1}"#).unwrap_err();
+        assert!(err.contains("no merged tree"), "{err}");
+    }
+
+    #[test]
     fn unknown_schema_is_a_named_error() {
         let err = doctor_str(r#"{"schema":"shrinksvm-mystery/v9"}"#).unwrap_err();
         assert!(err.contains("unrecognized artifact schema"), "{err}");
+        assert!(err.contains("shrinksvm-perf/v1"), "{err}");
+        assert!(err.contains("shrinksvm-profile/v1"), "{err}");
         let err = doctor_str(r#"{"no_schema":true}"#).unwrap_err();
         assert!(err.contains("unrecognized artifact schema"), "{err}");
     }
@@ -338,6 +493,12 @@ mod tests {
     #[test]
     fn malformed_json_is_a_named_error() {
         let err = doctor_str("{not json").unwrap_err();
+        assert!(err.contains("parse"), "{err}");
+        // A perf artifact cut off mid-object must fail the same way, not
+        // dispatch on the half-read schema.
+        let err = doctor_str(r#"{"schema":"shrinksvm-perf/v1","makespan":1.8"#).unwrap_err();
+        assert!(err.contains("parse"), "{err}");
+        let err = doctor_str(r#"{"schema":"shrinksvm-profile/v1","merged":{"#).unwrap_err();
         assert!(err.contains("parse"), "{err}");
     }
 

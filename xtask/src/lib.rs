@@ -24,8 +24,11 @@
 //! The crate also hosts the bench-history regression gate,
 //! `cargo xtask bench-diff <baseline> <candidate>` — see [`bench_diff`] —
 //! the deterministic chaos-soak harness, `cargo xtask soak` — see
-//! [`soak`] — and the artifact post-mortem renderer,
-//! `cargo xtask doctor <artifact.json>` — see [`doctor`].
+//! [`soak`] — the artifact post-mortem renderer,
+//! `cargo xtask doctor <artifact.json>` — see [`doctor`] — the
+//! differential attribution report, `cargo xtask perf-diff <a> <b>` —
+//! see [`perf_diff`] — and the cross-run perf ledger,
+//! `cargo xtask perf-history record|show` — see [`perf_history`].
 
 pub mod bench_diff;
 pub mod budgets;
@@ -33,6 +36,8 @@ pub mod doctor;
 pub mod index;
 pub mod lexer;
 pub mod manifest;
+pub mod perf_diff;
+pub mod perf_history;
 pub mod reach;
 pub mod report;
 pub mod rules;

@@ -54,8 +54,24 @@ fn main() -> ExitCode {
             }
         }
         Some("bench-diff") => {
-            let (Some(baseline), Some(candidate)) = (args.get(1), args.get(2)) else {
-                eprintln!("usage: cargo xtask bench-diff <baseline> <candidate>");
+            let json_path = args
+                .iter()
+                .position(|a| a == "--json")
+                .and_then(|i| args.get(i + 1))
+                .map(PathBuf::from);
+            // Positional operands, with the --json flag and its value
+            // filtered out wherever they appear.
+            let mut positional = args.iter().skip(1);
+            let mut next_positional = || loop {
+                match positional.next() {
+                    Some(a) if a == "--json" => {
+                        positional.next();
+                    }
+                    other => return other,
+                }
+            };
+            let (Some(baseline), Some(candidate)) = (next_positional(), next_positional()) else {
+                eprintln!("usage: cargo xtask bench-diff <baseline> <candidate> [--json <path>]");
                 eprintln!("       (two BENCH_*.json files, or two directories of them)");
                 return ExitCode::FAILURE;
             };
@@ -66,6 +82,13 @@ fn main() -> ExitCode {
                 Ok(report) => {
                     for line in &report.lines {
                         println!("{line}");
+                    }
+                    if let Some(path) = &json_path {
+                        if let Err(e) = std::fs::write(path, report.to_json()) {
+                            eprintln!("bench-diff: cannot write {}: {e}", path.display());
+                            return ExitCode::FAILURE;
+                        }
+                        println!("bench-diff: gate table written to {}", path.display());
                     }
                     let regressions = report.regressions();
                     if regressions.is_empty() {
@@ -85,9 +108,125 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("perf-diff") => {
+            let json_path = args
+                .iter()
+                .position(|a| a == "--json")
+                .and_then(|i| args.get(i + 1))
+                .map(PathBuf::from);
+            let mut positional = args.iter().skip(1);
+            let mut next_positional = || loop {
+                match positional.next() {
+                    Some(a) if a == "--json" => {
+                        positional.next();
+                    }
+                    other => return other,
+                }
+            };
+            let (Some(baseline), Some(candidate)) = (next_positional(), next_positional()) else {
+                eprintln!(
+                    "usage: cargo xtask perf-diff <PERF_baseline.json> <PERF_candidate.json> \
+                     [--json <path>]"
+                );
+                return ExitCode::FAILURE;
+            };
+            match xtask::perf_diff::run_perf_diff(
+                std::path::Path::new(baseline),
+                std::path::Path::new(candidate),
+            ) {
+                Ok(out) => {
+                    print!("{}", out.text);
+                    if let Some(path) = &json_path {
+                        if let Err(e) = std::fs::write(path, &out.json) {
+                            eprintln!("perf-diff: cannot write {}: {e}", path.display());
+                            return ExitCode::FAILURE;
+                        }
+                        println!("perf-diff: report written to {}", path.display());
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("perf-diff: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("perf-history") => {
+            let flag_val = |name: &str| {
+                args.iter()
+                    .position(|a| a == name)
+                    .and_then(|i| args.get(i + 1))
+                    .cloned()
+            };
+            let ledger = flag_val("--ledger")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| repo_root().join(xtask::perf_history::LEDGER_PATH));
+            match args.get(1).map(String::as_str) {
+                Some("record") => {
+                    let Some(artifacts) = flag_val("--artifacts").map(PathBuf::from) else {
+                        eprintln!(
+                            "usage: cargo xtask perf-history record --artifacts <dir> \
+                             [--ledger <path>] [--rev <rev>] [--gate <frac>]"
+                        );
+                        return ExitCode::FAILURE;
+                    };
+                    let rev = flag_val("--rev")
+                        .unwrap_or_else(|| xtask::perf_history::head_rev(&repo_root()));
+                    let gate = match flag_val("--gate") {
+                        None => xtask::perf_history::DEFAULT_GATE,
+                        Some(v) => match v.parse::<f64>() {
+                            Ok(g) if g >= 0.0 => g,
+                            _ => {
+                                eprintln!(
+                                    "perf-history: --gate wants a nonnegative fraction, got '{v}'"
+                                );
+                                return ExitCode::FAILURE;
+                            }
+                        },
+                    };
+                    match xtask::perf_history::run_record(&artifacts, &ledger, &rev, gate) {
+                        Ok(out) => {
+                            for line in &out.lines {
+                                println!("{line}");
+                            }
+                            println!(
+                                "perf-history: {} row(s) appended to {}",
+                                out.rows.len(),
+                                ledger.display()
+                            );
+                            ExitCode::SUCCESS
+                        }
+                        Err(e) => {
+                            eprintln!("perf-history: {e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+                Some("show") => match xtask::perf_history::run_show(&ledger) {
+                    Ok(rendered) => {
+                        print!("{rendered}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("perf-history: {e}");
+                        ExitCode::FAILURE
+                    }
+                },
+                _ => {
+                    eprintln!(
+                        "usage: cargo xtask perf-history record --artifacts <dir> \
+                         [--ledger <path>] [--rev <rev>] [--gate <frac>]"
+                    );
+                    eprintln!("       cargo xtask perf-history show [--ledger <path>]");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("doctor") => {
             let Some(artifact) = args.get(1) else {
-                eprintln!("usage: cargo xtask doctor <FLIGHT|SOAK|BENCH artifact.json>");
+                eprintln!(
+                    "usage: cargo xtask doctor <FLIGHT|SOAK|BENCH|PERF|PROFILE artifact.json>"
+                );
                 return ExitCode::FAILURE;
             };
             match xtask::doctor::run_doctor(std::path::Path::new(artifact)) {
@@ -194,8 +333,14 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!("usage: cargo xtask lint [--json <path>] [--update-budgets]");
-            eprintln!("       cargo xtask bench-diff <baseline> <candidate>");
-            eprintln!("       cargo xtask doctor <FLIGHT|SOAK|BENCH artifact.json>");
+            eprintln!("       cargo xtask bench-diff <baseline> <candidate> [--json <path>]");
+            eprintln!("       cargo xtask perf-diff <PERF_a.json> <PERF_b.json> [--json <path>]");
+            eprintln!(
+                "       cargo xtask perf-history record --artifacts <dir> [--ledger <path>] \
+                 [--rev <rev>] [--gate <frac>]"
+            );
+            eprintln!("       cargo xtask perf-history show [--ledger <path>]");
+            eprintln!("       cargo xtask doctor <FLIGHT|SOAK|BENCH|PERF|PROFILE artifact.json>");
             eprintln!(
                 "       cargo xtask soak [--out <dir>] [--name <name>] \
                  [--seeds a,b,c] [--plans crash,corrupt,ladder] [--no-shrink]"

@@ -1,0 +1,111 @@
+//! `cargo xtask perf-diff <PERF_a.json> <PERF_b.json> [--json <path>]` —
+//! the differential-attribution front door.
+//!
+//! Loads two PerfDoctor reports (baseline first), hands them to
+//! [`shrinksvm_obs::perfdiff::PerfDiff`], prints the terminal report and
+//! optionally writes the deterministic JSON diff. The heavy lifting —
+//! bucket deltas, critical-path op entries/exits, what-if shifts — lives
+//! in the obs crate so tests and other tools can reuse it.
+
+use shrinksvm_obs::json::parse;
+use shrinksvm_obs::perfdiff::PerfDiff;
+use std::path::Path;
+
+/// Everything one perf-diff invocation produces.
+#[derive(Debug)]
+pub struct PerfDiffOutcome {
+    /// The terminal report.
+    pub text: String,
+    /// The machine-readable diff (schema `shrinksvm-perfdiff/v1`).
+    pub json: String,
+}
+
+/// Diff two `PERF_*.json` files (baseline, then candidate).
+///
+/// # Errors
+///
+/// Unreadable files, malformed JSON, or documents that are not
+/// PerfDoctor reports.
+pub fn run_perf_diff(baseline: &Path, candidate: &Path) -> Result<PerfDiffOutcome, String> {
+    let diff = PerfDiff::between(
+        &load(baseline)?,
+        &load(candidate)?,
+        &label_of(baseline),
+        &label_of(candidate),
+    )?;
+    Ok(PerfDiffOutcome {
+        text: diff.render_text(),
+        json: diff.to_json(),
+    })
+}
+
+fn load(path: &Path) -> Result<shrinksvm_obs::json::Value, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse(text.trim_end()).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Display label: the file stem with any `PERF_` prefix dropped.
+fn label_of(path: &Path) -> String {
+    let stem = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    stem.strip_prefix("PERF_").unwrap_or(&stem).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrinksvm_obs::critpath::{DepLog, DepRecorder};
+    use shrinksvm_obs::json::check;
+    use shrinksvm_obs::PerfDoctor;
+
+    fn write_perf(dir: &Path, name: &str, slow: f64) -> std::path::PathBuf {
+        let mut r0 = DepRecorder::new();
+        let mut r1 = DepRecorder::new();
+        r0.compute(0.0, slow, slow, "fused_sweep");
+        r0.send(slow, 0.25, 1, 7, 0);
+        r1.compute(0.0, 0.5, 0.5, "fused_sweep");
+        r1.recv(0.5, 0, 7, 0, slow + 0.25, 0.5, 0.0);
+        let log = DepLog::from_ranks(vec![r0.finish(), r1.finish()]);
+        let doc = PerfDoctor::analyze(&log, 0.0).expect("analyze");
+        let path = dir.join(format!("PERF_{name}.json"));
+        std::fs::write(&path, doc.to_json()).expect("write");
+        path
+    }
+
+    #[test]
+    fn diffs_two_reports_end_to_end() {
+        let dir = std::env::temp_dir().join("shrinksvm_xtask_perf_diff_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let a = write_perf(&dir, "before", 2.0);
+        let b = write_perf(&dir, "after", 1.0);
+        let out = run_perf_diff(&a, &b).expect("diff");
+        assert!(
+            out.text.contains("== perf-diff: before -> after =="),
+            "{}",
+            out.text
+        );
+        check(&out.json).unwrap_or_else(|e| panic!("{e}\n{}", out.json));
+        // Deterministic across invocations.
+        let again = run_perf_diff(&a, &b).expect("diff");
+        assert_eq!(out.json, again.json);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_missing_and_malformed_inputs() {
+        let dir = std::env::temp_dir().join("shrinksvm_xtask_perf_diff_bad");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let good = write_perf(&dir, "ok", 1.0);
+        let missing = dir.join("PERF_missing.json");
+        assert!(run_perf_diff(&missing, &good)
+            .expect_err("missing file")
+            .contains("cannot read"));
+        let truncated = dir.join("PERF_trunc.json");
+        std::fs::write(&truncated, "{\"schema\":\"shrinksvm-perf/v1\",").expect("write");
+        assert!(run_perf_diff(&good, &truncated).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,239 @@
+//! `cargo xtask perf-history record|show` — the cross-run perf ledger.
+//!
+//! `record --artifacts <dir>` builds one [`HistoryRow`] per
+//! `BENCH_*.json` in the directory (pairing each with its `PERF_*.json`
+//! when the run was traced, for exact buckets), gates every row against
+//! the committed ledger tail (default: fail on >10% makespan
+//! regression), then appends the rows. `show` renders the ledger as a
+//! per-bench sparkline + table. Row parsing, rendering and the gate live
+//! in [`shrinksvm_obs::perfhist`]; this module is the filesystem shell.
+
+use shrinksvm_obs::json::{parse, Value};
+use shrinksvm_obs::perfhist::{gate_against_tail, parse_ledger, render_history, HistoryRow};
+use std::path::{Path, PathBuf};
+
+/// The default ledger location, relative to the repo root.
+pub const LEDGER_PATH: &str = "bench_baselines/PERF_HISTORY.jsonl";
+
+/// The default regression gate: fail when a bench's makespan exceeds the
+/// committed tail by more than this fraction.
+pub const DEFAULT_GATE: f64 = 0.10;
+
+/// Everything one `record` invocation produces.
+#[derive(Debug)]
+pub struct RecordOutcome {
+    /// Rows appended, in bench-name order.
+    pub rows: Vec<HistoryRow>,
+    /// Human-readable per-row summaries.
+    pub lines: Vec<String>,
+}
+
+/// Append one row per `BENCH_*.json` under `artifacts` to the ledger at
+/// `ledger`, stamping each with `rev`. Every row is first gated against
+/// the ledger's committed tail with threshold `gate`.
+///
+/// # Errors
+///
+/// An unreadable artifacts directory, no bench reports in it, malformed
+/// reports or ledger rows, a gate violation (nothing is appended in that
+/// case), or a failed write.
+pub fn run_record(
+    artifacts: &Path,
+    ledger: &Path,
+    rev: &str,
+    gate: f64,
+) -> Result<RecordOutcome, String> {
+    let benches = bench_files(artifacts)?;
+    if benches.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json artifacts under {}",
+            artifacts.display()
+        ));
+    }
+    let committed = read_ledger(ledger)?;
+    let mut rows = Vec::with_capacity(benches.len());
+    let mut lines = Vec::with_capacity(benches.len());
+    for bench_path in benches {
+        let bench = load(&bench_path)?;
+        let perf = perf_sibling(&bench_path, &bench)?;
+        let row = HistoryRow::from_reports(&bench, perf.as_ref(), rev)
+            .map_err(|e| format!("{}: {e}", bench_path.display()))?;
+        gate_against_tail(&committed, &row, gate)?;
+        lines.push(format!(
+            "perf-history: {} @ {} makespan {:.9}s ({} buckets){}",
+            row.bench,
+            row.rev,
+            row.makespan,
+            if perf.is_some() {
+                "exact PERF"
+            } else {
+                "bench-split"
+            },
+            if row.converged { "" } else { "  NOT CONVERGED" }
+        ));
+        rows.push(row);
+    }
+    let mut text = std::fs::read_to_string(ledger).unwrap_or_default();
+    if !text.is_empty() && !text.ends_with('\n') {
+        text.push('\n');
+    }
+    for row in &rows {
+        text.push_str(&row.to_json_line());
+        text.push('\n');
+    }
+    if let Some(parent) = ledger.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+    }
+    std::fs::write(ledger, text).map_err(|e| format!("cannot write {}: {e}", ledger.display()))?;
+    Ok(RecordOutcome { rows, lines })
+}
+
+/// Render the ledger at `ledger` (sparkline + table per bench).
+///
+/// # Errors
+///
+/// An unreadable ledger or malformed rows.
+pub fn run_show(ledger: &Path) -> Result<String, String> {
+    Ok(render_history(&read_ledger(ledger)?))
+}
+
+/// The short git revision of `repo`'s HEAD, or `"unknown"` when git is
+/// unavailable (e.g. an exported tarball).
+pub fn head_rev(repo: &Path) -> String {
+    let out = std::process::Command::new("git")
+        .arg("-C")
+        .arg(repo)
+        .args(["rev-parse", "--short", "HEAD"])
+        .output();
+    match out {
+        Ok(o) if o.status.success() => String::from_utf8_lossy(&o.stdout).trim().to_string(),
+        _ => "unknown".to_string(),
+    }
+}
+
+fn read_ledger(ledger: &Path) -> Result<Vec<HistoryRow>, String> {
+    match std::fs::read_to_string(ledger) {
+        Ok(text) => parse_ledger(&text).map_err(|e| format!("{}: {e}", ledger.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(format!("cannot read {}: {e}", ledger.display())),
+    }
+}
+
+fn bench_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut out: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+/// The traced sibling of a bench report: `PERF_<name>.json` next to
+/// `BENCH_<name>.json`, keyed on the report's own name field. Absent
+/// files are fine (untraced benches); malformed ones are not.
+fn perf_sibling(bench_path: &Path, bench: &Value) -> Result<Option<Value>, String> {
+    let Some(name) = bench.get("name").and_then(Value::as_str) else {
+        return Ok(None);
+    };
+    let Some(dir) = bench_path.parent() else {
+        return Ok(None);
+    };
+    let perf_path = dir.join(format!("PERF_{name}.json"));
+    if !perf_path.exists() {
+        return Ok(None);
+    }
+    Ok(Some(load(&perf_path)?))
+}
+
+fn load(path: &Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse(text.trim_end()).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("shrinksvm_xtask_perfhist_{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn write_bench(dir: &Path, name: &str, makespan: f64) {
+        std::fs::write(
+            dir.join(format!("BENCH_{name}.json")),
+            format!(
+                "{{\"schema\":1,\"name\":\"{name}\",\"modeled_time\":{makespan},\
+                 \"iterations\":900,\"converged\":true,\"compute_time\":3.0,\
+                 \"transfer_time\":0.5,\"idle_time\":0.5}}\n"
+            ),
+        )
+        .expect("write bench");
+    }
+
+    #[test]
+    fn record_then_show_round_trips() {
+        let dir = scratch("roundtrip");
+        write_bench(&dir, "smoke", 1.25);
+        write_bench(&dir, "hotpath", 5.0);
+        // A traced sibling for smoke only.
+        std::fs::write(
+            dir.join("PERF_smoke.json"),
+            "{\"schema\":\"shrinksvm-perf/v1\",\"buckets\":{\"compute\":4.0,\"transfer\":0.5,\
+             \"idle\":0.25,\"retransmit\":0.25,\"recovery\":0.0}}\n",
+        )
+        .expect("write perf");
+        let ledger = dir.join("PERF_HISTORY.jsonl");
+        let out = run_record(&dir, &ledger, "r1", DEFAULT_GATE).expect("record");
+        assert_eq!(out.rows.len(), 2);
+        // Sorted by filename: hotpath before smoke.
+        assert_eq!(out.rows[0].bench, "hotpath");
+        assert_eq!(out.rows[1].retransmit, 0.25, "smoke used PERF buckets");
+        assert_eq!(out.rows[0].retransmit, 0.0, "hotpath used the bench split");
+        let shown = run_show(&ledger).expect("show");
+        assert!(shown.contains("smoke: 1 rows"), "{shown}");
+        assert!(shown.contains("hotpath: 1 rows"), "{shown}");
+        // A second identical record appends a second generation.
+        run_record(&dir, &ledger, "r2", DEFAULT_GATE).expect("record again");
+        let shown = run_show(&ledger).expect("show");
+        assert!(shown.contains("smoke: 2 rows"), "{shown}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gate_blocks_regressions_and_appends_nothing() {
+        let dir = scratch("gate");
+        write_bench(&dir, "smoke", 1.0);
+        let ledger = dir.join("PERF_HISTORY.jsonl");
+        run_record(&dir, &ledger, "r1", DEFAULT_GATE).expect("seed");
+        write_bench(&dir, "smoke", 1.5); // +50% over the tail
+        let err = run_record(&dir, &ledger, "r2", DEFAULT_GATE).expect_err("gate");
+        assert!(err.contains("regresses"), "{err}");
+        let rows = parse_ledger(&std::fs::read_to_string(&ledger).expect("read")).expect("parse");
+        assert_eq!(rows.len(), 1, "regressing row must not be appended");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_artifacts_and_missing_ledger_behave() {
+        let dir = scratch("empty");
+        let ledger = dir.join("PERF_HISTORY.jsonl");
+        assert!(run_record(&dir, &ledger, "r1", DEFAULT_GATE)
+            .expect_err("no artifacts")
+            .contains("no BENCH_"));
+        let shown = run_show(&ledger).expect("empty ledger renders");
+        assert!(shown.contains("empty"), "{shown}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

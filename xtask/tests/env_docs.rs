@@ -1,0 +1,109 @@
+//! Mechanical audit of the `SHRINKSVM_*` runtime tunables: every env var
+//! the code reads must have a row in README's "Runtime tunables" table,
+//! and every documented row must still have a reader in the code. The
+//! scan is textual and dependency-free, so a new knob (or a renamed one)
+//! fails this test until the docs move with it.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits inside the repo")
+        .to_path_buf()
+}
+
+/// Every `SHRINKSVM_[A-Z0-9_]+` token in the text, filtered of the
+/// fixture names the env-parsing unit tests mint for themselves.
+fn vars_in(text: &str, out: &mut BTreeSet<String>) {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(at) = text[i..].find("SHRINKSVM_") {
+        let start = i + at;
+        let mut end = start + "SHRINKSVM_".len();
+        while end < bytes.len()
+            && (bytes[end].is_ascii_uppercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        let name = &text[start..end];
+        if name.len() > "SHRINKSVM_".len() && !name.contains("ENV_TEST") {
+            out.insert(name.to_string());
+        }
+        i = end;
+    }
+}
+
+fn scan_rs_files(dir: &Path, out: &mut BTreeSet<String>) {
+    let entries = std::fs::read_dir(dir).unwrap_or_else(|e| panic!("{}: {e}", dir.display()));
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let skip = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n == "target" || n.starts_with('.'));
+            if !skip {
+                scan_rs_files(&path, out);
+            }
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            vars_in(&text, out);
+        }
+    }
+}
+
+#[test]
+fn every_env_var_is_documented_and_every_doc_row_is_live() {
+    let root = repo_root();
+
+    let mut in_code = BTreeSet::new();
+    for dir in ["crates", "examples", "xtask/src"] {
+        scan_rs_files(&root.join(dir), &mut in_code);
+    }
+    assert!(
+        !in_code.is_empty(),
+        "the scan found no tunables at all — is the repo layout intact?"
+    );
+
+    // Documented vars: the backticked first column of the tunables table.
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("read README");
+    let mut documented = BTreeSet::new();
+    for line in readme.lines() {
+        if let Some(rest) = line.strip_prefix("| `SHRINKSVM_") {
+            let name = rest.split('`').next().expect("split yields a head");
+            documented.insert(format!("SHRINKSVM_{name}"));
+        }
+    }
+
+    let undocumented: Vec<&String> = in_code.difference(&documented).collect();
+    assert!(
+        undocumented.is_empty(),
+        "env vars read by code but missing from README's runtime-tunables \
+         table: {undocumented:?}"
+    );
+    let stale: Vec<&String> = documented.difference(&in_code).collect();
+    assert!(
+        stale.is_empty(),
+        "README documents tunables no code reads any more: {stale:?}"
+    );
+}
+
+#[test]
+fn the_scanner_extracts_names_and_skips_fixtures() {
+    let mut out = BTreeSet::new();
+    vars_in(
+        "std::env::var(\"SHRINKSVM_FOO_2\") and SHRINKSVM_ENV_TEST_OK plus \
+         a bare SHRINKSVM_ prefix and lowercase shrinksvm_bar",
+        &mut out,
+    );
+    assert_eq!(
+        out.into_iter().collect::<Vec<_>>(),
+        ["SHRINKSVM_FOO_2"],
+        "fixture names and the bare prefix must not count"
+    );
+}
